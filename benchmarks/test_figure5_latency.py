@@ -1,0 +1,55 @@
+"""Benchmark: Figure 5 (right) — latency cost of MC sampling.
+
+Regenerates the latency of Bayes-LeNet5 / Bayes-ResNet18 / Bayes-VGG11 (one
+MCD layer) as the number of MC samples grows, with and without spatial
+mapping, and checks the paper's observations:
+
+* without spatial mapping (a single shared MC engine) latency grows with the
+  number of MC samples;
+* with spatial mapping latency stays (essentially) constant;
+* spatial mapping is never slower than the unoptimized design.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+
+from repro.analysis import format_rows, run_figure5_latency
+
+from .conftest import once
+
+SAMPLE_COUNTS = (1, 2, 3, 4, 5)
+MODELS = ("bayes_lenet5", "bayes_resnet18", "bayes_vgg11")
+
+
+def test_figure5_latency_vs_mc_samples(benchmark):
+    rows = once(
+        benchmark,
+        lambda: run_figure5_latency(
+            mc_sample_counts=SAMPLE_COUNTS, models=MODELS, bitwidth=8, reuse_factor=64,
+        ),
+    )
+
+    print()
+    print(format_rows(
+        rows,
+        ["model", "mapping", "num_mc_samples", "latency_ms"],
+        title="Figure 5 right (reproduced): latency vs number of MC samples",
+    ))
+
+    series: dict[tuple[str, str], list[tuple[int, float]]] = defaultdict(list)
+    for row in rows:
+        series[(row["model"], row["mapping"])].append(
+            (row["num_mc_samples"], row["latency_ms"])
+        )
+
+    for model in MODELS:
+        unopt = [lat for _, lat in sorted(series[(model, "unoptimized")])]
+        spatial = [lat for _, lat in sorted(series[(model, "spatial")])]
+
+        # latency grows monotonically without spatial mapping
+        assert unopt == sorted(unopt) and unopt[-1] > unopt[0], model
+        # latency is flat under spatial mapping
+        assert max(spatial) - min(spatial) < 1e-9, model
+        # spatial mapping never loses
+        assert all(s <= u + 1e-12 for s, u in zip(spatial, unopt)), model

@@ -1,0 +1,57 @@
+"""Benchmark: Figure 5 (left) — resource cost of being Bayesian.
+
+Regenerates the BRAM/DSP/FF/LUT consumption of Bayes-LeNet5, Bayes-ResNet18
+and Bayes-VGG11 (temporal mapping, quantized, custom channel counts) as the
+number of MCD layers grows, and checks the paper's observations:
+
+* FF and LUT grow with the number of MCD layers;
+* BRAM stays exactly flat (the MCD layer needs no BRAM);
+* DSP stays (nearly) flat.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+
+from repro.analysis import format_rows, run_figure5_resources
+
+from .conftest import once
+
+MCD_COUNTS = (1, 3, 5, 7)
+MODELS = ("bayes_lenet5", "bayes_resnet18", "bayes_vgg11")
+
+
+def test_figure5_resources_vs_mcd_layers(benchmark):
+    rows = once(
+        benchmark,
+        lambda: run_figure5_resources(
+            mcd_layer_counts=MCD_COUNTS, models=MODELS, bitwidth=8, reuse_factor=64,
+        ),
+    )
+
+    print()
+    print(format_rows(
+        rows,
+        ["model", "num_mcd_layers", "bram_18k", "dsp", "ff", "lut"],
+        title="Figure 5 left (reproduced): resources vs number of MCD layers",
+    ))
+
+    by_model: dict[str, list[dict]] = defaultdict(list)
+    for row in rows:
+        by_model[row["model"]].append(row)
+
+    assert set(by_model) == set(MODELS)
+    for model, series in by_model.items():
+        series = sorted(series, key=lambda r: r["num_mcd_layers"])
+        lut = [r["lut"] for r in series]
+        ff = [r["ff"] for r in series]
+        bram = [r["bram_18k"] for r in series]
+        dsp = [r["dsp"] for r in series]
+
+        # logic grows with the number of MCD layers
+        assert lut == sorted(lut) and lut[-1] > lut[0], model
+        assert ff == sorted(ff) and ff[-1] > ff[0], model
+        # BRAM is flat: MCD layers consume no block RAM
+        assert len(set(bram)) == 1, model
+        # DSP is (nearly) flat: the 8-bit MCD datapath maps to LUTs
+        assert max(dsp) - min(dsp) <= 0.05 * max(max(dsp), 1.0), model

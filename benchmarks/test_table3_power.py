@@ -1,0 +1,58 @@
+"""Benchmark: Table III — power breakdown of the FPGA accelerator.
+
+Regenerates the XPE-style power breakdown of the Table II design and checks
+the paper's qualitative claims: dynamic power dominates the total (72% in the
+paper), and logic&signal plus IO are the two largest dynamic contributors
+(30% and 21%), the latter driven by the spatially-mapped MC engines streaming
+in parallel.
+"""
+
+from __future__ import annotations
+
+from repro.analysis import format_table, run_table3
+
+from .conftest import once
+
+
+def test_table3_power_breakdown(benchmark, paper_accelerator):
+    result = once(benchmark, lambda: run_table3(paper_accelerator))
+
+    watts = result["watts"]
+    pct = result["percentages"]
+    print()
+    print(format_table(
+        ["component", "power_w", "percentage"],
+        [[k, round(watts[k], 3), f"{pct[k]:.1%}"] for k in
+         ("clocking", "logic_signal", "bram", "io", "dsp", "static")]
+        + [["total", round(watts["total"], 3), "100%"]],
+        title="Table III (reproduced): power breakdown",
+    ))
+
+    # percentages are a proper decomposition
+    assert abs(sum(pct.values()) - 1.0) < 1e-9
+    assert watts["total"] > 0
+
+    # dynamic power dominates (paper: 72% dynamic / 28% static)
+    dynamic_fraction = 1.0 - pct["static"]
+    assert dynamic_fraction > 0.55
+
+    # logic&signal and IO are the two largest dynamic components
+    dynamic_parts = {k: pct[k] for k in ("clocking", "logic_signal", "bram", "io", "dsp")}
+    top_two = sorted(dynamic_parts, key=dynamic_parts.get, reverse=True)[:2]
+    assert set(top_two) == {"logic_signal", "io"}
+
+    # total power is in the single-digit-Watt regime of the paper's design (4.6 W)
+    assert 1.0 < watts["total"] < 20.0
+
+
+def test_table3_io_power_driven_by_spatial_engines(benchmark):
+    """IO power grows with the number of parallel MC engines (spatial mapping)."""
+    from repro.analysis import build_bayes_lenet_accelerator
+
+    def build(spatial: bool):
+        return build_bayes_lenet_accelerator(
+            num_mc_samples=3, use_spatial_mapping=spatial
+        ).power()
+
+    spatial_power, temporal_power = once(benchmark, lambda: (build(True), build(False)))
+    assert spatial_power.io > temporal_power.io

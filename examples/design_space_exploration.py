@@ -1,0 +1,124 @@
+"""Design-space exploration: mapping mix, bitwidths and platform comparison.
+
+This example focuses on the hardware side of the paper:
+
+* sweep the spatial/temporal mapping mix of the MC engines and show the
+  latency / resource / power trade-off (Figure 4 and Figure 5 right);
+* run the algorithm-hardware co-exploration over bitwidths {4, 6, 8, 16} and
+  channel scalings {C, C/2, C/4, C/8} and print the latency-energy Pareto
+  front (Section IV-D);
+* place the resulting design in the Table II platform comparison against the
+  published CPU / GPU / prior-FPGA numbers.
+
+Run with:  python examples/design_space_exploration.py
+"""
+
+from __future__ import annotations
+
+from repro.analysis import build_bayes_lenet_accelerator, format_rows, format_table, run_table2
+from repro.core import single_exit_bayesnet
+from repro.hw import (
+    AcceleratorConfig,
+    AcceleratorModel,
+    CoExplorer,
+    MappingPlan,
+    pareto_front,
+)
+from repro.nn.architectures import lenet5_spec
+
+
+def mapping_sweep() -> None:
+    """Latency / resources / power across the spatial-temporal mapping mix."""
+    net = single_exit_bayesnet(lenet5_spec(), num_mcd_layers=2, seed=0)
+    num_samples = 6
+    rows = []
+    for engines in range(1, num_samples + 1):
+        mapping = MappingPlan(num_samples=num_samples, num_engines=engines)
+        accel = AcceleratorModel(
+            net,
+            AcceleratorConfig(device="XCKU115", weight_bitwidth=8, reuse_factor=64,
+                              num_mc_samples=num_samples, mapping=mapping),
+        )
+        power = accel.power()
+        rows.append({
+            "engines": engines,
+            "strategy": mapping.strategy,
+            "latency_ms": round(accel.latency_ms(), 4),
+            "lut": round(accel.resources().lut),
+            "power_w": round(power.total, 2),
+            "energy_mj": round(power.energy_per_image_j(accel.latency_ms()) * 1000, 3),
+        })
+    print(format_rows(
+        rows, ["engines", "strategy", "latency_ms", "lut", "power_w", "energy_mj"],
+        title="MC-engine mapping sweep (Bayes-LeNet5, 6 MC samples)",
+    ))
+    print()
+
+
+def co_exploration() -> None:
+    """Bitwidth x channel-scaling x reuse-factor grid search (Phase 3)."""
+    explorer = CoExplorer(
+        lambda width: single_exit_bayesnet(
+            lenet5_spec(width_multiplier=width), num_mcd_layers=1, seed=0
+        ),
+        device="XCKU115",
+        num_mc_samples=3,
+    )
+    best, points = explorer.run(
+        objective="energy",
+        bitwidths=(4, 6, 8, 16),
+        channel_multipliers=(1.0, 0.5, 0.25, 0.125),
+        reuse_factors=(16, 64),
+    )
+    front = sorted(pareto_front(points), key=lambda p: p.latency_ms)
+    rows = [
+        {
+            "bitwidth": p.point.bitwidth,
+            "channels": f"C/{int(1 / p.point.channel_multiplier)}"
+            if p.point.channel_multiplier < 1 else "C",
+            "reuse": p.point.reuse_factor,
+            "mapping": p.mapping.strategy,
+            "latency_ms": round(p.latency_ms, 4),
+            "energy_mj": round(p.energy_per_image_j * 1000, 3),
+            "max_util": f"{p.max_utilization:.1%}",
+        }
+        for p in front
+    ]
+    print(format_rows(
+        rows,
+        ["bitwidth", "channels", "reuse", "mapping", "latency_ms", "energy_mj", "max_util"],
+        title="Phase 3 co-exploration: latency-energy Pareto front",
+    ))
+    print(f"\nselected (energy priority): {best.point.bitwidth}-bit, "
+          f"channel multiplier {best.point.channel_multiplier}, "
+          f"reuse {best.point.reuse_factor} -> "
+          f"{best.energy_per_image_j * 1000:.3f} mJ/image\n")
+
+
+def platform_comparison() -> None:
+    """Table II: our design vs the published CPU / GPU / FPGA numbers."""
+    accel = build_bayes_lenet_accelerator()
+    rows = run_table2(accel)
+    print(format_rows(
+        rows,
+        ["name", "platform", "frequency_mhz", "power_w", "latency_ms", "energy_per_image_j"],
+        title="Platform comparison (Table II, Bayes-LeNet5, 3 MC samples)",
+    ))
+    ours = [r for r in rows if r["name"] == "Our Work"][0]
+    best_prior = min(
+        (r for r in rows if r["name"] != "Our Work"),
+        key=lambda r: r["energy_per_image_j"],
+    )
+    print(f"\nenergy-efficiency advantage over the best prior design "
+          f"({best_prior['name']}): "
+          f"{best_prior['energy_per_image_j'] / ours['energy_per_image_j']:.1f}x")
+
+
+def main() -> None:
+    mapping_sweep()
+    co_exploration()
+    platform_comparison()
+
+
+if __name__ == "__main__":
+    main()

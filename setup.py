@@ -1,0 +1,11 @@
+"""Setup shim.
+
+The offline environment has no ``wheel`` package, so PEP 660 editable
+installs (which need ``bdist_wheel``) fail.  Providing a ``setup.py`` lets
+``pip install -e .`` fall back to the legacy ``setup.py develop`` path, which
+works with plain setuptools.  All project metadata lives in ``pyproject.toml``.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,41 @@
+"""repro — multi-exit Monte-Carlo-Dropout Bayesian neural networks on (simulated) FPGA.
+
+A from-scratch reproduction of "When Monte-Carlo Dropout Meets Multi-Exit:
+Optimizing Bayesian Neural Networks on FPGA" (DAC 2023).  See ``README.md``
+for a quickstart and ``DESIGN.md`` for the system inventory.
+
+Subpackages
+-----------
+``repro.nn``
+    NumPy neural-network substrate (layers, models, optimizers, trainers,
+    LeNet/VGG/ResNet backbones).
+``repro.core``
+    Multi-exit MCD BayesNNs, Monte-Carlo sampling, FLOP cost model, Phase-1
+    optimization, and the four-phase transformation framework.
+``repro.uncertainty``
+    Calibration (ECE) and uncertainty metrics, deep-ensemble baseline.
+``repro.quantization``
+    Fixed-point formats and post-training quantization.
+``repro.datasets``
+    Synthetic stand-ins for MNIST / CIFAR-10 / CIFAR-100 / SVHN.
+``repro.hw``
+    FPGA substrate: devices, resource/latency/power models, MC-engine
+    mapping, co-exploration, and HLS code generation.
+``repro.analysis``
+    Experiment runners reproducing every table and figure of the paper.
+"""
+
+from . import analysis, core, datasets, hw, nn, quantization, uncertainty
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "analysis",
+    "core",
+    "datasets",
+    "hw",
+    "nn",
+    "quantization",
+    "uncertainty",
+    "__version__",
+]

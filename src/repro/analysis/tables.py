@@ -1,0 +1,51 @@
+"""Plain-text table rendering for benchmark and example output."""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+__all__ = ["format_table", "format_rows"]
+
+
+def _format_cell(value) -> str:
+    if isinstance(value, float):
+        if value == 0:
+            return "0"
+        if abs(value) >= 1000 or abs(value) < 0.001:
+            return f"{value:.3e}"
+        return f"{value:.4g}"
+    return str(value)
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence],
+    title: str | None = None,
+) -> str:
+    """Render a list of rows as an aligned plain-text table."""
+    str_rows = [[_format_cell(cell) for cell in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in str_rows:
+        if len(row) != len(headers):
+            raise ValueError(
+                f"row has {len(row)} cells but the table has {len(headers)} columns"
+            )
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+
+    def fmt_row(cells: Sequence[str]) -> str:
+        return "  ".join(cell.ljust(width) for cell, width in zip(cells, widths))
+
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append(fmt_row(headers))
+    lines.append("  ".join("-" * w for w in widths))
+    lines.extend(fmt_row(row) for row in str_rows)
+    return "\n".join(lines)
+
+
+def format_rows(rows: Sequence[dict], columns: Sequence[str], title: str | None = None) -> str:
+    """Render a list of dict rows, selecting and ordering ``columns``."""
+    table_rows = [[row.get(col, "") for col in columns] for row in rows]
+    return format_table(columns, table_rows, title=title)

@@ -1,0 +1,384 @@
+"""Multi-exit Monte-Carlo-Dropout Bayesian neural network.
+
+:class:`MultiExitBayesNet` is the paper's core algorithmic contribution: a
+shared deterministic backbone with one classifier ("exit") per semantic
+block, where Monte-Carlo-dropout layers are inserted only near the exits.
+Monte-Carlo samples are produced by caching the backbone activations and
+re-running only the stochastic exit heads, which makes the cost of ``S``
+samples ``FLOP_main + ceil(S / N_exit) * FLOP_exit`` instead of
+``S * (FLOP_main + FLOP_exit)`` (Eq. 1–2).
+
+The same class expresses all four model families of Table I:
+
+================  =========================================================
+SE                ``num_exits=1, mcd_layers_per_exit=0``
+MCD               ``num_exits=1, mcd_layers_per_exit>=1``
+ME                ``num_exits=M, mcd_layers_per_exit=0``
+MCD+ME (ours)     ``num_exits=M, mcd_layers_per_exit>=1``
+================  =========================================================
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Iterator, Sequence
+
+import numpy as np
+
+from ..nn.architectures.common import BackboneSpec
+from ..nn.layers.activations import softmax
+from ..nn.layers.base import Parameter
+from ..nn.model import Network
+from .flops import FlopBreakdown, network_flops
+from .mcd import MCPrediction, deterministic_forward
+from .multi_exit import (
+    EarlyExitResult,
+    ExitHeadConfig,
+    build_exit_head,
+    confidence_early_exit,
+    exit_ensemble,
+)
+
+__all__ = ["MultiExitConfig", "MultiExitBayesNet", "single_exit_bayesnet"]
+
+
+def single_exit_bayesnet(
+    spec: BackboneSpec,
+    num_mcd_layers: int = 1,
+    dropout_rate: float = 0.25,
+    filter_wise: bool = True,
+    seed: int = 0,
+    name: str | None = None,
+) -> Network:
+    """Build a *single-exit* MCD BayesNN as one flat :class:`Network`.
+
+    The backbone and the architecture's original classifier head are
+    composed into a single sequential network, and ``num_mcd_layers``
+    MC-dropout layers are inserted in front of the last parameterised layers
+    (from the exit towards the input, the paper's placement rule).  This is
+    the "Bayes-LeNet / Bayes-ResNet18 / Bayes-VGG11" construction used in
+    the hardware-cost study of Figure 5.
+    """
+    from .mcd import insert_mcd_into_head
+
+    layers = list(spec.backbone.layers) + list(spec.final_head_factory())
+    layers = insert_mcd_into_head(
+        layers,
+        num_mcd_layers=num_mcd_layers,
+        dropout_rate=dropout_rate,
+        filter_wise=filter_wise,
+        seed=seed,
+        name_prefix="mcd",
+    )
+    net = Network(layers, name=name or f"{spec.name}_bayes_mcd{num_mcd_layers}")
+    net.build(spec.input_shape, seed=seed)
+    return net
+
+
+@dataclass
+class MultiExitConfig:
+    """Configuration of a multi-exit MCD BayesNN.
+
+    Attributes
+    ----------
+    num_exits:
+        Number of exits.  Exits are attached to the *last* ``num_exits``
+        semantic blocks of the backbone (the final exit is always present).
+    mcd_layers_per_exit:
+        MC-dropout layers inserted into each exit head, counted from the exit
+        towards the input.  ``0`` disables MCD (non-Bayesian exits).
+    dropout_rate:
+        Bernoulli drop probability of every MCD layer.
+    exit_conv_channels:
+        Channels of the optional 3x3 convolution at the start of each
+        intermediate exit head (0 = plain pooling + linear head).
+    default_mc_samples:
+        Number of MC samples drawn when :meth:`MultiExitBayesNet.predict_mc`
+        is called without an explicit count (the paper uses 3 for the
+        hardware comparison).
+    use_original_final_head:
+        When true, the final exit reuses the architecture's original
+        classifier head; otherwise it uses the same lightweight head as the
+        intermediate exits.
+    filter_wise_dropout:
+        Whether MCD masks whole filters (paper default) or single elements.
+    seed:
+        Seed for weight initialization and MCD mask streams.
+    """
+
+    num_exits: int = 1
+    mcd_layers_per_exit: int = 1
+    dropout_rate: float = 0.25
+    exit_conv_channels: int = 0
+    default_mc_samples: int = 3
+    use_original_final_head: bool = True
+    filter_wise_dropout: bool = True
+    seed: int = 0
+    extra: dict = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if self.num_exits <= 0:
+            raise ValueError("num_exits must be positive")
+        if self.mcd_layers_per_exit < 0:
+            raise ValueError("mcd_layers_per_exit must be non-negative")
+        if not 0.0 <= self.dropout_rate < 1.0:
+            raise ValueError("dropout_rate must be in [0, 1)")
+        if self.default_mc_samples <= 0:
+            raise ValueError("default_mc_samples must be positive")
+
+    @property
+    def is_bayesian(self) -> bool:
+        return self.mcd_layers_per_exit > 0 and self.dropout_rate > 0.0
+
+
+class MultiExitBayesNet:
+    """Multi-exit MCD-based Bayesian neural network (see module docstring)."""
+
+    def __init__(self, spec: BackboneSpec, config: MultiExitConfig) -> None:
+        if config.num_exits > spec.num_blocks:
+            raise ValueError(
+                f"architecture {spec.name!r} has only {spec.num_blocks} blocks; "
+                f"cannot attach {config.num_exits} exits"
+            )
+        self.spec = spec
+        self.config = config
+        self.name = f"{spec.name}_me{config.num_exits}_mcd{config.mcd_layers_per_exit}"
+
+        # exits are attached to the last `num_exits` blocks (the final exit is
+        # always the end of the backbone)
+        self.exit_points: list[int] = list(spec.exit_points[-config.num_exits :])
+
+        self.backbone: Network = spec.backbone
+        self.backbone.build(spec.input_shape, seed=config.seed)
+
+        self.exits: list[Network] = []
+        for i, point in enumerate(self.exit_points):
+            feature_shape = (
+                self.backbone.layers[point - 1].output_shape
+                if point > 0
+                else spec.input_shape
+            )
+            is_final = i == len(self.exit_points) - 1
+            head_cfg = ExitHeadConfig(
+                num_classes=spec.num_classes,
+                conv_channels=0 if is_final else config.exit_conv_channels,
+                mcd_layers=config.mcd_layers_per_exit,
+                dropout_rate=config.dropout_rate,
+                filter_wise=config.filter_wise_dropout,
+            )
+            custom = (
+                spec.final_head_factory()
+                if (is_final and config.use_original_final_head)
+                else None
+            )
+            layers = build_exit_head(
+                head_cfg,
+                feature_shape,
+                name=f"exit{i}",
+                seed=config.seed * 1000 + i,
+                custom_layers=custom,
+            )
+            head = Network(layers, name=f"{spec.name}_exit{i}")
+            head.build(feature_shape, seed=config.seed + 17 * (i + 1))
+            self.exits.append(head)
+
+    # ------------------------------------------------------------------ #
+    # structure
+    # ------------------------------------------------------------------ #
+    @property
+    def num_exits(self) -> int:
+        return len(self.exits)
+
+    @property
+    def num_classes(self) -> int:
+        return self.spec.num_classes
+
+    @property
+    def input_shape(self) -> tuple[int, ...]:
+        return self.spec.input_shape
+
+    def parameters(self) -> Iterator[Parameter]:
+        yield from self.backbone.parameters()
+        for head in self.exits:
+            yield from head.parameters()
+
+    @property
+    def num_parameters(self) -> int:
+        return sum(p.size for p in self.parameters())
+
+    def zero_grad(self) -> None:
+        self.backbone.zero_grad()
+        for head in self.exits:
+            head.zero_grad()
+
+    def describe(self) -> dict:
+        """Structural description used by the hardware back-end."""
+        return {
+            "name": self.name,
+            "architecture": self.spec.name,
+            "input_shape": list(self.spec.input_shape),
+            "num_classes": self.spec.num_classes,
+            "num_exits": self.num_exits,
+            "exit_points": list(self.exit_points),
+            "mcd_layers_per_exit": self.config.mcd_layers_per_exit,
+            "dropout_rate": self.config.dropout_rate,
+            "backbone": self.backbone.describe(),
+            "exits": [head.describe() for head in self.exits],
+        }
+
+    # ------------------------------------------------------------------ #
+    # forward / backward (training)
+    # ------------------------------------------------------------------ #
+    def _segment_bounds(self) -> list[tuple[int, int]]:
+        bounds = []
+        prev = 0
+        for point in self.exit_points:
+            bounds.append((prev, point))
+            prev = point
+        return bounds
+
+    def backbone_activations(
+        self, x: np.ndarray, training: bool = False
+    ) -> list[np.ndarray]:
+        """Activation of the backbone at each exit point (computed once)."""
+        activations = []
+        out = x
+        for start, stop in self._segment_bounds():
+            out = self.backbone.forward_range(out, start, stop, training=training)
+            activations.append(out)
+        return activations
+
+    def forward_exits(self, x: np.ndarray, training: bool = False) -> list[np.ndarray]:
+        """Logits of every exit for one (stochastic, if MCD) forward pass."""
+        activations = self.backbone_activations(x, training=training)
+        return [
+            head.forward(act, training=training)
+            for head, act in zip(self.exits, activations)
+        ]
+
+    def backward_exits(self, grads: Sequence[np.ndarray]) -> np.ndarray:
+        """Back-propagate one logits-gradient per exit through the shared backbone.
+
+        Must be called right after :meth:`forward_exits` (layer caches are
+        reused).  Returns the gradient with respect to the network input.
+        """
+        if len(grads) != self.num_exits:
+            raise ValueError(
+                f"expected {self.num_exits} gradients, got {len(grads)}"
+            )
+        bounds = self._segment_bounds()
+        grad_back: np.ndarray | None = None
+        for i in reversed(range(self.num_exits)):
+            grad_head = self.exits[i].backward(grads[i])
+            total = grad_head if grad_back is None else grad_head + grad_back
+            start, stop = bounds[i]
+            grad_back = self.backbone.backward_range(total, start, stop)
+        return grad_back
+
+    # ------------------------------------------------------------------ #
+    # inference
+    # ------------------------------------------------------------------ #
+    def exit_probabilities(
+        self, x: np.ndarray, stochastic: bool | None = None
+    ) -> list[np.ndarray]:
+        """Per-exit predictive distributions for one forward pass.
+
+        ``stochastic=None`` uses MCD sampling when the model is Bayesian and
+        the deterministic expectation otherwise.
+        """
+        if stochastic is None:
+            stochastic = self.config.is_bayesian
+        activations = self.backbone_activations(x, training=False)
+        probs = []
+        for head, act in zip(self.exits, activations):
+            if stochastic:
+                logits = head.forward(act, training=False)
+            else:
+                logits = deterministic_forward(head, act)
+            probs.append(softmax(logits, axis=-1))
+        return probs
+
+    def predict_deterministic(self, x: np.ndarray) -> np.ndarray:
+        """Ensemble prediction with MCD replaced by its expectation."""
+        return exit_ensemble(self.exit_probabilities(x, stochastic=False))
+
+    def predict_mc(self, x: np.ndarray, num_samples: int | None = None) -> MCPrediction:
+        """Monte-Carlo prediction with cached backbone activations.
+
+        ``ceil(num_samples / num_exits)`` stochastic passes are run through
+        the exit heads only; each pass yields one sample per exit.  Samples
+        are interleaved round-robin across exits and truncated to exactly
+        ``num_samples``, so small sample counts still cover many exits.
+        """
+        if num_samples is None:
+            num_samples = self.config.default_mc_samples
+        if num_samples <= 0:
+            raise ValueError("num_samples must be positive")
+
+        activations = self.backbone_activations(x, training=False)
+        passes = math.ceil(num_samples / self.num_exits)
+
+        per_pass_exit_probs: list[list[np.ndarray]] = []
+        for _ in range(passes):
+            pass_probs = [
+                softmax(head.forward(act, training=False), axis=-1)
+                for head, act in zip(self.exits, activations)
+            ]
+            per_pass_exit_probs.append(pass_probs)
+
+        # round-robin over exits within each pass: e0p0, e1p0, ..., e0p1, ...
+        flat: list[np.ndarray] = []
+        for pass_probs in per_pass_exit_probs:
+            flat.extend(pass_probs)
+        sample_probs = np.stack(flat[:num_samples])
+        return MCPrediction(
+            mean_probs=sample_probs.mean(axis=0), sample_probs=sample_probs
+        )
+
+    def predict_proba(self, x: np.ndarray, num_samples: int | None = None) -> np.ndarray:
+        """Mean predictive distribution (MC if Bayesian, deterministic otherwise)."""
+        if self.config.is_bayesian:
+            return self.predict_mc(x, num_samples).mean_probs
+        return self.predict_deterministic(x)
+
+    def predict(self, x: np.ndarray, num_samples: int | None = None) -> np.ndarray:
+        """Predicted class labels."""
+        return self.predict_proba(x, num_samples).argmax(axis=1)
+
+    def early_exit_predict(
+        self, x: np.ndarray, threshold: float, use_ensemble: bool = True
+    ) -> EarlyExitResult:
+        """Confidence-based early exiting over the exits' predictions."""
+        probs = self.exit_probabilities(x)
+        return confidence_early_exit(probs, threshold, use_ensemble=use_ensemble)
+
+    # ------------------------------------------------------------------ #
+    # cost analysis
+    # ------------------------------------------------------------------ #
+    def flop_breakdown(self) -> FlopBreakdown:
+        """Backbone / per-exit FLOP split used by Eq. 1–3 and Table I."""
+        return FlopBreakdown(
+            backbone_flops=network_flops(self.backbone),
+            exit_flops=[network_flops(head) for head in self.exits],
+        )
+
+    def cumulative_exit_flops(self) -> list[float]:
+        """FLOPs needed to produce the prediction of exit ``i`` (for early exiting)."""
+        bounds = self._segment_bounds()
+        from .flops import layer_flops
+
+        costs = []
+        running_backbone = 0.0
+        for (start, stop), head in zip(bounds, self.exits):
+            running_backbone += sum(
+                layer_flops(layer) for layer in self.backbone.layers[start:stop]
+            )
+            costs.append(running_backbone + network_flops(head))
+        return costs
+
+    def sampling_flops(self, num_samples: int | None = None) -> float:
+        """FLOPs of one MC prediction (Eq. 2 with the implemented ceil)."""
+        if num_samples is None:
+            num_samples = self.config.default_mc_samples
+        return self.flop_breakdown().mc_sampling_flops(num_samples)

@@ -1,0 +1,166 @@
+"""Monte-Carlo-dropout sampling utilities.
+
+The building blocks here are architecture-agnostic:
+
+* :func:`insert_mcd_into_head` implements the paper's MCD-placement rule —
+  dropout layers are inserted *starting from the exit and moving towards the
+  input*, one in front of each of the last ``n`` parameterised layers.
+* :class:`MCSampler` runs repeated stochastic forward passes through a
+  network that contains :class:`~repro.nn.layers.MCDropout` layers, caching
+  the deterministic prefix so that only the stochastic suffix is recomputed
+  per sample (the same trick the hardware design exploits).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..nn.layers import Conv2D, Dense, Layer, MCDropout
+from ..nn.layers.activations import softmax
+from ..nn.model import Network
+
+__all__ = ["insert_mcd_into_head", "deterministic_forward", "MCSampler", "MCPrediction"]
+
+
+def insert_mcd_into_head(
+    layers: list[Layer],
+    num_mcd_layers: int,
+    dropout_rate: float,
+    filter_wise: bool = True,
+    seed: int | None = None,
+    name_prefix: str = "mcd",
+) -> list[Layer]:
+    """Insert MC-dropout layers in front of the last parameterised layers.
+
+    Parameters
+    ----------
+    layers:
+        The (unbuilt) layers of an exit head, in execution order.
+    num_mcd_layers:
+        How many MCD layers to insert.  ``0`` returns the layers unchanged
+        (the non-Bayesian multi-exit baseline).  If larger than the number of
+        parameterised layers in the head, one MCD layer is placed before each
+        parameterised layer.
+    dropout_rate:
+        The Bernoulli drop probability of every inserted layer.
+    """
+    if num_mcd_layers < 0:
+        raise ValueError("num_mcd_layers must be non-negative")
+    if num_mcd_layers == 0:
+        return list(layers)
+
+    parameterised = [
+        i for i, layer in enumerate(layers) if isinstance(layer, (Conv2D, Dense))
+    ]
+    if not parameterised:
+        raise ValueError("head has no parameterised layers to attach MCD to")
+
+    # choose insertion points from the exit (end of the list) backwards
+    targets = sorted(parameterised[-num_mcd_layers:])
+    out: list[Layer] = []
+    inserted = 0
+    for i, layer in enumerate(layers):
+        if i in targets:
+            out.append(
+                MCDropout(
+                    rate=dropout_rate,
+                    filter_wise=filter_wise,
+                    seed=None if seed is None else seed + inserted,
+                    name=f"{name_prefix}_{inserted}",
+                )
+            )
+            inserted += 1
+        out.append(layer)
+    return out
+
+
+def deterministic_forward(network: Network, x: np.ndarray) -> np.ndarray:
+    """Forward pass with every MC-dropout layer replaced by its expectation.
+
+    With inverted dropout the expectation of the MCD layer is the identity,
+    so this simply skips the stochastic masking.  Used for the non-Bayesian
+    point prediction that Table I's "SE"/"ME" rows rely on.
+    """
+    out = x
+    for layer in network.layers:
+        if isinstance(layer, MCDropout):
+            out = layer.deterministic_forward(out)
+        else:
+            out = layer.forward(out, training=False)
+    return out
+
+
+@dataclass
+class MCPrediction:
+    """Result of Monte-Carlo sampling.
+
+    Attributes
+    ----------
+    mean_probs:
+        Mean predictive distribution, shape ``(N, classes)``.
+    sample_probs:
+        Per-sample distributions, shape ``(S, N, classes)``.
+    """
+
+    mean_probs: np.ndarray
+    sample_probs: np.ndarray
+
+    @property
+    def num_samples(self) -> int:
+        return int(self.sample_probs.shape[0])
+
+    def predicted_labels(self) -> np.ndarray:
+        return self.mean_probs.argmax(axis=1)
+
+
+class MCSampler:
+    """Draw Monte-Carlo predictive samples from a network with MCD layers.
+
+    The sampler splits the network at its first stochastic layer: the
+    deterministic prefix is evaluated once and its activation cached, then
+    the stochastic suffix is re-evaluated ``num_samples`` times.  This is the
+    software analogue of the accelerator's cached-tensor clone step
+    (Figure 4 of the paper).
+    """
+
+    def __init__(self, network: Network, seed: int | None = None) -> None:
+        if not network.built:
+            raise ValueError("network must be built before sampling")
+        self.network = network
+        self.split_index = network.first_stochastic_index()
+        if seed is not None:
+            self.reseed(seed)
+
+    def reseed(self, seed: int) -> None:
+        """Reseed every MCD layer for reproducible sample sequences."""
+        for offset, idx in enumerate(self.network.stochastic_layer_indices()):
+            layer = self.network.layers[idx]
+            if isinstance(layer, MCDropout):
+                layer.reseed(seed + offset)
+
+    @property
+    def has_stochastic_layers(self) -> bool:
+        return self.split_index < len(self.network.layers)
+
+    def sample(self, x: np.ndarray, num_samples: int = 3) -> MCPrediction:
+        """Run ``num_samples`` stochastic passes and aggregate the predictions."""
+        if num_samples <= 0:
+            raise ValueError("num_samples must be positive")
+
+        cached = self.network.forward_range(x, 0, self.split_index, training=False)
+        n_layers = len(self.network.layers)
+
+        samples = []
+        for _ in range(num_samples):
+            logits = self.network.forward_range(
+                cached, self.split_index, n_layers, training=False
+            )
+            samples.append(softmax(logits, axis=-1))
+            if not self.has_stochastic_layers:
+                # deterministic network: all samples identical, stop early
+                samples = samples * num_samples
+                break
+        sample_probs = np.stack(samples[:num_samples])
+        return MCPrediction(mean_probs=sample_probs.mean(axis=0), sample_probs=sample_probs)

@@ -1,0 +1,21 @@
+"""Synthetic dataset generators and loaders (DESIGN.md §3.5)."""
+
+from .loaders import DataLoader
+from .synthetic import (
+    DatasetSplit,
+    SyntheticImageDataset,
+    cifar10_like,
+    cifar100_like,
+    mnist_like,
+    svhn_like,
+)
+
+__all__ = [
+    "DataLoader",
+    "DatasetSplit",
+    "SyntheticImageDataset",
+    "mnist_like",
+    "cifar10_like",
+    "cifar100_like",
+    "svhn_like",
+]

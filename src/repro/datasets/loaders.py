@@ -1,0 +1,54 @@
+"""Mini-batch loader over in-memory datasets."""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+import numpy as np
+
+from .synthetic import DatasetSplit
+
+__all__ = ["DataLoader"]
+
+
+class DataLoader:
+    """Iterate over a :class:`DatasetSplit` in mini-batches.
+
+    The loader is re-iterable; with ``shuffle=True`` each epoch uses a fresh
+    permutation drawn from an internal seeded generator, so full training
+    runs remain reproducible.
+    """
+
+    def __init__(
+        self,
+        split: DatasetSplit,
+        batch_size: int = 64,
+        shuffle: bool = True,
+        drop_last: bool = False,
+        seed: int = 0,
+    ) -> None:
+        if batch_size <= 0:
+            raise ValueError("batch_size must be positive")
+        self.split = split
+        self.batch_size = int(batch_size)
+        self.shuffle = bool(shuffle)
+        self.drop_last = bool(drop_last)
+        self._rng = np.random.default_rng(seed)
+
+    def __len__(self) -> int:
+        n = len(self.split)
+        if self.drop_last:
+            return n // self.batch_size
+        return (n + self.batch_size - 1) // self.batch_size
+
+    def __iter__(self) -> Iterator[tuple[np.ndarray, np.ndarray]]:
+        n = len(self.split)
+        indices = np.arange(n)
+        if self.shuffle:
+            self._rng.shuffle(indices)
+        stop = (n // self.batch_size) * self.batch_size if self.drop_last else n
+        for start in range(0, stop, self.batch_size):
+            batch = indices[start : start + self.batch_size]
+            if self.drop_last and len(batch) < self.batch_size:
+                break
+            yield self.split.x[batch], self.split.y[batch]

@@ -1,0 +1,165 @@
+"""Reference platforms for the Table II comparison.
+
+The paper compares its accelerator against published numbers: CPU and GPU
+implementations of MCD-based BayesNNs (quoted from TPDS'22) and four prior
+FPGA accelerators (VIBNN/ASPLOS'18, BYNQNET/DATE'20, DAC'21, TPDS'22).  This
+module records those published figures verbatim — they are comparison
+*inputs*, not something we re-measure — and additionally provides a simple
+analytical CPU/GPU model so new workloads can be projected onto those
+platforms for the what-if studies in the examples.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = [
+    "PlatformResult",
+    "PUBLISHED_BASELINES",
+    "cpu_gpu_projection",
+    "ProcessorModel",
+    "CPU_I9_9900K",
+    "GPU_RTX_2080",
+]
+
+
+@dataclass(frozen=True)
+class PlatformResult:
+    """One row of the Table II comparison."""
+
+    name: str
+    platform: str
+    frequency_mhz: float
+    technology_nm: int
+    power_w: float
+    latency_ms: float
+
+    @property
+    def energy_per_image_j(self) -> float:
+        """Energy per image in joules (power x latency)."""
+        return self.power_w * self.latency_ms / 1000.0
+
+    def as_row(self) -> dict:
+        return {
+            "name": self.name,
+            "platform": self.platform,
+            "frequency_mhz": self.frequency_mhz,
+            "technology_nm": self.technology_nm,
+            "power_w": self.power_w,
+            "latency_ms": self.latency_ms,
+            "energy_per_image_j": self.energy_per_image_j,
+        }
+
+
+#: Published comparison points quoted by the paper (Table II), keyed by the
+#: label used in the table.  Our own design is *not* in this dict — it is
+#: produced by the accelerator model at benchmark time.
+PUBLISHED_BASELINES: dict[str, PlatformResult] = {
+    "CPU": PlatformResult(
+        name="CPU",
+        platform="Intel Core i9-9900K",
+        frequency_mhz=3600.0,
+        technology_nm=14,
+        power_w=205.0,
+        latency_ms=1.26,
+    ),
+    "GPU": PlatformResult(
+        name="GPU",
+        platform="NVIDIA RTX 2080",
+        frequency_mhz=1545.0,
+        technology_nm=12,
+        power_w=236.0,
+        latency_ms=0.57,
+    ),
+    "ASPLOS18": PlatformResult(
+        name="ASPLOS'18 (VIBNN)",
+        platform="Altera Cyclone V",
+        frequency_mhz=213.0,
+        technology_nm=28,
+        power_w=6.11,
+        latency_ms=5.5,
+    ),
+    "DATE20": PlatformResult(
+        name="DATE'20 (BYNQNET)",
+        platform="Zynq XC7Z020",
+        frequency_mhz=200.0,
+        technology_nm=28,
+        power_w=2.76,
+        latency_ms=4.5,
+    ),
+    "DAC21": PlatformResult(
+        name="DAC'21",
+        platform="Arria 10 GX1150",
+        frequency_mhz=225.0,
+        technology_nm=20,
+        power_w=45.0,
+        latency_ms=0.42,
+    ),
+    "TPDS22": PlatformResult(
+        name="TPDS'22",
+        platform="Arria 10 GX1150",
+        frequency_mhz=220.0,
+        technology_nm=20,
+        power_w=43.6,
+        latency_ms=0.32,
+    ),
+}
+
+
+@dataclass(frozen=True)
+class ProcessorModel:
+    """Roofline-style model of a CPU/GPU running MCD-based BayesNN inference.
+
+    ``effective_gflops`` is the sustained throughput on small-batch CNN
+    inference (well below peak because MC sampling runs at batch size 1), and
+    ``average_power_w`` the package power during inference.
+    """
+
+    name: str
+    platform: str
+    frequency_mhz: float
+    technology_nm: int
+    effective_gflops: float
+    average_power_w: float
+    overhead_ms: float = 0.05
+
+    def project(self, total_flops: float) -> PlatformResult:
+        """Project latency/energy for a workload of ``total_flops`` FLOPs."""
+        if total_flops < 0:
+            raise ValueError("total_flops must be non-negative")
+        latency_ms = total_flops / (self.effective_gflops * 1e9) * 1000.0 + self.overhead_ms
+        return PlatformResult(
+            name=self.name,
+            platform=self.platform,
+            frequency_mhz=self.frequency_mhz,
+            technology_nm=self.technology_nm,
+            power_w=self.average_power_w,
+            latency_ms=latency_ms,
+        )
+
+
+CPU_I9_9900K = ProcessorModel(
+    name="CPU (projected)",
+    platform="Intel Core i9-9900K",
+    frequency_mhz=3600.0,
+    technology_nm=14,
+    effective_gflops=45.0,
+    average_power_w=205.0,
+)
+
+GPU_RTX_2080 = ProcessorModel(
+    name="GPU (projected)",
+    platform="NVIDIA RTX 2080",
+    frequency_mhz=1545.0,
+    technology_nm=12,
+    effective_gflops=350.0,
+    average_power_w=236.0,
+)
+
+
+def cpu_gpu_projection(total_flops: float) -> dict[str, PlatformResult]:
+    """Project a workload onto the CPU and GPU analytical models."""
+    return {
+        "CPU": CPU_I9_9900K.project(total_flops),
+        "GPU": GPU_RTX_2080.project(total_flops),
+    }

@@ -1,0 +1,139 @@
+"""FPGA device catalog.
+
+Resource capacities are taken from the public data sheets of the devices the
+paper and its baselines target.  The catalog is what the design-space
+exploration checks candidate accelerators against ("all the designs are
+optimized ... to ensure they can be fitted into the target platform").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["FPGADevice", "DEVICES", "get_device", "XCKU115"]
+
+
+@dataclass(frozen=True)
+class FPGADevice:
+    """Capacity and technology description of an FPGA part.
+
+    Attributes
+    ----------
+    bram_18k:
+        Number of 18 Kbit block-RAM units (Xilinx convention; Intel M20K
+        blocks are converted to an equivalent 18K count).
+    dsp:
+        Number of DSP slices / DSP blocks.
+    ff, lut:
+        Flip-flop and look-up-table capacity.
+    technology_nm:
+        Process node in nanometres.
+    max_clock_mhz:
+        Typical achievable clock for HLS dataflow designs on this part.
+    static_power_w:
+        Device static power at nominal operating conditions.
+    """
+
+    name: str
+    vendor: str
+    family: str
+    bram_18k: int
+    dsp: int
+    ff: int
+    lut: int
+    technology_nm: int
+    max_clock_mhz: float
+    static_power_w: float
+
+    def resource_capacity(self) -> dict[str, int]:
+        """Capacity as a dict keyed like :class:`repro.hw.resources.ResourceUsage`."""
+        return {"bram_18k": self.bram_18k, "dsp": self.dsp, "ff": self.ff, "lut": self.lut}
+
+
+XCKU115 = FPGADevice(
+    name="XCKU115",
+    vendor="Xilinx",
+    family="Kintex UltraScale",
+    bram_18k=4320,
+    dsp=5520,
+    ff=1326720,
+    lut=663360,
+    technology_nm=20,
+    max_clock_mhz=181.0,
+    static_power_w=1.299,
+)
+
+DEVICES: dict[str, FPGADevice] = {
+    "XCKU115": XCKU115,
+    "XC7Z020": FPGADevice(
+        name="XC7Z020",
+        vendor="Xilinx",
+        family="Zynq-7000",
+        bram_18k=280,
+        dsp=220,
+        ff=106400,
+        lut=53200,
+        technology_nm=28,
+        max_clock_mhz=200.0,
+        static_power_w=0.25,
+    ),
+    "CYCLONE_V": FPGADevice(
+        name="Cyclone V",
+        vendor="Intel",
+        family="Cyclone V SoC",
+        bram_18k=794,
+        dsp=112,
+        ff=128300,
+        lut=110000,
+        technology_nm=28,
+        max_clock_mhz=213.0,
+        static_power_w=0.5,
+    ),
+    "ARRIA10_GX1150": FPGADevice(
+        name="Arria 10 GX1150",
+        vendor="Intel",
+        family="Arria 10",
+        bram_18k=3036,
+        dsp=1518,
+        ff=1708800,
+        lut=854400,
+        technology_nm=20,
+        max_clock_mhz=225.0,
+        static_power_w=2.5,
+    ),
+    "ZCU102": FPGADevice(
+        name="ZCU102 (XCZU9EG)",
+        vendor="Xilinx",
+        family="Zynq UltraScale+",
+        bram_18k=1824,
+        dsp=2520,
+        ff=548160,
+        lut=274080,
+        technology_nm=16,
+        max_clock_mhz=300.0,
+        static_power_w=0.6,
+    ),
+}
+
+
+def get_device(name: str) -> FPGADevice:
+    """Look up a device by (case-insensitive) name."""
+    key = name.upper().replace(" ", "_").replace("-", "_")
+    aliases = {
+        "KINTEX_XCKU115": "XCKU115",
+        "XCKU115": "XCKU115",
+        "ZYNQ_XC7Z020": "XC7Z020",
+        "XC7Z020": "XC7Z020",
+        "CYCLONE_V": "CYCLONE_V",
+        "ALTERA_CYCLONE_V": "CYCLONE_V",
+        "ARRIA_10_GX1150": "ARRIA10_GX1150",
+        "ARRIA10_GX1150": "ARRIA10_GX1150",
+        "ZCU102": "ZCU102",
+    }
+    resolved = aliases.get(key, key)
+    try:
+        return DEVICES[resolved]
+    except KeyError as exc:
+        raise KeyError(
+            f"unknown device {name!r}; available: {sorted(DEVICES)}"
+        ) from exc

@@ -1,0 +1,13 @@
+"""HLS lowering: hardware IR, code generation and synthesis reports."""
+
+from .codegen import HLSCodeGenerator, generate_hls_project
+from .ir import HardwareIR, HWLayerNode
+from .report import SynthesisReport
+
+__all__ = [
+    "HardwareIR",
+    "HWLayerNode",
+    "HLSCodeGenerator",
+    "generate_hls_project",
+    "SynthesisReport",
+]

@@ -1,0 +1,66 @@
+"""Hardware-style uniform random number generation.
+
+The HLS implementation of the MCD layer (Algorithm 1) needs a uniform random
+number per element to compare against the keep rate.  On FPGA this is
+implemented with a linear-feedback shift register (LFSR); this module models
+a 32-bit Galois LFSR bit-exactly so the generated HLS code and the Python
+simulation of the accelerator share the same random stream semantics.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["GaloisLFSR", "lfsr_uniform_stream"]
+
+#: Taps of the maximal-length 32-bit Galois LFSR (x^32 + x^22 + x^2 + x^1 + 1).
+DEFAULT_TAPS = 0x80200003
+
+
+class GaloisLFSR:
+    """32-bit Galois linear-feedback shift register.
+
+    The register must be seeded with a non-zero value; the all-zeros state is
+    a fixed point of the recurrence and would produce a constant stream.
+    """
+
+    PERIOD = 2**32 - 1
+
+    def __init__(self, seed: int = 0xACE1, taps: int = DEFAULT_TAPS) -> None:
+        seed = int(seed) & 0xFFFFFFFF
+        if seed == 0:
+            raise ValueError("LFSR seed must be non-zero")
+        self.state = seed
+        self.taps = int(taps) & 0xFFFFFFFF
+
+    def next_word(self) -> int:
+        """Advance one step and return the new 32-bit state."""
+        lsb = self.state & 1
+        self.state >>= 1
+        if lsb:
+            self.state ^= self.taps
+        return self.state
+
+    def next_uniform(self) -> float:
+        """Uniform float in ``[0, 1)`` derived from the next state."""
+        return self.next_word() / 2**32
+
+    def uniform_array(self, size: int) -> np.ndarray:
+        """Array of ``size`` uniform samples (sequential LFSR draws)."""
+        if size < 0:
+            raise ValueError("size must be non-negative")
+        out = np.empty(size, dtype=np.float64)
+        for i in range(size):
+            out[i] = self.next_uniform()
+        return out
+
+    def bernoulli_keep_mask(self, size: int, keep_rate: float) -> np.ndarray:
+        """Binary keep-mask as produced by the HLS MCD layer's comparator."""
+        if not 0.0 <= keep_rate <= 1.0:
+            raise ValueError("keep_rate must be in [0, 1]")
+        return (self.uniform_array(size) <= keep_rate).astype(np.float64)
+
+
+def lfsr_uniform_stream(seed: int, count: int) -> np.ndarray:
+    """Convenience wrapper returning ``count`` uniforms from a fresh LFSR."""
+    return GaloisLFSR(seed).uniform_array(count)

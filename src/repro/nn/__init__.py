@@ -1,0 +1,36 @@
+"""NumPy neural-network substrate.
+
+This subpackage is a self-contained, from-scratch deep-learning stack (layers,
+models, losses, optimizers, trainers, reference architectures) that replaces
+the PyTorch/Keras dependency of the original paper.  See ``DESIGN.md`` §3.1.
+"""
+
+from . import architectures, layers
+from .losses import CrossEntropyLoss, DistillationLoss, MSELoss
+from .model import Network
+from .optimizers import Adam, CosineLR, SGD, StepLR
+from .training import (
+    DistillationTrainer,
+    Trainer,
+    TrainingHistory,
+    evaluate_classifier,
+    iterate_minibatches,
+)
+
+__all__ = [
+    "architectures",
+    "layers",
+    "Network",
+    "CrossEntropyLoss",
+    "DistillationLoss",
+    "MSELoss",
+    "SGD",
+    "Adam",
+    "StepLR",
+    "CosineLR",
+    "Trainer",
+    "DistillationTrainer",
+    "TrainingHistory",
+    "evaluate_classifier",
+    "iterate_minibatches",
+]

@@ -1,0 +1,100 @@
+"""Shared representation of backbone architectures.
+
+A :class:`BackboneSpec` describes a convolutional backbone together with the
+*exit points* where intermediate classifiers may be attached.  Following the
+paper (Section III), exit points are chosen by semantic grouping: the network
+is split into "blocks" separated by pooling layers (or, for ResNet, stages of
+residual blocks), and one exit can be attached after each block.
+
+The spec deliberately keeps the backbone *unbuilt* so that downstream code —
+the multi-exit constructor, the FLOP analyzer, and the hardware design-space
+exploration (which rescales channel counts) — can all instantiate it lazily.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable
+
+from ..layers.base import Layer
+from ..model import Network
+
+__all__ = ["BackboneSpec", "scale_channels"]
+
+
+def scale_channels(channels: int, multiplier: float, minimum: int = 4) -> int:
+    """Scale a channel count, keeping it a positive integer.
+
+    Used both to shrink models for the laptop-scale experiments and by the
+    algorithm–hardware co-exploration, which searches channel counts in
+    ``{C, C/2, C/4, C/8}``.
+    """
+    if channels <= 0:
+        raise ValueError("channels must be positive")
+    if multiplier <= 0:
+        raise ValueError("multiplier must be positive")
+    return max(minimum, int(round(channels * multiplier)))
+
+
+@dataclass
+class BackboneSpec:
+    """A backbone network plus the metadata needed to attach exits.
+
+    Attributes
+    ----------
+    name:
+        Human-readable architecture name (e.g. ``"resnet18"``).
+    backbone:
+        Unbuilt :class:`~repro.nn.model.Network` containing the feature
+        extractor (no classifier head).
+    exit_points:
+        Layer indices ``p`` such that ``backbone.forward_range(x, 0, p)`` is
+        the activation fed to exit ``i``.  The last entry always equals
+        ``len(backbone.layers)`` (the final exit uses the full backbone).
+    input_shape:
+        Per-sample input shape ``(C, H, W)``.
+    num_classes:
+        Number of output classes.
+    final_head_factory:
+        Zero-argument callable returning the (unbuilt) list of layers for the
+        architecture's original classifier head.
+    """
+
+    name: str
+    backbone: Network
+    exit_points: list[int]
+    input_shape: tuple[int, int, int]
+    num_classes: int
+    final_head_factory: Callable[[], list[Layer]]
+    metadata: dict = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if not self.exit_points:
+            raise ValueError("exit_points must not be empty")
+        if sorted(self.exit_points) != list(self.exit_points):
+            raise ValueError("exit_points must be increasing")
+        if self.exit_points[-1] != len(self.backbone.layers):
+            raise ValueError(
+                "the last exit point must be the end of the backbone "
+                f"({len(self.backbone.layers)}), got {self.exit_points[-1]}"
+            )
+
+    @property
+    def num_blocks(self) -> int:
+        """Number of semantic blocks (= maximum number of exits)."""
+        return len(self.exit_points)
+
+    def single_exit_network(self, seed: int = 0, name: str | None = None) -> Network:
+        """Compose backbone + original classifier into a built single-exit network.
+
+        This is the non-Bayesian, single-exit baseline ("SE" in Table I) and
+        is also the network handed to the hardware back-end for the
+        Bayes-LeNet / Bayes-VGG / Bayes-ResNet accelerator experiments.
+        """
+        net = Network(name=name or f"{self.name}_se")
+        for layer in self.backbone.layers:
+            net.add(layer)
+        for layer in self.final_head_factory():
+            net.add(layer)
+        net.build(self.input_shape, seed=seed)
+        return net

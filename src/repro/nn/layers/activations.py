@@ -1,0 +1,53 @@
+"""Activation layers and the softmax output head."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .base import Layer
+
+__all__ = ["ReLU", "Softmax", "softmax", "log_softmax"]
+
+
+def softmax(logits: np.ndarray, axis: int = -1) -> np.ndarray:
+    """Numerically-stable softmax."""
+    shifted = logits - logits.max(axis=axis, keepdims=True)
+    exp = np.exp(shifted)
+    return exp / exp.sum(axis=axis, keepdims=True)
+
+
+def log_softmax(logits: np.ndarray, axis: int = -1) -> np.ndarray:
+    """Numerically-stable log-softmax."""
+    shifted = logits - logits.max(axis=axis, keepdims=True)
+    return shifted - np.log(np.exp(shifted).sum(axis=axis, keepdims=True))
+
+
+class ReLU(Layer):
+    """Rectified linear activation."""
+
+    def forward(self, x: np.ndarray, training: bool = False) -> np.ndarray:
+        self._mask = x > 0
+        return x * self._mask
+
+    def backward(self, grad_output: np.ndarray) -> np.ndarray:
+        return grad_output * self._mask
+
+
+class Softmax(Layer):
+    """Softmax activation over the last axis.
+
+    The backward pass implements the full softmax Jacobian so the layer can
+    be used standalone; in practice the cross-entropy loss in
+    :mod:`repro.nn.losses` works on logits and folds the softmax derivative
+    into the loss gradient for numerical stability.
+    """
+
+    def forward(self, x: np.ndarray, training: bool = False) -> np.ndarray:
+        out = softmax(x, axis=-1)
+        self._out = out
+        return out
+
+    def backward(self, grad_output: np.ndarray) -> np.ndarray:
+        s = self._out
+        dot = (grad_output * s).sum(axis=-1, keepdims=True)
+        return s * (grad_output - dot)

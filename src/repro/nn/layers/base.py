@@ -1,0 +1,131 @@
+"""Base class shared by every layer in the NumPy substrate.
+
+A :class:`Layer` is a stateful object with a ``forward`` / ``backward`` pair.
+Shapes exclude the batch dimension: ``input_shape`` and ``output_shape`` are
+per-sample shapes such as ``(C, H, W)`` or ``(features,)``.  Layers must be
+``build()``-able from their input shape so that architectures can be described
+symbolically (channel counts, kernel sizes) and instantiated lazily; this is
+what lets the hardware back-end reason about the same architecture without
+allocating weights.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+import numpy as np
+
+__all__ = ["Layer", "Parameter"]
+
+
+class Parameter:
+    """A trainable tensor together with its gradient accumulator."""
+
+    def __init__(self, value: np.ndarray, name: str = "param") -> None:
+        self.name = name
+        self.value = np.asarray(value, dtype=np.float64)
+        self.grad = np.zeros_like(self.value)
+
+    @property
+    def shape(self) -> tuple[int, ...]:
+        return self.value.shape
+
+    @property
+    def size(self) -> int:
+        return int(self.value.size)
+
+    def zero_grad(self) -> None:
+        self.grad[...] = 0.0
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging helper
+        return f"Parameter(name={self.name!r}, shape={self.shape})"
+
+
+class Layer:
+    """Common interface for all layers.
+
+    Subclasses implement :meth:`build`, :meth:`forward` and :meth:`backward`.
+    ``forward`` must stash whatever it needs for ``backward`` on ``self``.
+    """
+
+    #: whether the layer behaves stochastically at inference time
+    #: (only Monte-Carlo dropout layers set this to True).
+    stochastic: bool = False
+
+    def __init__(self, name: str | None = None) -> None:
+        self.name = name or self.__class__.__name__.lower()
+        self.built = False
+        self.input_shape: tuple[int, ...] | None = None
+        self.output_shape: tuple[int, ...] | None = None
+        self._params: dict[str, Parameter] = {}
+
+    # ------------------------------------------------------------------ #
+    # construction
+    # ------------------------------------------------------------------ #
+    def build(self, input_shape: tuple[int, ...], rng: np.random.Generator) -> None:
+        """Allocate parameters for the given per-sample input shape."""
+        self.input_shape = tuple(input_shape)
+        self.output_shape = self.compute_output_shape(self.input_shape)
+        self.built = True
+
+    def compute_output_shape(self, input_shape: tuple[int, ...]) -> tuple[int, ...]:
+        """Return the per-sample output shape without allocating parameters."""
+        return tuple(input_shape)
+
+    def add_parameter(self, name: str, value: np.ndarray) -> Parameter:
+        param = Parameter(value, name=f"{self.name}.{name}")
+        self._params[name] = param
+        return param
+
+    # ------------------------------------------------------------------ #
+    # computation
+    # ------------------------------------------------------------------ #
+    def forward(self, x: np.ndarray, training: bool = False) -> np.ndarray:
+        raise NotImplementedError
+
+    def backward(self, grad_output: np.ndarray) -> np.ndarray:
+        raise NotImplementedError
+
+    def __call__(self, x: np.ndarray, training: bool = False) -> np.ndarray:
+        if not self.built:
+            raise RuntimeError(
+                f"layer {self.name!r} must be built before it is called"
+            )
+        return self.forward(x, training=training)
+
+    # ------------------------------------------------------------------ #
+    # parameter access
+    # ------------------------------------------------------------------ #
+    def parameters(self) -> Iterator[Parameter]:
+        """Iterate over the layer's trainable parameters."""
+        yield from self._params.values()
+
+    def get_parameter(self, name: str) -> Parameter:
+        return self._params[name]
+
+    @property
+    def num_parameters(self) -> int:
+        return sum(p.size for p in self._params.values())
+
+    def zero_grad(self) -> None:
+        for p in self._params.values():
+            p.zero_grad()
+
+    # ------------------------------------------------------------------ #
+    # description (used by FLOP counting and the hardware back-end)
+    # ------------------------------------------------------------------ #
+    def describe(self) -> dict:
+        """Return a JSON-serialisable description of the layer."""
+        return {
+            "type": self.__class__.__name__,
+            "name": self.name,
+            "input_shape": list(self.input_shape) if self.input_shape else None,
+            "output_shape": list(self.output_shape) if self.output_shape else None,
+            "parameters": self.num_parameters,
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging helper
+        return (
+            f"{self.__class__.__name__}(name={self.name!r}, "
+            f"in={self.input_shape}, out={self.output_shape})"
+        )

@@ -1,0 +1,67 @@
+"""Fully-connected (dense) layer."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..initializers import Initializer, Zeros, get_initializer
+from .base import Layer
+
+__all__ = ["Dense"]
+
+
+class Dense(Layer):
+    """Affine transform ``y = x W + b`` over 2-D ``(N, features)`` inputs."""
+
+    def __init__(
+        self,
+        units: int,
+        use_bias: bool = True,
+        weight_initializer: str | Initializer = "he_normal",
+        name: str | None = None,
+    ) -> None:
+        super().__init__(name=name)
+        if units <= 0:
+            raise ValueError("units must be positive")
+        self.units = int(units)
+        self.use_bias = use_bias
+        self.weight_initializer = get_initializer(weight_initializer)
+        self._bias_initializer = Zeros()
+
+    def compute_output_shape(self, input_shape: tuple[int, ...]) -> tuple[int, ...]:
+        if len(input_shape) != 1:
+            raise ValueError(
+                f"Dense expects a flat (features,) input, got {input_shape}; "
+                "insert a Flatten layer first"
+            )
+        return (self.units,)
+
+    def build(self, input_shape: tuple[int, ...], rng: np.random.Generator) -> None:
+        super().build(input_shape, rng)
+        in_features = input_shape[0]
+        self.weight = self.add_parameter(
+            "weight", self.weight_initializer((in_features, self.units), rng)
+        )
+        if self.use_bias:
+            self.bias = self.add_parameter(
+                "bias", self._bias_initializer((self.units,), rng)
+            )
+
+    def forward(self, x: np.ndarray, training: bool = False) -> np.ndarray:
+        self._cache = x
+        out = x @ self.weight.value
+        if self.use_bias:
+            out = out + self.bias.value
+        return out
+
+    def backward(self, grad_output: np.ndarray) -> np.ndarray:
+        x = self._cache
+        self.weight.grad += x.T @ grad_output
+        if self.use_bias:
+            self.bias.grad += grad_output.sum(axis=0)
+        return grad_output @ self.weight.value.T
+
+    def describe(self) -> dict:
+        info = super().describe()
+        info.update({"units": self.units, "use_bias": self.use_bias})
+        return info

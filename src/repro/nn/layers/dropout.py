@@ -1,0 +1,112 @@
+"""Dropout layers: standard (training-only) and Monte-Carlo dropout.
+
+The paper implements Monte-Carlo dropout (MCD) as a *filter-wise* Bernoulli
+mask applied to the output feature maps of a layer (Section II-A): for a
+layer with :math:`F_i` filters, the mask :math:`M_i` has one Bernoulli draw
+per filter.  Unlike conventional dropout, the MCD layer stays stochastic at
+inference time — that is exactly what produces distinct Monte-Carlo samples.
+
+Both layers use *inverted* dropout scaling (surviving activations are scaled
+by ``1 / keep_prob``) so that the expected activation magnitude is preserved
+and no rescaling is needed at evaluation time.  The generated HLS code in
+:mod:`repro.hw.hls` instead follows the paper's Algorithm 1 verbatim.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .base import Layer
+
+__all__ = ["Dropout", "MCDropout"]
+
+
+class _DropoutBase(Layer):
+    """Shared mask-generation logic for dropout variants."""
+
+    def __init__(
+        self,
+        rate: float = 0.5,
+        filter_wise: bool = True,
+        seed: int | None = None,
+        name: str | None = None,
+    ) -> None:
+        super().__init__(name=name)
+        if not 0.0 <= rate < 1.0:
+            raise ValueError(f"dropout rate must be in [0, 1), got {rate}")
+        self.rate = float(rate)
+        self.filter_wise = bool(filter_wise)
+        self._rng = np.random.default_rng(seed)
+
+    def reseed(self, seed: int) -> None:
+        """Reset the mask RNG, making subsequent masks reproducible."""
+        self._rng = np.random.default_rng(seed)
+
+    @property
+    def keep_prob(self) -> float:
+        return 1.0 - self.rate
+
+    def _sample_mask(self, x: np.ndarray) -> np.ndarray:
+        """Sample a Bernoulli keep-mask broadcastable to ``x``."""
+        if self.filter_wise and x.ndim == 4:
+            shape = (x.shape[0], x.shape[1], 1, 1)
+        elif self.filter_wise and x.ndim == 2:
+            shape = x.shape
+        else:
+            shape = x.shape
+        return (self._rng.random(shape) < self.keep_prob).astype(x.dtype)
+
+    def _apply(self, x: np.ndarray) -> np.ndarray:
+        if self.rate == 0.0:
+            self._mask = np.ones((1,) * x.ndim, dtype=x.dtype)
+            return x
+        mask = self._sample_mask(x)
+        self._mask = mask / self.keep_prob
+        return x * self._mask
+
+    def backward(self, grad_output: np.ndarray) -> np.ndarray:
+        return grad_output * self._mask
+
+    def describe(self) -> dict:
+        info = super().describe()
+        info.update(
+            {
+                "rate": self.rate,
+                "filter_wise": self.filter_wise,
+                "stochastic_at_inference": self.stochastic,
+            }
+        )
+        return info
+
+
+class Dropout(_DropoutBase):
+    """Conventional dropout: active during training, identity at inference."""
+
+    def forward(self, x: np.ndarray, training: bool = False) -> np.ndarray:
+        if not training:
+            self._mask = np.ones((1,) * x.ndim, dtype=x.dtype)
+            return x
+        return self._apply(x)
+
+
+class MCDropout(_DropoutBase):
+    """Monte-Carlo dropout: stochastic during both training and inference.
+
+    Running the same input through a network containing ``MCDropout`` layers
+    multiple times yields distinct samples from the approximate posterior
+    predictive distribution (Gal & Ghahramani, 2016).
+    """
+
+    stochastic = True
+
+    def forward(self, x: np.ndarray, training: bool = False) -> np.ndarray:
+        return self._apply(x)
+
+    def deterministic_forward(self, x: np.ndarray) -> np.ndarray:
+        """Forward pass with dropout disabled (expected-value approximation).
+
+        Used when a single deterministic prediction is required, e.g. when
+        comparing against the non-Bayesian baseline.
+        """
+        self._mask = np.ones((1,) * x.ndim, dtype=x.dtype)
+        return x

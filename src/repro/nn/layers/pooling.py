@@ -1,0 +1,117 @@
+"""Pooling layers: max, average, and global average pooling."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..tensor import conv_output_size, im2col, col2im
+from .base import Layer
+
+__all__ = ["MaxPool2D", "AvgPool2D", "GlobalAvgPool2D"]
+
+
+class _Pool2D(Layer):
+    """Shared machinery for spatial pooling over NCHW inputs."""
+
+    def __init__(
+        self, pool_size: int = 2, stride: int | None = None, name: str | None = None
+    ) -> None:
+        super().__init__(name=name)
+        if pool_size <= 0:
+            raise ValueError("pool_size must be positive")
+        self.pool_size = int(pool_size)
+        self.stride = int(stride) if stride is not None else int(pool_size)
+
+    def compute_output_shape(self, input_shape: tuple[int, ...]) -> tuple[int, ...]:
+        if len(input_shape) != 3:
+            raise ValueError(f"pooling expects (C, H, W) input, got {input_shape}")
+        c, h, w = input_shape
+        out_h = conv_output_size(h, self.pool_size, self.stride, 0)
+        out_w = conv_output_size(w, self.pool_size, self.stride, 0)
+        return (c, out_h, out_w)
+
+    def _to_cols(self, x: np.ndarray) -> np.ndarray:
+        n, c, _, _ = x.shape
+        _, out_h, out_w = self.output_shape
+        cols = im2col(x, self.pool_size, self.pool_size, self.stride, 0)
+        return cols.reshape(n * out_h * out_w, c, self.pool_size * self.pool_size)
+
+    def describe(self) -> dict:
+        info = super().describe()
+        info.update({"pool_size": self.pool_size, "stride": self.stride})
+        return info
+
+
+class MaxPool2D(_Pool2D):
+    """Max pooling over non-overlapping (or strided) windows."""
+
+    def forward(self, x: np.ndarray, training: bool = False) -> np.ndarray:
+        n, c, _, _ = x.shape
+        _, out_h, out_w = self.output_shape
+        cols = self._to_cols(x)
+        argmax = cols.argmax(axis=2)
+        out = cols.max(axis=2)
+        self._cache = (x.shape, argmax)
+        return out.reshape(n, out_h, out_w, c).transpose(0, 3, 1, 2)
+
+    def backward(self, grad_output: np.ndarray) -> np.ndarray:
+        x_shape, argmax = self._cache
+        n, c, _, _ = x_shape
+        _, out_h, out_w = self.output_shape
+        window = self.pool_size * self.pool_size
+
+        grad_cols = np.zeros((n * out_h * out_w, c, window), dtype=grad_output.dtype)
+        flat_grad = grad_output.transpose(0, 2, 3, 1).reshape(n * out_h * out_w, c)
+        rows = np.arange(grad_cols.shape[0])[:, None]
+        channels = np.arange(c)[None, :]
+        grad_cols[rows, channels, argmax] = flat_grad
+
+        grad_cols = grad_cols.reshape(n * out_h * out_w, c * window)
+        return col2im(
+            grad_cols, x_shape, self.pool_size, self.pool_size, self.stride, 0
+        )
+
+
+class AvgPool2D(_Pool2D):
+    """Average pooling over spatial windows."""
+
+    def forward(self, x: np.ndarray, training: bool = False) -> np.ndarray:
+        n, c, _, _ = x.shape
+        _, out_h, out_w = self.output_shape
+        cols = self._to_cols(x)
+        out = cols.mean(axis=2)
+        self._cache = x.shape
+        return out.reshape(n, out_h, out_w, c).transpose(0, 3, 1, 2)
+
+    def backward(self, grad_output: np.ndarray) -> np.ndarray:
+        x_shape = self._cache
+        n, c, _, _ = x_shape
+        _, out_h, out_w = self.output_shape
+        window = self.pool_size * self.pool_size
+
+        flat_grad = grad_output.transpose(0, 2, 3, 1).reshape(n * out_h * out_w, c)
+        grad_cols = np.repeat(flat_grad[:, :, None] / window, window, axis=2)
+        grad_cols = grad_cols.reshape(n * out_h * out_w, c * window)
+        return col2im(
+            grad_cols, x_shape, self.pool_size, self.pool_size, self.stride, 0
+        )
+
+
+class GlobalAvgPool2D(Layer):
+    """Global average pooling; collapses (C, H, W) to (C,)."""
+
+    def compute_output_shape(self, input_shape: tuple[int, ...]) -> tuple[int, ...]:
+        if len(input_shape) != 3:
+            raise ValueError(
+                f"GlobalAvgPool2D expects (C, H, W) input, got {input_shape}"
+            )
+        return (input_shape[0],)
+
+    def forward(self, x: np.ndarray, training: bool = False) -> np.ndarray:
+        self._cache = x.shape
+        return x.mean(axis=(2, 3))
+
+    def backward(self, grad_output: np.ndarray) -> np.ndarray:
+        n, c, h, w = self._cache
+        grad = grad_output[:, :, None, None] / (h * w)
+        return np.broadcast_to(grad, (n, c, h, w)).copy()

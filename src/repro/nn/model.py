@@ -1,0 +1,216 @@
+"""Sequential network container.
+
+:class:`Network` is a simple ordered list of layers with utilities that the
+rest of the repository relies on:
+
+* **partial forward passes** (``forward_range``) so that the multi-exit
+  Bayesian model can cache the deterministic backbone activation and re-run
+  only the stochastic exit heads for each Monte-Carlo sample;
+* **named layers** and structural ``describe()`` output consumed by the FLOP
+  analyzer and the FPGA hardware back-end;
+* **parameter snapshots** (``get_weights`` / ``set_weights``) used by the
+  quantizer, the deep-ensemble baseline, and the tests.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Sequence
+
+import numpy as np
+
+from .layers.base import Layer, Parameter
+
+__all__ = ["Network"]
+
+
+class Network:
+    """An ordered container of layers forming a feed-forward network."""
+
+    def __init__(self, layers: Sequence[Layer] | None = None, name: str = "network") -> None:
+        self.name = name
+        self.layers: list[Layer] = list(layers) if layers else []
+        self.built = False
+        self.input_shape: tuple[int, ...] | None = None
+
+    # ------------------------------------------------------------------ #
+    # construction
+    # ------------------------------------------------------------------ #
+    def add(self, layer: Layer) -> "Network":
+        """Append a layer; returns self for chaining."""
+        if self.built:
+            raise RuntimeError("cannot add layers after the network is built")
+        self.layers.append(layer)
+        return self
+
+    def build(self, input_shape: tuple[int, ...], seed: int = 0) -> "Network":
+        """Build every layer for the given per-sample input shape."""
+        rng = np.random.default_rng(seed)
+        shape = tuple(input_shape)
+        self.input_shape = shape
+        self._ensure_unique_names()
+        for layer in self.layers:
+            layer.build(shape, rng)
+            shape = layer.output_shape
+        self.built = True
+        return self
+
+    def _ensure_unique_names(self) -> None:
+        seen: dict[str, int] = {}
+        for layer in self.layers:
+            base = layer.name
+            if base in seen:
+                seen[base] += 1
+                layer.name = f"{base}_{seen[base]}"
+            else:
+                seen[base] = 0
+
+    @property
+    def output_shape(self) -> tuple[int, ...]:
+        if not self.built:
+            raise RuntimeError("network is not built")
+        return self.layers[-1].output_shape if self.layers else self.input_shape
+
+    # ------------------------------------------------------------------ #
+    # computation
+    # ------------------------------------------------------------------ #
+    def forward(self, x: np.ndarray, training: bool = False) -> np.ndarray:
+        """Run the full network."""
+        return self.forward_range(x, 0, len(self.layers), training=training)
+
+    def forward_range(
+        self,
+        x: np.ndarray,
+        start: int,
+        stop: int,
+        training: bool = False,
+    ) -> np.ndarray:
+        """Run layers ``[start, stop)`` on ``x``.
+
+        This is the primitive behind cached-backbone Monte-Carlo sampling:
+        the deterministic prefix is evaluated once, and only the stochastic
+        suffix is re-evaluated per sample.
+        """
+        if not self.built:
+            raise RuntimeError("network must be built before calling forward")
+        if not 0 <= start <= stop <= len(self.layers):
+            raise IndexError(
+                f"invalid layer range [{start}, {stop}) for {len(self.layers)} layers"
+            )
+        out = x
+        for layer in self.layers[start:stop]:
+            out = layer.forward(out, training=training)
+        return out
+
+    def backward(self, grad_output: np.ndarray) -> np.ndarray:
+        """Back-propagate through the full network (after a forward pass)."""
+        return self.backward_range(grad_output, 0, len(self.layers))
+
+    def backward_range(
+        self, grad_output: np.ndarray, start: int, stop: int
+    ) -> np.ndarray:
+        """Back-propagate through layers ``[start, stop)`` in reverse order."""
+        grad = grad_output
+        for layer in reversed(self.layers[start:stop]):
+            grad = layer.backward(grad)
+        return grad
+
+    def predict(self, x: np.ndarray) -> np.ndarray:
+        """Inference-mode forward pass (no dropout except MC dropout)."""
+        return self.forward(x, training=False)
+
+    def __call__(self, x: np.ndarray, training: bool = False) -> np.ndarray:
+        return self.forward(x, training=training)
+
+    # ------------------------------------------------------------------ #
+    # parameters
+    # ------------------------------------------------------------------ #
+    def parameters(self) -> Iterator[Parameter]:
+        for layer in self.layers:
+            yield from layer.parameters()
+
+    @property
+    def num_parameters(self) -> int:
+        return sum(p.size for p in self.parameters())
+
+    def zero_grad(self) -> None:
+        for layer in self.layers:
+            layer.zero_grad()
+
+    def get_weights(self) -> list[np.ndarray]:
+        """Return copies of every parameter value, in deterministic order."""
+        return [p.value.copy() for p in self.parameters()]
+
+    def set_weights(self, weights: Sequence[np.ndarray]) -> None:
+        """Load parameter values previously obtained from :meth:`get_weights`."""
+        params = list(self.parameters())
+        if len(params) != len(weights):
+            raise ValueError(
+                f"weight count mismatch: network has {len(params)} parameters, "
+                f"got {len(weights)}"
+            )
+        for param, value in zip(params, weights):
+            value = np.asarray(value, dtype=np.float64)
+            if param.value.shape != value.shape:
+                raise ValueError(
+                    f"shape mismatch for {param.name}: "
+                    f"{param.value.shape} vs {value.shape}"
+                )
+            param.value[...] = value
+
+    # ------------------------------------------------------------------ #
+    # structure / introspection
+    # ------------------------------------------------------------------ #
+    def layer_index(self, name: str) -> int:
+        """Return the index of the layer with the given name."""
+        for i, layer in enumerate(self.layers):
+            if layer.name == name:
+                return i
+        raise KeyError(f"no layer named {name!r}")
+
+    def get_layer(self, name: str) -> Layer:
+        return self.layers[self.layer_index(name)]
+
+    def stochastic_layer_indices(self) -> list[int]:
+        """Indices of layers that are stochastic at inference time (MCD)."""
+        return [i for i, layer in enumerate(self.layers) if layer.stochastic]
+
+    def first_stochastic_index(self) -> int:
+        """Index of the first MC-dropout layer, or ``len(layers)`` if none.
+
+        Everything before this index is deterministic at inference time and
+        can therefore be cached across Monte-Carlo samples.
+        """
+        indices = self.stochastic_layer_indices()
+        return indices[0] if indices else len(self.layers)
+
+    def describe(self) -> dict:
+        """Structural description used by FLOP counting and HW lowering."""
+        return {
+            "name": self.name,
+            "input_shape": list(self.input_shape) if self.input_shape else None,
+            "num_parameters": self.num_parameters if self.built else None,
+            "layers": [layer.describe() for layer in self.layers],
+        }
+
+    def summary(self) -> str:
+        """Human-readable table of layers, shapes and parameter counts."""
+        if not self.built:
+            raise RuntimeError("build the network before calling summary()")
+        lines = [f"Network: {self.name}  (input {self.input_shape})"]
+        header = f"{'#':>3}  {'layer':<28} {'type':<16} {'output shape':<18} {'params':>10}"
+        lines.append(header)
+        lines.append("-" * len(header))
+        for i, layer in enumerate(self.layers):
+            lines.append(
+                f"{i:>3}  {layer.name:<28} {layer.__class__.__name__:<16} "
+                f"{str(layer.output_shape):<18} {layer.num_parameters:>10}"
+            )
+        lines.append("-" * len(header))
+        lines.append(f"total parameters: {self.num_parameters}")
+        return "\n".join(lines)
+
+    def __len__(self) -> int:
+        return len(self.layers)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging helper
+        return f"Network(name={self.name!r}, layers={len(self.layers)})"

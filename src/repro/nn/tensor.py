@@ -1,0 +1,164 @@
+"""Tensor manipulation helpers for the NumPy neural-network substrate.
+
+All convolution layers in :mod:`repro.nn` use the ``NCHW`` layout
+(batch, channels, height, width).  The helpers in this module implement the
+im2col / col2im lowering used by :class:`repro.nn.layers.conv.Conv2D` so that
+convolutions reduce to a single matrix multiplication, which keeps the pure
+NumPy implementation fast enough for the scaled-down experiments in this
+repository.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = [
+    "pad_input",
+    "conv_output_size",
+    "im2col",
+    "col2im",
+    "one_hot",
+]
+
+
+def conv_output_size(size: int, kernel: int, stride: int, padding: int) -> int:
+    """Return the spatial output size of a convolution / pooling window.
+
+    Parameters
+    ----------
+    size:
+        Input spatial size (height or width).
+    kernel:
+        Kernel size along the same dimension.
+    stride:
+        Stride along the same dimension.
+    padding:
+        Zero padding applied symmetrically to both sides.
+    """
+    if size <= 0:
+        raise ValueError(f"input size must be positive, got {size}")
+    if kernel <= 0 or stride <= 0:
+        raise ValueError("kernel and stride must be positive")
+    out = (size + 2 * padding - kernel) // stride + 1
+    if out <= 0:
+        raise ValueError(
+            f"convolution produces non-positive output size "
+            f"(size={size}, kernel={kernel}, stride={stride}, padding={padding})"
+        )
+    return out
+
+
+def pad_input(x: np.ndarray, padding: int) -> np.ndarray:
+    """Zero-pad the spatial dimensions of an NCHW tensor."""
+    if padding == 0:
+        return x
+    if padding < 0:
+        raise ValueError("padding must be non-negative")
+    return np.pad(
+        x,
+        ((0, 0), (0, 0), (padding, padding), (padding, padding)),
+        mode="constant",
+    )
+
+
+def im2col(
+    x: np.ndarray,
+    kernel_h: int,
+    kernel_w: int,
+    stride: int = 1,
+    padding: int = 0,
+) -> np.ndarray:
+    """Rearrange image patches into columns.
+
+    Parameters
+    ----------
+    x:
+        Input of shape ``(N, C, H, W)``.
+    kernel_h, kernel_w:
+        Kernel height and width.
+    stride:
+        Convolution stride.
+    padding:
+        Symmetric zero padding.
+
+    Returns
+    -------
+    np.ndarray
+        Matrix of shape ``(N * out_h * out_w, C * kernel_h * kernel_w)``.
+    """
+    n, c, h, w = x.shape
+    out_h = conv_output_size(h, kernel_h, stride, padding)
+    out_w = conv_output_size(w, kernel_w, stride, padding)
+
+    img = pad_input(x, padding)
+    cols = np.zeros((n, c, kernel_h, kernel_w, out_h, out_w), dtype=x.dtype)
+
+    for ky in range(kernel_h):
+        y_max = ky + stride * out_h
+        for kx in range(kernel_w):
+            x_max = kx + stride * out_w
+            cols[:, :, ky, kx, :, :] = img[:, :, ky:y_max:stride, kx:x_max:stride]
+
+    return cols.transpose(0, 4, 5, 1, 2, 3).reshape(n * out_h * out_w, -1)
+
+
+def col2im(
+    cols: np.ndarray,
+    input_shape: tuple[int, int, int, int],
+    kernel_h: int,
+    kernel_w: int,
+    stride: int = 1,
+    padding: int = 0,
+) -> np.ndarray:
+    """Inverse of :func:`im2col`, accumulating overlapping patches.
+
+    Parameters
+    ----------
+    cols:
+        Matrix of shape ``(N * out_h * out_w, C * kernel_h * kernel_w)``.
+    input_shape:
+        The original ``(N, C, H, W)`` input shape.
+
+    Returns
+    -------
+    np.ndarray
+        Gradient image of shape ``(N, C, H, W)``.
+    """
+    n, c, h, w = input_shape
+    out_h = conv_output_size(h, kernel_h, stride, padding)
+    out_w = conv_output_size(w, kernel_w, stride, padding)
+
+    cols = cols.reshape(n, out_h, out_w, c, kernel_h, kernel_w).transpose(
+        0, 3, 4, 5, 1, 2
+    )
+    img = np.zeros(
+        (n, c, h + 2 * padding + stride - 1, w + 2 * padding + stride - 1),
+        dtype=cols.dtype,
+    )
+    for ky in range(kernel_h):
+        y_max = ky + stride * out_h
+        for kx in range(kernel_w):
+            x_max = kx + stride * out_w
+            img[:, :, ky:y_max:stride, kx:x_max:stride] += cols[:, :, ky, kx, :, :]
+
+    return img[:, :, padding : h + padding, padding : w + padding]
+
+
+def one_hot(labels: np.ndarray, num_classes: int) -> np.ndarray:
+    """Convert integer class labels to one-hot rows.
+
+    Parameters
+    ----------
+    labels:
+        Integer array of shape ``(N,)``.
+    num_classes:
+        Total number of classes; every label must be in ``[0, num_classes)``.
+    """
+    labels = np.asarray(labels)
+    if labels.ndim != 1:
+        raise ValueError(f"labels must be 1-D, got shape {labels.shape}")
+    if labels.size and (labels.min() < 0 or labels.max() >= num_classes):
+        raise ValueError("labels out of range for the given num_classes")
+    out = np.zeros((labels.shape[0], num_classes), dtype=np.float64)
+    out[np.arange(labels.shape[0]), labels] = 1.0
+    return out

@@ -1,0 +1,269 @@
+"""Training loops.
+
+Two trainers are provided:
+
+* :class:`Trainer` — plain supervised training of a single-exit
+  :class:`repro.nn.model.Network` with cross-entropy.
+* :class:`DistillationTrainer` — exit-ensemble *bidirectional* distillation
+  (Lee & Lee, 2021) used by the paper to train multi-exit networks: every
+  exit is supervised with the hard labels **and** distilled towards the
+  equally-weighted ensemble of all exits, so that shallow exits learn from
+  deep ones and vice versa.  It operates on any object implementing the
+  :class:`MultiExitModel` protocol (``forward_exits`` / ``backward_exits`` /
+  ``parameters``), which :class:`repro.core.bayesnn.MultiExitBayesNet`
+  satisfies.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Protocol, Sequence
+
+import numpy as np
+
+from .layers.activations import softmax
+from .layers.base import Parameter
+from .losses import CrossEntropyLoss, DistillationLoss
+from .model import Network
+from .optimizers import Optimizer
+
+__all__ = [
+    "TrainingHistory",
+    "Trainer",
+    "DistillationTrainer",
+    "MultiExitModel",
+    "evaluate_classifier",
+    "iterate_minibatches",
+]
+
+
+@dataclass
+class TrainingHistory:
+    """Per-epoch training metrics."""
+
+    loss: list[float] = field(default_factory=list)
+    accuracy: list[float] = field(default_factory=list)
+    val_loss: list[float] = field(default_factory=list)
+    val_accuracy: list[float] = field(default_factory=list)
+
+    def record(self, loss: float, accuracy: float,
+               val_loss: float | None = None, val_accuracy: float | None = None) -> None:
+        self.loss.append(float(loss))
+        self.accuracy.append(float(accuracy))
+        if val_loss is not None:
+            self.val_loss.append(float(val_loss))
+        if val_accuracy is not None:
+            self.val_accuracy.append(float(val_accuracy))
+
+    @property
+    def epochs(self) -> int:
+        return len(self.loss)
+
+
+def iterate_minibatches(
+    x: np.ndarray,
+    y: np.ndarray,
+    batch_size: int,
+    rng: np.random.Generator | None = None,
+    shuffle: bool = True,
+) -> Iterable[tuple[np.ndarray, np.ndarray]]:
+    """Yield (inputs, labels) mini-batches, optionally shuffled."""
+    if len(x) != len(y):
+        raise ValueError("inputs and labels must have the same length")
+    if batch_size <= 0:
+        raise ValueError("batch_size must be positive")
+    indices = np.arange(len(x))
+    if shuffle:
+        rng = rng or np.random.default_rng()
+        rng.shuffle(indices)
+    for start in range(0, len(x), batch_size):
+        batch = indices[start : start + batch_size]
+        yield x[batch], y[batch]
+
+
+def evaluate_classifier(
+    model: Network, x: np.ndarray, y: np.ndarray, batch_size: int = 128
+) -> tuple[float, float]:
+    """Return (mean cross-entropy loss, accuracy) of a network on a dataset."""
+    loss_fn = CrossEntropyLoss()
+    total_loss = 0.0
+    correct = 0
+    for xb, yb in iterate_minibatches(x, y, batch_size, shuffle=False):
+        logits = model.predict(xb)
+        total_loss += loss_fn(logits, yb) * len(xb)
+        correct += int((logits.argmax(axis=1) == yb).sum())
+    n = len(x)
+    return total_loss / n, correct / n
+
+
+class Trainer:
+    """Mini-batch SGD training of a single-exit network."""
+
+    def __init__(
+        self,
+        model: Network,
+        optimizer: Optimizer,
+        loss: CrossEntropyLoss | None = None,
+        batch_size: int = 64,
+        seed: int = 0,
+    ) -> None:
+        self.model = model
+        self.optimizer = optimizer
+        self.loss = loss or CrossEntropyLoss()
+        self.batch_size = int(batch_size)
+        self.rng = np.random.default_rng(seed)
+        self.history = TrainingHistory()
+
+    def train_on_batch(self, x: np.ndarray, y: np.ndarray) -> tuple[float, float]:
+        """One optimization step; returns (loss, accuracy) on the batch."""
+        self.optimizer.zero_grad()
+        logits = self.model.forward(x, training=True)
+        loss = self.loss(logits, y)
+        self.model.backward(self.loss.backward())
+        self.optimizer.step()
+        accuracy = float((logits.argmax(axis=1) == y).mean())
+        return loss, accuracy
+
+    def fit(
+        self,
+        x: np.ndarray,
+        y: np.ndarray,
+        epochs: int = 1,
+        validation_data: tuple[np.ndarray, np.ndarray] | None = None,
+        scheduler=None,
+        verbose: bool = False,
+    ) -> TrainingHistory:
+        """Train for a number of epochs over (x, y)."""
+        for epoch in range(epochs):
+            losses: list[float] = []
+            accs: list[float] = []
+            for xb, yb in iterate_minibatches(x, y, self.batch_size, self.rng):
+                loss, acc = self.train_on_batch(xb, yb)
+                losses.append(loss)
+                accs.append(acc)
+            val_loss = val_acc = None
+            if validation_data is not None:
+                val_loss, val_acc = evaluate_classifier(
+                    self.model, *validation_data, batch_size=self.batch_size
+                )
+            self.history.record(np.mean(losses), np.mean(accs), val_loss, val_acc)
+            if scheduler is not None:
+                scheduler.step()
+            if verbose:  # pragma: no cover - console output
+                msg = (
+                    f"epoch {epoch + 1}/{epochs}: "
+                    f"loss={self.history.loss[-1]:.4f} acc={self.history.accuracy[-1]:.4f}"
+                )
+                if val_acc is not None:
+                    msg += f" val_acc={val_acc:.4f}"
+                print(msg)
+        return self.history
+
+
+class MultiExitModel(Protocol):
+    """Protocol a model must satisfy to be trained with exit distillation."""
+
+    def forward_exits(self, x: np.ndarray, training: bool = False) -> list[np.ndarray]:
+        """Return the logits of every exit for the given batch."""
+
+    def backward_exits(self, grads: Sequence[np.ndarray]) -> None:
+        """Back-propagate one gradient per exit through the shared backbone."""
+
+    def parameters(self) -> Iterable[Parameter]:
+        """All trainable parameters of backbone and exits."""
+
+    def zero_grad(self) -> None:
+        """Reset accumulated gradients."""
+
+
+class DistillationTrainer:
+    """Bidirectional exit-ensemble distillation for multi-exit models.
+
+    Each exit ``e`` minimises::
+
+        L_e = CE(logits_e, y) + distill_weight * T^2 * KL(ensemble || softmax(logits_e / T))
+
+    where ``ensemble`` is the equally-weighted average of the softened
+    predictions of *all* exits (treated as a constant teacher for the
+    gradient computation, as in exit-ensemble distillation).
+    """
+
+    def __init__(
+        self,
+        model: MultiExitModel,
+        optimizer: Optimizer,
+        distill_weight: float = 0.5,
+        temperature: float = 3.0,
+        batch_size: int = 64,
+        seed: int = 0,
+    ) -> None:
+        if distill_weight < 0:
+            raise ValueError("distill_weight must be non-negative")
+        self.model = model
+        self.optimizer = optimizer
+        self.distill_weight = float(distill_weight)
+        self.temperature = float(temperature)
+        self.batch_size = int(batch_size)
+        self.rng = np.random.default_rng(seed)
+        self.history = TrainingHistory()
+
+    def train_on_batch(self, x: np.ndarray, y: np.ndarray) -> tuple[float, float]:
+        """One optimization step over every exit; returns (loss, ensemble accuracy)."""
+        self.optimizer.zero_grad()
+        exit_logits = self.model.forward_exits(x, training=True)
+
+        t = self.temperature
+        soft_preds = [softmax(logits / t, axis=-1) for logits in exit_logits]
+        teacher = np.mean(soft_preds, axis=0)
+
+        # Deep-supervision weighting: the final exit keeps the full loss weight
+        # (so it trains exactly as fast as the single-exit baseline) while the
+        # auxiliary exits are down-weighted by 1/num_exits, which keeps the
+        # total gradient magnitude on the shared backbone bounded regardless
+        # of how many exits are attached.
+        num_exits = len(exit_logits)
+        weights = [1.0 / num_exits] * (num_exits - 1) + [1.0]
+        total_loss = 0.0
+        grads: list[np.ndarray] = []
+        for logits, weight in zip(exit_logits, weights):
+            ce = CrossEntropyLoss()
+            total_loss += ce(logits, y)
+            grad = ce.backward()
+            if self.distill_weight > 0:
+                distill = DistillationLoss(temperature=t)
+                total_loss += self.distill_weight * distill(logits, teacher)
+                grad = grad + self.distill_weight * distill.backward()
+            grads.append(grad * weight)
+
+        self.model.backward_exits(grads)
+        self.optimizer.step()
+
+        ensemble = np.mean([softmax(l, axis=-1) for l in exit_logits], axis=0)
+        accuracy = float((ensemble.argmax(axis=1) == y).mean())
+        return total_loss / len(exit_logits), accuracy
+
+    def fit(
+        self,
+        x: np.ndarray,
+        y: np.ndarray,
+        epochs: int = 1,
+        scheduler=None,
+        verbose: bool = False,
+    ) -> TrainingHistory:
+        """Train the multi-exit model for a number of epochs."""
+        for epoch in range(epochs):
+            losses: list[float] = []
+            accs: list[float] = []
+            for xb, yb in iterate_minibatches(x, y, self.batch_size, self.rng):
+                loss, acc = self.train_on_batch(xb, yb)
+                losses.append(loss)
+                accs.append(acc)
+            self.history.record(np.mean(losses), np.mean(accs))
+            if scheduler is not None:
+                scheduler.step()
+            if verbose:  # pragma: no cover - console output
+                print(
+                    f"epoch {epoch + 1}/{epochs}: "
+                    f"loss={self.history.loss[-1]:.4f} acc={self.history.accuracy[-1]:.4f}"
+                )
+        return self.history

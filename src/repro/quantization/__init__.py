@@ -1,0 +1,18 @@
+"""Fixed-point quantization (QKeras stand-in, DESIGN.md §3.4)."""
+
+from .fixed_point import STANDARD_BITWIDTHS, FixedPointFormat
+from .quantizers import (
+    QuantizationConfig,
+    QuantizationResult,
+    activation_formats,
+    quantize_network,
+)
+
+__all__ = [
+    "STANDARD_BITWIDTHS",
+    "FixedPointFormat",
+    "QuantizationConfig",
+    "QuantizationResult",
+    "quantize_network",
+    "activation_formats",
+]

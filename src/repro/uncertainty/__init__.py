@@ -1,0 +1,35 @@
+"""Uncertainty-quantification and calibration metrics (DESIGN.md §3.3)."""
+
+from .calibration import (
+    ReliabilityBin,
+    expected_calibration_error,
+    maximum_calibration_error,
+    reliability_bins,
+)
+from .ensembles import DeepEnsemble
+from .metrics import (
+    UncertaintyReport,
+    accuracy,
+    brier_score,
+    evaluate_predictions,
+    expected_entropy,
+    mutual_information,
+    negative_log_likelihood,
+    predictive_entropy,
+)
+
+__all__ = [
+    "ReliabilityBin",
+    "reliability_bins",
+    "expected_calibration_error",
+    "maximum_calibration_error",
+    "DeepEnsemble",
+    "UncertaintyReport",
+    "accuracy",
+    "brier_score",
+    "negative_log_likelihood",
+    "predictive_entropy",
+    "expected_entropy",
+    "mutual_information",
+    "evaluate_predictions",
+]

@@ -1,0 +1,175 @@
+"""Tests for the table formatter and the experiment runners."""
+
+import numpy as np
+import pytest
+
+from repro.analysis import (
+    Table1Settings,
+    build_bayes_lenet_accelerator,
+    format_rows,
+    format_table,
+    run_figure5_latency,
+    run_figure5_resources,
+    run_flops_reduction,
+    run_table1,
+    run_table2,
+    run_table3,
+)
+
+
+class TestTables:
+    def test_format_table_alignment(self):
+        text = format_table(["a", "bb"], [[1, 2.5], [30, 0.001]], title="T")
+        lines = text.splitlines()
+        assert lines[0] == "T"
+        assert "a" in lines[1] and "bb" in lines[1]
+        assert len(lines) == 5
+
+    def test_format_rows_selects_columns(self):
+        rows = [{"x": 1, "y": 2, "z": 3}]
+        text = format_rows(rows, ["x", "z"])
+        assert "y" not in text.splitlines()[0]
+
+    def test_row_length_mismatch(self):
+        with pytest.raises(ValueError):
+            format_table(["a"], [[1, 2]])
+
+    def test_scientific_notation_for_small_values(self):
+        assert "e-06" in format_table(["v"], [[1.5e-6]])
+
+
+class TestTable2And3:
+    @pytest.fixture(scope="class")
+    def accel(self):
+        # small model keeps this fast; the default (full LeNet) is exercised
+        # by the benchmark suite
+        return build_bayes_lenet_accelerator(width_multiplier=0.5, reuse_factor=32)
+
+    def test_table2_rows(self, accel):
+        rows = run_table2(accel)
+        names = [r["name"] for r in rows]
+        assert "Our Work" in names and "CPU" in names and "TPDS'22" in names
+        assert len(rows) == 7
+
+    def test_table2_our_work_best_energy(self, accel):
+        rows = run_table2(accel)
+        ours = [r for r in rows if r["name"] == "Our Work"][0]
+        others = [r for r in rows if r["name"] != "Our Work"]
+        assert all(ours["energy_per_image_j"] < r["energy_per_image_j"] for r in others)
+
+    def test_table2_cpu_gpu_much_worse(self, accel):
+        rows = {r["name"]: r for r in run_table2(accel)}
+        assert rows["CPU"]["energy_per_image_j"] / rows["Our Work"]["energy_per_image_j"] > 10
+        assert rows["GPU"]["energy_per_image_j"] / rows["Our Work"]["energy_per_image_j"] > 10
+
+    def test_table3_percentages(self, accel):
+        result = run_table3(accel)
+        pct = result["percentages"]
+        assert sum(pct.values()) == pytest.approx(1.0)
+        # dynamic power dominates, as in the paper (72% dynamic)
+        assert 1.0 - pct["static"] > 0.5
+        # logic&signal and IO are the two largest dynamic components
+        dynamic_parts = {k: v for k, v in pct.items() if k != "static"}
+        top_two = sorted(dynamic_parts, key=dynamic_parts.get, reverse=True)[:2]
+        assert set(top_two) == {"logic_signal", "io"}
+
+    def test_table3_report_attached(self, accel):
+        result = run_table3(accel)
+        assert result["report"]["device"] == "XCKU115"
+
+
+class TestFigure5:
+    def test_resources_trends(self):
+        rows = run_figure5_resources(
+            mcd_layer_counts=(1, 3, 5), models=("bayes_lenet5",), width_multiplier=0.5
+        )
+        assert len(rows) == 3
+        lut = [r["lut"] for r in rows]
+        ff = [r["ff"] for r in rows]
+        bram = [r["bram_18k"] for r in rows]
+        assert lut == sorted(lut) and lut[0] < lut[-1]
+        assert ff == sorted(ff) and ff[0] < ff[-1]
+        assert len(set(bram)) == 1  # BRAM flat: MCD layers use no BRAM
+
+    def test_latency_trends(self):
+        rows = run_figure5_latency(
+            mc_sample_counts=(1, 3, 5), models=("bayes_lenet5",), width_multiplier=0.5
+        )
+        unopt = [r["latency_ms"] for r in rows if r["mapping"] == "unoptimized"]
+        spatial = [r["latency_ms"] for r in rows if r["mapping"] == "spatial"]
+        assert unopt == sorted(unopt) and unopt[-1] > unopt[0]
+        assert max(spatial) - min(spatial) < 1e-9  # flat under spatial mapping
+        assert all(s <= u + 1e-12 for s, u in zip(spatial, unopt))
+
+    def test_unknown_model_rejected(self):
+        with pytest.raises(KeyError):
+            run_figure5_resources(models=("bayes_alexnet",))
+
+
+class TestFlopsReductionSweep:
+    def test_rows_and_monotonicity(self):
+        rows = run_flops_reduction(alphas=(0.1,), sample_counts=(2, 4, 8), exit_counts=(1, 2))
+        assert all(r["reduction_rate"] >= 1.0 for r in rows)
+        by_exits = {}
+        for r in rows:
+            by_exits.setdefault(r["num_samples"], {})[r["num_exits"]] = r["reduction_rate"]
+        for rates in by_exits.values():
+            if 1 in rates and 2 in rates:
+                assert rates[2] >= rates[1]
+
+    def test_skips_exits_exceeding_samples(self):
+        rows = run_flops_reduction(alphas=(0.1,), sample_counts=(2,), exit_counts=(1, 4))
+        assert all(r["num_exits"] <= r["num_samples"] for r in rows)
+
+
+class TestTable1Small:
+    """A miniature Table I run: tiny dataset, one epoch, one architecture."""
+
+    @pytest.fixture(scope="class")
+    def results(self):
+        from repro.nn.architectures import lenet5_spec
+
+        settings = Table1Settings(
+            train_size=96,
+            test_size=64,
+            num_classes=5,
+            image_size=12,
+            epochs=2,
+            num_mc_samples=4,
+            dropout_rates=(0.25,),
+            confidence_thresholds=(0.8,),
+            architectures={
+                "lenet5": lambda width_multiplier=1.0: lenet5_spec(
+                    input_shape=(3, 12, 12), num_classes=5,
+                    width_multiplier=0.5 * width_multiplier,
+                )
+            },
+        )
+        return run_table1(settings)
+
+    def test_all_variants_present(self, results):
+        assert set(results["lenet5"]) == {"SE", "MCD", "ME", "MCD+ME"}
+
+    def test_entries_have_metrics(self, results):
+        for variant in ("SE", "MCD", "ME", "MCD+ME"):
+            entry = results["lenet5"][variant]["acc_opt"]
+            assert 0.0 <= entry["accuracy"] <= 1.0
+            assert entry["ece"] >= 0.0
+            assert entry["relative_flops"] > 0.0
+
+    def test_se_reference_flops_is_one(self, results):
+        assert results["lenet5"]["SE"]["acc_opt"]["relative_flops"] == pytest.approx(1.0)
+
+    def test_multi_exit_flops_near_se(self, results):
+        """ME / MCD+ME forward-pass cost stays within a few percent of SE (Table I shape)."""
+        for variant in ("ME", "MCD+ME"):
+            entry = results["lenet5"][variant]["acc_opt"]
+            assert entry["relative_flops"] < 1.6
+
+    def test_ece_opt_no_worse_than_acc_opt(self, results):
+        for variant in ("ME", "MCD+ME"):
+            block = results["lenet5"][variant]
+            assert block["ece_opt"]["ece"] <= block["acc_opt"]["ece"] + 1e-12
+
+    def test_meta_recorded(self, results):
+        assert results["_meta"]["dataset"]["num_classes"] == 5

@@ -1,0 +1,148 @@
+"""Tests for the device catalog and the resource model."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.hw import (
+    DEVICES,
+    FPGADevice,
+    ResourceUsage,
+    XCKU115,
+    estimate_layer_resources,
+    get_device,
+)
+from repro.nn.layers import Conv2D, Dense, MaxPool2D, MCDropout, ReLU, ResidualBlock
+
+
+def desc(layer, shape):
+    layer.build(shape, np.random.default_rng(0))
+    return layer.describe()
+
+
+class TestDevices:
+    def test_catalog_contains_paper_platforms(self):
+        for name in ("XCKU115", "XC7Z020", "CYCLONE_V", "ARRIA10_GX1150"):
+            assert name in DEVICES
+
+    def test_xcku115_properties(self):
+        assert XCKU115.dsp == 5520
+        assert XCKU115.technology_nm == 20
+        assert XCKU115.max_clock_mhz == pytest.approx(181.0)
+
+    def test_lookup_aliases(self):
+        assert get_device("Kintex XCKU115") is XCKU115
+        assert get_device("xcku115") is XCKU115
+        assert get_device("Zynq XC7Z020").name == "XC7Z020"
+        assert get_device("Arria 10 GX1150").vendor == "Intel"
+
+    def test_unknown_device(self):
+        with pytest.raises(KeyError):
+            get_device("virtex-2000")
+
+    def test_resource_capacity_keys(self):
+        caps = XCKU115.resource_capacity()
+        assert set(caps) == {"bram_18k", "dsp", "ff", "lut"}
+
+
+class TestResourceUsage:
+    def test_addition(self):
+        total = ResourceUsage(1, 2, 3, 4) + ResourceUsage(10, 20, 30, 40)
+        assert total.as_dict() == {"bram_18k": 11, "dsp": 22, "ff": 33, "lut": 44}
+
+    def test_scaling(self):
+        scaled = ResourceUsage(1, 2, 3, 4) * 3
+        assert scaled.dsp == 6 and scaled.lut == 12
+
+    def test_negative_scale_rejected(self):
+        with pytest.raises(ValueError):
+            ResourceUsage(1, 1, 1, 1) * -1
+
+    def test_utilization_and_fits(self):
+        small = ResourceUsage(bram_18k=100, dsp=100, ff=1000, lut=1000)
+        assert small.fits(XCKU115)
+        huge = ResourceUsage(dsp=10 * XCKU115.dsp)
+        assert not huge.fits(XCKU115)
+        assert huge.max_utilization(XCKU115) == pytest.approx(10.0)
+
+    def test_fits_margin(self):
+        half = ResourceUsage(dsp=XCKU115.dsp * 0.9)
+        assert half.fits(XCKU115, margin=1.0)
+        assert not half.fits(XCKU115, margin=0.5)
+
+    @given(
+        a=st.floats(0, 1e6), b=st.floats(0, 1e6),
+        scale=st.floats(0, 10),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_scaling_distributes_over_addition(self, a, b, scale):
+        x = ResourceUsage(a, a / 2, a * 2, a)
+        y = ResourceUsage(b, b / 2, b * 2, b)
+        lhs = (x + y) * scale
+        rhs = x * scale + y * scale
+        np.testing.assert_allclose(
+            list(lhs.as_dict().values()), list(rhs.as_dict().values()), rtol=1e-12
+        )
+
+
+class TestLayerResourceEstimation:
+    def test_conv_uses_dsp_at_16_bits(self):
+        usage = estimate_layer_resources(desc(Conv2D(8, 3, padding=1), (4, 8, 8)),
+                                         bitwidth=16, reuse_factor=1)
+        assert usage.dsp == 8 * 4 * 9
+
+    def test_conv_uses_lut_at_8_bits(self):
+        usage = estimate_layer_resources(desc(Conv2D(8, 3, padding=1), (4, 8, 8)),
+                                         bitwidth=8, reuse_factor=1)
+        assert usage.dsp == 0
+        assert usage.lut > 0
+
+    def test_reuse_factor_reduces_multipliers(self):
+        d = desc(Dense(64), (128,))
+        full = estimate_layer_resources(d, bitwidth=16, reuse_factor=1)
+        shared = estimate_layer_resources(d, bitwidth=16, reuse_factor=8)
+        assert shared.dsp == pytest.approx(full.dsp / 8)
+
+    def test_dense_bram_for_large_weights(self):
+        usage = estimate_layer_resources(desc(Dense(256), (512,)), bitwidth=16,
+                                         reuse_factor=64)
+        assert usage.bram_18k > 0
+
+    def test_small_weights_use_lutram(self):
+        usage = estimate_layer_resources(desc(Dense(4), (8,)), bitwidth=8, reuse_factor=1)
+        assert usage.bram_18k == 0
+
+    def test_mcd_layer_uses_no_bram(self):
+        usage = estimate_layer_resources(desc(MCDropout(0.25), (64, 8, 8)),
+                                         bitwidth=8, reuse_factor=1)
+        assert usage.bram_18k == 0
+        assert usage.lut > 0 and usage.ff > 0
+
+    def test_mcd_layer_scales_with_channels(self):
+        small = estimate_layer_resources(desc(MCDropout(0.25), (16, 4, 4)), 8, 1)
+        large = estimate_layer_resources(desc(MCDropout(0.25), (128, 4, 4)), 8, 1)
+        assert large.lut > small.lut
+
+    def test_pooling_and_relu_modest(self):
+        pool = estimate_layer_resources(desc(MaxPool2D(2), (16, 8, 8)), 8, 1)
+        relu = estimate_layer_resources(desc(ReLU(), (16, 8, 8)), 8, 1)
+        assert pool.dsp == 0 and relu.dsp == 0
+
+    def test_residual_block_aggregates_sublayers(self):
+        block_desc = desc(ResidualBlock(8, use_batchnorm=False), (8, 8, 8))
+        usage = estimate_layer_resources(block_desc, bitwidth=16, reuse_factor=4)
+        assert usage.dsp > 0
+        assert usage.lut > 0
+
+    def test_invalid_arguments(self):
+        d = desc(Dense(4), (8,))
+        with pytest.raises(ValueError):
+            estimate_layer_resources(d, bitwidth=0)
+        with pytest.raises(ValueError):
+            estimate_layer_resources(d, bitwidth=8, reuse_factor=0)
+
+    def test_unknown_layer_gets_control_overhead(self):
+        usage = estimate_layer_resources({"type": "Custom", "input_shape": [4],
+                                          "output_shape": [4]}, 8, 1)
+        assert usage.lut > 0

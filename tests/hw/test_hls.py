@@ -1,0 +1,159 @@
+"""Tests for the hardware IR, HLS code generation, and synthesis reports."""
+
+import pytest
+
+from repro.core import single_exit_bayesnet
+from repro.hw import AcceleratorConfig, AcceleratorModel, spatial_mapping, temporal_mapping
+from repro.hw.hls import HardwareIR, HLSCodeGenerator, SynthesisReport, generate_hls_project
+
+from ..conftest import small_lenet_spec
+
+
+@pytest.fixture(scope="module")
+def accel_spatial():
+    net = single_exit_bayesnet(small_lenet_spec(), num_mcd_layers=2, dropout_rate=0.25, seed=0)
+    return AcceleratorModel(
+        net,
+        AcceleratorConfig(device="XCKU115", weight_bitwidth=8, reuse_factor=16,
+                          num_mc_samples=3, mapping=spatial_mapping(3)),
+    )
+
+
+@pytest.fixture(scope="module")
+def accel_temporal():
+    net = single_exit_bayesnet(small_lenet_spec(), num_mcd_layers=1, dropout_rate=0.5, seed=0)
+    return AcceleratorModel(
+        net,
+        AcceleratorConfig(device="XCKU115", weight_bitwidth=16, reuse_factor=16,
+                          num_mc_samples=4, mapping=temporal_mapping(4)),
+    )
+
+
+class TestHardwareIR:
+    def test_node_count_matches_layers(self, accel_spatial):
+        ir = HardwareIR.from_accelerator(accel_spatial)
+        assert len(ir.nodes()) == len(accel_spatial.all_layer_descs())
+
+    def test_bayesian_region_after_deterministic(self, accel_spatial):
+        ir = HardwareIR.from_accelerator(accel_spatial)
+        ir.validate()  # would raise if a deterministic node followed a Bayesian one
+
+    def test_mcd_nodes_detected(self, accel_spatial):
+        ir = HardwareIR.from_accelerator(accel_spatial)
+        assert len(ir.mcd_nodes()) == 2
+
+    def test_graph_is_a_chain(self, accel_spatial):
+        ir = HardwareIR.from_accelerator(accel_spatial)
+        assert ir.graph.number_of_edges() == ir.graph.number_of_nodes() - 1
+
+    def test_cache_boundary_is_last_deterministic(self, accel_spatial):
+        ir = HardwareIR.from_accelerator(accel_spatial)
+        det = ir.deterministic_nodes()
+        assert ir.cache_boundary == det[-1].name
+
+    def test_describe(self, accel_spatial):
+        info = HardwareIR.from_accelerator(accel_spatial).describe()
+        assert info["num_mcd_layers"] == 2
+        assert info["device"] == "XCKU115"
+        assert info["mapping"]["strategy"] == "spatial"
+
+    def test_kernel_mapping(self, accel_spatial):
+        ir = HardwareIR.from_accelerator(accel_spatial)
+        kernels = {n.kernel for n in ir.nodes()}
+        assert {"conv2d", "dense", "mc_dropout", "maxpool2d"} <= kernels
+
+    def test_invalid_region_rejected(self):
+        from repro.hw.hls.ir import HWLayerNode
+
+        with pytest.raises(ValueError):
+            HWLayerNode("x", "dense", "Dense", (4,), (2,), region="weird")
+
+
+class TestCodeGeneration:
+    def test_all_files_generated(self, accel_spatial):
+        files = HLSCodeGenerator(accel_spatial).generate()
+        assert set(files) == {"parameters.h", "mcd_layers.h", "layers.h", "top.cpp",
+                              "build_prj.tcl"}
+
+    def test_parameters_header_contents(self, accel_spatial):
+        params = HLSCodeGenerator(accel_spatial).parameters_header()
+        assert "ap_fixed<8," in params
+        assert "N_MC_SAMPLES   = 3" in params
+        assert "N_MC_ENGINES   = 3" in params
+        assert "XCKU115" in params
+
+    def test_mcd_kernel_matches_algorithm1(self, accel_spatial):
+        mcd = HLSCodeGenerator(accel_spatial).mcd_header()
+        # Algorithm 1 structure: pipelined loop, uniform random comparison,
+        # zeroing, and scaling by the keep rate.
+        assert "#pragma HLS PIPELINE" in mcd
+        assert "uniform_random >" in mcd
+        assert "temp = 0" in mcd
+        assert "temp * keep_rate" in mcd
+        assert mcd.count("void mc_dropout_") == 2
+
+    def test_keep_rate_matches_dropout_rate(self, accel_temporal):
+        gen = HLSCodeGenerator(accel_temporal)
+        assert "KEEP_RATE      = 0.5" in gen.parameters_header()
+
+    def test_layers_header_has_kernel_per_mac_layer(self, accel_spatial):
+        layers = HLSCodeGenerator(accel_spatial).layers_header()
+        assert layers.count("void conv2d_") == 2
+        assert layers.count("void dense_") == 3
+        assert "void max_pool_" in layers
+
+    def test_top_spatial_dispatch(self, accel_spatial):
+        top = HLSCodeGenerator(accel_spatial).top_source()
+        assert "#pragma HLS DATAFLOW" in top
+        assert "HLS UNROLL" in top
+        assert "deterministic_body" in top
+
+    def test_top_temporal_dispatch(self, accel_temporal):
+        top = HLSCodeGenerator(accel_temporal).top_source()
+        assert "MC_TEMPORAL" in top
+        assert "HLS UNROLL" not in top
+
+    def test_build_script_clock_period(self, accel_spatial):
+        tcl = HLSCodeGenerator(accel_spatial).build_script()
+        assert "create_clock -period 5.52" in tcl  # 181 MHz -> 5.52 ns
+        assert "xcku115" in tcl
+
+    def test_write_to_disk(self, accel_spatial, tmp_path):
+        paths = HLSCodeGenerator(accel_spatial).write(tmp_path)
+        assert len(paths) == 5
+        assert all(p.exists() and p.stat().st_size > 0 for p in paths)
+
+    def test_generate_hls_project_wrapper(self, accel_temporal, tmp_path):
+        files = generate_hls_project(accel_temporal, output_dir=tmp_path)
+        assert (tmp_path / "top.cpp").exists()
+        assert "mc_outputs" in files["top.cpp"]
+
+    def test_invalid_dropout_rate_rejected(self, accel_spatial):
+        with pytest.raises(ValueError):
+            HLSCodeGenerator(accel_spatial, dropout_rate=1.5)
+
+    def test_non_bayesian_design_generates_empty_mcd_header(self):
+        net = small_lenet_spec().single_exit_network(seed=0)
+        accel = AcceleratorModel(net, AcceleratorConfig(weight_bitwidth=8, reuse_factor=16))
+        mcd = HLSCodeGenerator(accel).mcd_header()
+        assert "no MC-dropout layers" in mcd
+
+
+class TestSynthesisReport:
+    def test_report_fields(self, accel_spatial):
+        report = SynthesisReport.from_accelerator(accel_spatial)
+        assert report.device == "XCKU115"
+        assert report.latency_ms == pytest.approx(accel_spatial.latency_ms())
+        assert report.num_mcd_layers == 2
+        assert report.power_w["total"] > 0
+
+    def test_as_dict_roundtrip(self, accel_spatial):
+        data = SynthesisReport.from_accelerator(accel_spatial).as_dict()
+        assert data["mapping"]["strategy"] == "spatial"
+        assert set(data["resources"]) == {"bram_18k", "dsp", "ff", "lut"}
+
+    def test_text_report_sections(self, accel_spatial):
+        text = SynthesisReport.from_accelerator(accel_spatial).to_text()
+        for section in ("C-Synthesis report", "Latency", "Resource usage", "Power",
+                        "Energy per image"):
+            assert section in text

@@ -1,0 +1,255 @@
+"""Tests for pooling, batch-norm, activation, dropout, flatten and residual layers."""
+
+import numpy as np
+import pytest
+
+from repro.nn.layers import (
+    AvgPool2D,
+    BatchNorm,
+    Dropout,
+    Flatten,
+    GlobalAvgPool2D,
+    MaxPool2D,
+    MCDropout,
+    ReLU,
+    ResidualBlock,
+    Softmax,
+)
+from repro.nn.layers.activations import log_softmax, softmax
+
+from .gradcheck import check_input_gradient, check_parameter_gradients
+
+
+def build(layer, shape, seed=0):
+    layer.build(shape, np.random.default_rng(seed))
+    return layer
+
+
+class TestPooling:
+    def test_maxpool_shape(self):
+        layer = build(MaxPool2D(2), (3, 8, 8))
+        assert layer.output_shape == (3, 4, 4)
+
+    def test_maxpool_values(self):
+        layer = build(MaxPool2D(2), (1, 2, 2))
+        x = np.array([[[[1.0, 2.0], [3.0, 4.0]]]])
+        np.testing.assert_allclose(layer.forward(x), [[[[4.0]]]])
+
+    def test_avgpool_values(self):
+        layer = build(AvgPool2D(2), (1, 2, 2))
+        x = np.array([[[[1.0, 2.0], [3.0, 4.0]]]])
+        np.testing.assert_allclose(layer.forward(x), [[[[2.5]]]])
+
+    def test_global_avgpool(self, rng):
+        layer = build(GlobalAvgPool2D(), (5, 6, 6))
+        x = rng.normal(size=(2, 5, 6, 6))
+        np.testing.assert_allclose(layer.forward(x), x.mean(axis=(2, 3)))
+
+    def test_maxpool_gradient(self, rng):
+        layer = build(MaxPool2D(2), (2, 4, 4))
+        check_input_gradient(layer, rng.normal(size=(2, 2, 4, 4)))
+
+    def test_avgpool_gradient(self, rng):
+        layer = build(AvgPool2D(2), (2, 4, 4))
+        check_input_gradient(layer, rng.normal(size=(2, 2, 4, 4)))
+
+    def test_global_avgpool_gradient(self, rng):
+        layer = build(GlobalAvgPool2D(), (3, 4, 4))
+        check_input_gradient(layer, rng.normal(size=(2, 3, 4, 4)))
+
+    def test_pooling_has_no_parameters(self):
+        assert build(MaxPool2D(2), (1, 4, 4)).num_parameters == 0
+
+    def test_invalid_pool_size(self):
+        with pytest.raises(ValueError):
+            MaxPool2D(0)
+
+
+class TestActivations:
+    def test_relu_values(self):
+        layer = build(ReLU(), (4,))
+        x = np.array([[-1.0, 0.0, 2.0, -3.0]])
+        np.testing.assert_allclose(layer.forward(x), [[0.0, 0.0, 2.0, 0.0]])
+
+    def test_relu_gradient(self, rng):
+        layer = build(ReLU(), (6,))
+        check_input_gradient(layer, rng.normal(size=(3, 6)) + 0.1)
+
+    def test_softmax_rows_sum_to_one(self, rng):
+        probs = softmax(rng.normal(size=(5, 7)) * 10)
+        np.testing.assert_allclose(probs.sum(axis=1), np.ones(5))
+
+    def test_softmax_numerically_stable(self):
+        probs = softmax(np.array([[1000.0, 1000.0]]))
+        np.testing.assert_allclose(probs, [[0.5, 0.5]])
+
+    def test_log_softmax_consistent_with_softmax(self, rng):
+        logits = rng.normal(size=(4, 6))
+        np.testing.assert_allclose(np.exp(log_softmax(logits)), softmax(logits))
+
+    def test_softmax_layer_gradient(self, rng):
+        layer = build(Softmax(), (5,))
+        check_input_gradient(layer, rng.normal(size=(3, 5)))
+
+
+class TestBatchNorm:
+    def test_training_normalises(self, rng):
+        layer = build(BatchNorm(), (4, 6, 6))
+        x = rng.normal(loc=3.0, scale=2.0, size=(16, 4, 6, 6))
+        out = layer.forward(x, training=True)
+        np.testing.assert_allclose(out.mean(axis=(0, 2, 3)), 0.0, atol=1e-7)
+        np.testing.assert_allclose(out.std(axis=(0, 2, 3)), 1.0, atol=1e-2)
+
+    def test_running_stats_updated(self, rng):
+        layer = build(BatchNorm(momentum=0.0), (3,))
+        x = rng.normal(loc=5.0, size=(64, 3))
+        layer.forward(x, training=True)
+        np.testing.assert_allclose(layer.running_mean, x.mean(axis=0))
+
+    def test_inference_uses_running_stats(self, rng):
+        layer = build(BatchNorm(), (3,))
+        x = rng.normal(size=(8, 3))
+        out = layer.forward(x, training=False)
+        expected = (x - layer.running_mean) / np.sqrt(layer.running_var + layer.epsilon)
+        np.testing.assert_allclose(out, expected)
+
+    def test_gradient_dense_input(self, rng):
+        layer = build(BatchNorm(), (5,))
+        check_input_gradient(layer, rng.normal(size=(6, 5)), atol=1e-5)
+
+    def test_parameter_gradients(self, rng):
+        layer = build(BatchNorm(), (3,))
+        check_parameter_gradients(layer, rng.normal(size=(6, 3)), atol=1e-5)
+
+    def test_gradient_conv_input(self, rng):
+        layer = build(BatchNorm(), (2, 3, 3))
+        check_input_gradient(layer, rng.normal(size=(4, 2, 3, 3)), atol=1e-5)
+
+    def test_invalid_momentum(self):
+        with pytest.raises(ValueError):
+            BatchNorm(momentum=1.5)
+
+
+class TestDropout:
+    def test_standard_dropout_identity_at_inference(self, rng):
+        layer = build(Dropout(0.5), (10,))
+        x = rng.normal(size=(4, 10))
+        np.testing.assert_allclose(layer.forward(x, training=False), x)
+
+    def test_standard_dropout_active_in_training(self, rng):
+        layer = build(Dropout(0.5, filter_wise=False, seed=0), (100,))
+        x = np.ones((4, 100))
+        out = layer.forward(x, training=True)
+        assert np.any(out == 0)
+
+    def test_mc_dropout_active_at_inference(self):
+        layer = build(MCDropout(0.5, filter_wise=False, seed=0), (200,))
+        x = np.ones((2, 200))
+        out = layer.forward(x, training=False)
+        assert np.any(out == 0)
+
+    def test_mc_dropout_samples_differ(self):
+        layer = build(MCDropout(0.5, filter_wise=False, seed=0), (100,))
+        x = np.ones((1, 100))
+        assert not np.allclose(layer.forward(x), layer.forward(x))
+
+    def test_mc_dropout_reseed_reproducible(self):
+        layer = build(MCDropout(0.5, filter_wise=False), (64,))
+        x = np.ones((2, 64))
+        layer.reseed(7)
+        a = layer.forward(x)
+        layer.reseed(7)
+        b = layer.forward(x)
+        np.testing.assert_allclose(a, b)
+
+    def test_inverted_scaling_preserves_expectation(self):
+        layer = build(MCDropout(0.25, filter_wise=False, seed=3), (50,))
+        x = np.ones((200, 50))
+        out = layer.forward(x)
+        assert abs(out.mean() - 1.0) < 0.05
+
+    def test_filter_wise_drops_whole_channels(self):
+        layer = build(MCDropout(0.5, filter_wise=True, seed=1), (8, 4, 4))
+        x = np.ones((2, 8, 4, 4))
+        out = layer.forward(x)
+        # each channel is either fully dropped or fully kept
+        per_channel = out.reshape(2, 8, -1)
+        for n in range(2):
+            for c in range(8):
+                vals = np.unique(per_channel[n, c])
+                assert len(vals) == 1
+
+    def test_deterministic_forward_is_identity(self, rng):
+        layer = build(MCDropout(0.5), (6,))
+        x = rng.normal(size=(3, 6))
+        np.testing.assert_allclose(layer.deterministic_forward(x), x)
+
+    def test_zero_rate_is_identity(self, rng):
+        layer = build(MCDropout(0.0), (6,))
+        x = rng.normal(size=(3, 6))
+        np.testing.assert_allclose(layer.forward(x), x)
+
+    def test_backward_uses_same_mask(self):
+        layer = build(MCDropout(0.5, filter_wise=False, seed=0), (40,))
+        x = np.ones((1, 40))
+        out = layer.forward(x)
+        grad = layer.backward(np.ones_like(out))
+        np.testing.assert_allclose(grad, out)
+
+    def test_invalid_rate_rejected(self):
+        with pytest.raises(ValueError):
+            MCDropout(1.0)
+
+    def test_stochastic_flag(self):
+        assert MCDropout(0.1).stochastic is True
+        assert Dropout(0.1).stochastic is False
+
+
+class TestFlattenAndResidual:
+    def test_flatten_shape(self, rng):
+        layer = build(Flatten(), (3, 4, 5))
+        out = layer.forward(rng.normal(size=(2, 3, 4, 5)))
+        assert out.shape == (2, 60)
+
+    def test_flatten_gradient_restores_shape(self, rng):
+        layer = build(Flatten(), (2, 3, 3))
+        x = rng.normal(size=(2, 2, 3, 3))
+        out = layer.forward(x)
+        grad = layer.backward(np.ones_like(out))
+        assert grad.shape == x.shape
+
+    def test_residual_identity_shape(self, rng):
+        block = build(ResidualBlock(4), (4, 6, 6))
+        assert block.output_shape == (4, 6, 6)
+        assert block.shortcut_conv is None
+
+    def test_residual_projection_when_channels_change(self):
+        block = build(ResidualBlock(8, stride=2), (4, 8, 8))
+        assert block.output_shape == (8, 4, 4)
+        assert block.shortcut_conv is not None
+
+    def test_residual_forward_shape(self, rng):
+        block = build(ResidualBlock(6, stride=2), (3, 8, 8))
+        out = block.forward(rng.normal(size=(2, 3, 8, 8)))
+        assert out.shape == (2, 6, 4, 4)
+
+    def test_residual_parameters_collected(self):
+        block = build(ResidualBlock(4), (4, 6, 6))
+        names = [p.name for p in block.parameters()]
+        assert any("conv1" in n for n in names)
+        assert any("conv2" in n for n in names)
+        assert block.num_parameters == sum(p.size for p in block.parameters())
+
+    def test_residual_gradient_without_batchnorm(self, rng):
+        block = build(ResidualBlock(3, use_batchnorm=False), (3, 4, 4))
+        check_input_gradient(block, rng.normal(size=(2, 3, 4, 4)), atol=1e-5)
+
+    def test_residual_projection_gradient(self, rng):
+        block = build(ResidualBlock(4, stride=2, use_batchnorm=False), (2, 4, 4))
+        check_input_gradient(block, rng.normal(size=(2, 2, 4, 4)), atol=1e-5)
+
+    def test_residual_describe_contains_sublayers(self):
+        block = build(ResidualBlock(4), (4, 6, 6))
+        desc = block.describe()
+        assert desc["type"] == "ResidualBlock"
+        assert len(desc["sublayers"]) >= 6

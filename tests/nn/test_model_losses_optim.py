@@ -1,0 +1,265 @@
+"""Tests for the Network container, losses, optimizers, and initializers."""
+
+import numpy as np
+import pytest
+
+from repro.nn import CrossEntropyLoss, DistillationLoss, MSELoss, Network, SGD, Adam, StepLR, CosineLR
+from repro.nn.initializers import Constant, HeNormal, Ones, XavierUniform, Zeros, get_initializer
+from repro.nn.layers import Conv2D, Dense, Flatten, MaxPool2D, MCDropout, ReLU
+from repro.nn.layers.activations import softmax
+from repro.nn.losses import cross_entropy, kl_divergence
+
+from .gradcheck import numerical_gradient
+
+
+def small_network() -> Network:
+    net = Network(name="small")
+    net.add(Conv2D(4, 3, padding=1, name="conv"))
+    net.add(ReLU())
+    net.add(MaxPool2D(2))
+    net.add(Flatten())
+    net.add(Dense(8, name="hidden"))
+    net.add(ReLU())
+    net.add(Dense(3, name="out"))
+    return net
+
+
+class TestNetwork:
+    def test_build_and_shapes(self):
+        net = small_network().build((1, 8, 8))
+        assert net.output_shape == (3,)
+        assert net.layers[0].output_shape == (4, 8, 8)
+
+    def test_forward_shape(self, rng):
+        net = small_network().build((1, 8, 8))
+        assert net.forward(rng.normal(size=(5, 1, 8, 8))).shape == (5, 3)
+
+    def test_forward_range_composition(self, rng):
+        net = small_network().build((1, 8, 8))
+        x = rng.normal(size=(2, 1, 8, 8))
+        mid = net.forward_range(x, 0, 3)
+        full_split = net.forward_range(mid, 3, len(net.layers))
+        np.testing.assert_allclose(full_split, net.forward(x))
+
+    def test_forward_range_invalid_bounds(self, rng):
+        net = small_network().build((1, 8, 8))
+        with pytest.raises(IndexError):
+            net.forward_range(rng.normal(size=(1, 1, 8, 8)), 3, 2)
+
+    def test_unbuilt_forward_raises(self, rng):
+        with pytest.raises(RuntimeError):
+            small_network().forward(rng.normal(size=(1, 1, 8, 8)))
+
+    def test_add_after_build_raises(self):
+        net = small_network().build((1, 8, 8))
+        with pytest.raises(RuntimeError):
+            net.add(Dense(2))
+
+    def test_get_set_weights_roundtrip(self, rng):
+        net = small_network().build((1, 8, 8))
+        x = rng.normal(size=(2, 1, 8, 8))
+        before = net.forward(x)
+        weights = net.get_weights()
+        for p in net.parameters():
+            p.value[...] = rng.normal(size=p.value.shape)
+        net.set_weights(weights)
+        np.testing.assert_allclose(net.forward(x), before)
+
+    def test_set_weights_shape_mismatch(self):
+        net = small_network().build((1, 8, 8))
+        weights = net.get_weights()
+        weights[0] = np.zeros((1, 1))
+        with pytest.raises(ValueError):
+            net.set_weights(weights)
+
+    def test_layer_lookup(self):
+        net = small_network().build((1, 8, 8))
+        assert net.layer_index("conv") == 0
+        assert net.get_layer("hidden").units == 8
+        with pytest.raises(KeyError):
+            net.layer_index("missing")
+
+    def test_duplicate_names_made_unique(self):
+        net = Network([ReLU(name="act"), ReLU(name="act")]).build((4,))
+        assert net.layers[0].name != net.layers[1].name
+
+    def test_stochastic_index(self):
+        net = Network(
+            [Dense(4, name="d1"), ReLU(), MCDropout(0.5), Dense(2, name="d2")]
+        ).build((6,))
+        assert net.stochastic_layer_indices() == [2]
+        assert net.first_stochastic_index() == 2
+
+    def test_first_stochastic_index_without_mcd(self):
+        net = small_network().build((1, 8, 8))
+        assert net.first_stochastic_index() == len(net.layers)
+
+    def test_describe_and_summary(self):
+        net = small_network().build((1, 8, 8))
+        desc = net.describe()
+        assert len(desc["layers"]) == len(net.layers)
+        assert "total parameters" in net.summary()
+
+    def test_num_parameters_positive(self):
+        net = small_network().build((1, 8, 8))
+        assert net.num_parameters > 0
+
+    def test_backward_shapes(self, rng):
+        net = small_network().build((1, 8, 8))
+        x = rng.normal(size=(2, 1, 8, 8))
+        out = net.forward(x, training=True)
+        grad = net.backward(np.ones_like(out))
+        assert grad.shape == x.shape
+
+
+class TestLosses:
+    def test_cross_entropy_uniform(self):
+        logits = np.zeros((4, 10))
+        labels = np.array([0, 1, 2, 3])
+        assert abs(cross_entropy(logits, labels) - np.log(10)) < 1e-9
+
+    def test_cross_entropy_perfect_prediction(self):
+        logits = np.array([[100.0, 0.0], [0.0, 100.0]])
+        assert cross_entropy(logits, np.array([0, 1])) < 1e-6
+
+    def test_cross_entropy_gradient_matches_numeric(self, rng):
+        loss = CrossEntropyLoss()
+        logits = rng.normal(size=(3, 5))
+        labels = np.array([0, 2, 4])
+
+        def f(l):
+            return CrossEntropyLoss()(l, labels)
+
+        loss(logits, labels)
+        np.testing.assert_allclose(
+            loss.backward(), numerical_gradient(f, logits.copy()), atol=1e-6
+        )
+
+    def test_kl_divergence_zero_for_identical(self, rng):
+        p = softmax(rng.normal(size=(4, 6)))
+        assert kl_divergence(p, p) < 1e-10
+
+    def test_kl_divergence_positive(self, rng):
+        p = softmax(rng.normal(size=(4, 6)))
+        q = softmax(rng.normal(size=(4, 6)))
+        assert kl_divergence(p, q) > 0
+
+    def test_distillation_gradient_matches_numeric(self, rng):
+        teacher = softmax(rng.normal(size=(3, 4)))
+        logits = rng.normal(size=(3, 4))
+        loss = DistillationLoss(temperature=2.0)
+
+        def f(l):
+            return DistillationLoss(temperature=2.0)(l, teacher)
+
+        loss(logits, teacher)
+        np.testing.assert_allclose(
+            loss.backward(), numerical_gradient(f, logits.copy()), atol=1e-6
+        )
+
+    def test_distillation_zero_when_matching_teacher(self, rng):
+        logits = rng.normal(size=(3, 4))
+        teacher = softmax(logits / 3.0)
+        assert DistillationLoss(temperature=3.0)(logits, teacher) < 1e-10
+
+    def test_mse(self):
+        loss = MSELoss()
+        value = loss(np.array([[1.0, 2.0]]), np.array([[0.0, 0.0]]))
+        assert abs(value - 2.5) < 1e-12
+
+    def test_invalid_temperature(self):
+        with pytest.raises(ValueError):
+            DistillationLoss(temperature=0)
+
+
+class TestOptimizers:
+    def _quadratic_problem(self):
+        net = Network([Dense(1, use_bias=False, name="w")]).build((1,), seed=0)
+        return net
+
+    def test_sgd_reduces_quadratic_loss(self):
+        net = self._quadratic_problem()
+        param = next(net.parameters())
+        opt = SGD(net.parameters(), lr=0.1, momentum=0.0, weight_decay=0.0)
+        x = np.ones((1, 1))
+        for _ in range(50):
+            opt.zero_grad()
+            out = net.forward(x)
+            param.grad += 2 * (out - 3.0).T @ x  # d/dw of (w - 3)^2
+            opt.step()
+        assert abs(param.value[0, 0] - 3.0) < 1e-3
+
+    def test_sgd_weight_decay_shrinks_weights(self):
+        net = self._quadratic_problem()
+        param = next(net.parameters())
+        param.value[...] = 10.0
+        opt = SGD(net.parameters(), lr=0.1, momentum=0.0, weight_decay=0.5)
+        for _ in range(5):
+            opt.zero_grad()
+            opt.step()
+        assert abs(param.value[0, 0]) < 10.0
+
+    def test_adam_reduces_quadratic_loss(self):
+        net = self._quadratic_problem()
+        param = next(net.parameters())
+        opt = Adam(net.parameters(), lr=0.2)
+        x = np.ones((1, 1))
+        for _ in range(100):
+            opt.zero_grad()
+            out = net.forward(x)
+            param.grad += 2 * (out - 3.0).T @ x
+            opt.step()
+        assert abs(param.value[0, 0] - 3.0) < 1e-2
+
+    def test_empty_parameters_rejected(self):
+        with pytest.raises(ValueError):
+            SGD([], lr=0.1)
+
+    def test_invalid_lr_rejected(self):
+        net = self._quadratic_problem()
+        with pytest.raises(ValueError):
+            SGD(net.parameters(), lr=0)
+
+    def test_step_lr_schedule(self):
+        net = self._quadratic_problem()
+        opt = SGD(net.parameters(), lr=1.0)
+        sched = StepLR(opt, step_size=2, gamma=0.1)
+        lrs = [sched.step() for _ in range(4)]
+        np.testing.assert_allclose(lrs, [1.0, 0.1, 0.1, 0.01])
+
+    def test_cosine_lr_schedule_monotone_decreasing(self):
+        net = self._quadratic_problem()
+        opt = SGD(net.parameters(), lr=1.0)
+        sched = CosineLR(opt, total_epochs=10)
+        lrs = [sched.step() for _ in range(10)]
+        assert all(a >= b for a, b in zip(lrs, lrs[1:]))
+        assert lrs[-1] < 1e-9
+
+
+class TestInitializers:
+    def test_he_normal_scale(self, rng):
+        w = HeNormal()((1000, 100), rng)
+        assert abs(w.std() - np.sqrt(2.0 / 1000)) < 0.01
+
+    def test_xavier_uniform_bounds(self, rng):
+        w = XavierUniform()((50, 50), rng)
+        limit = np.sqrt(6.0 / 100)
+        assert w.min() >= -limit and w.max() <= limit
+
+    def test_zeros_ones_constant(self, rng):
+        assert np.all(Zeros()((3, 3), rng) == 0)
+        assert np.all(Ones()((3, 3), rng) == 1)
+        assert np.all(Constant(2.5)((2,), rng) == 2.5)
+
+    def test_conv_fan_in(self, rng):
+        w = HeNormal()((64, 32, 3, 3), rng)
+        assert abs(w.std() - np.sqrt(2.0 / (32 * 9))) < 0.01
+
+    def test_registry_lookup(self):
+        assert isinstance(get_initializer("he_normal"), HeNormal)
+        with pytest.raises(ValueError):
+            get_initializer("bogus")
+
+    def test_instance_passthrough(self):
+        init = XavierUniform()
+        assert get_initializer(init) is init

@@ -1,0 +1,132 @@
+"""Tests for im2col / col2im and shape utilities."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.nn.tensor import col2im, conv_output_size, im2col, one_hot, pad_input
+
+
+class TestConvOutputSize:
+    def test_same_padding_preserves_size(self):
+        assert conv_output_size(28, 3, 1, 1) == 28
+
+    def test_stride_two_halves_size(self):
+        assert conv_output_size(32, 2, 2, 0) == 16
+
+    def test_no_padding_shrinks(self):
+        assert conv_output_size(28, 5, 1, 0) == 24
+
+    def test_invalid_input_size_raises(self):
+        with pytest.raises(ValueError):
+            conv_output_size(0, 3, 1, 1)
+
+    def test_invalid_kernel_raises(self):
+        with pytest.raises(ValueError):
+            conv_output_size(8, 0, 1, 1)
+
+    def test_too_large_kernel_raises(self):
+        with pytest.raises(ValueError):
+            conv_output_size(4, 9, 1, 0)
+
+
+class TestPadInput:
+    def test_zero_padding_is_identity(self, rng):
+        x = rng.normal(size=(2, 3, 5, 5))
+        assert pad_input(x, 0) is x
+
+    def test_padding_shape(self, rng):
+        x = rng.normal(size=(2, 3, 5, 5))
+        assert pad_input(x, 2).shape == (2, 3, 9, 9)
+
+    def test_padding_values_are_zero(self, rng):
+        x = rng.normal(size=(1, 1, 3, 3))
+        padded = pad_input(x, 1)
+        assert np.all(padded[:, :, 0, :] == 0)
+        assert np.all(padded[:, :, :, -1] == 0)
+
+    def test_negative_padding_raises(self, rng):
+        with pytest.raises(ValueError):
+            pad_input(rng.normal(size=(1, 1, 3, 3)), -1)
+
+
+class TestIm2Col:
+    def test_shape(self, rng):
+        x = rng.normal(size=(2, 3, 8, 8))
+        cols = im2col(x, 3, 3, stride=1, padding=1)
+        assert cols.shape == (2 * 8 * 8, 3 * 9)
+
+    def test_identity_kernel_1x1(self, rng):
+        x = rng.normal(size=(2, 4, 5, 5))
+        cols = im2col(x, 1, 1)
+        reconstructed = cols.reshape(2, 5, 5, 4).transpose(0, 3, 1, 2)
+        np.testing.assert_allclose(reconstructed, x)
+
+    def test_matches_naive_convolution(self, rng):
+        """im2col-based convolution must equal a direct nested-loop convolution."""
+        x = rng.normal(size=(1, 2, 6, 6))
+        w = rng.normal(size=(3, 2, 3, 3))
+        cols = im2col(x, 3, 3, stride=1, padding=0)
+        out = (cols @ w.reshape(3, -1).T).reshape(1, 4, 4, 3).transpose(0, 3, 1, 2)
+
+        expected = np.zeros((1, 3, 4, 4))
+        for oc in range(3):
+            for i in range(4):
+                for j in range(4):
+                    expected[0, oc, i, j] = np.sum(
+                        x[0, :, i : i + 3, j : j + 3] * w[oc]
+                    )
+        np.testing.assert_allclose(out, expected, atol=1e-10)
+
+    def test_stride_two(self, rng):
+        x = rng.normal(size=(1, 1, 8, 8))
+        cols = im2col(x, 2, 2, stride=2)
+        assert cols.shape == (16, 4)
+
+
+class TestCol2Im:
+    @given(
+        n=st.integers(1, 3),
+        c=st.integers(1, 3),
+        size=st.integers(4, 9),
+        kernel=st.integers(1, 3),
+    )
+    @settings(max_examples=25, deadline=None)
+    def test_adjoint_property(self, n, c, size, kernel):
+        """col2im is the adjoint of im2col: <im2col(x), y> == <x, col2im(y)>."""
+        rng = np.random.default_rng(42)
+        x = rng.normal(size=(n, c, size, size))
+        cols = im2col(x, kernel, kernel, stride=1, padding=0)
+        y = rng.normal(size=cols.shape)
+        lhs = float(np.sum(cols * y))
+        back = col2im(y, x.shape, kernel, kernel, stride=1, padding=0)
+        rhs = float(np.sum(x * back))
+        np.testing.assert_allclose(lhs, rhs, rtol=1e-9)
+
+    def test_accumulates_overlaps(self):
+        x_shape = (1, 1, 3, 3)
+        cols = np.ones((1 * 2 * 2, 1 * 2 * 2))
+        img = col2im(cols, x_shape, 2, 2, stride=1, padding=0)
+        # centre pixel is covered by all four 2x2 windows
+        assert img[0, 0, 1, 1] == 4.0
+        assert img[0, 0, 0, 0] == 1.0
+
+
+class TestOneHot:
+    def test_basic(self):
+        out = one_hot(np.array([0, 2, 1]), 3)
+        np.testing.assert_array_equal(out, np.eye(3)[[0, 2, 1]])
+
+    def test_rows_sum_to_one(self, rng):
+        labels = rng.integers(0, 7, size=20)
+        out = one_hot(labels, 7)
+        np.testing.assert_array_equal(out.sum(axis=1), np.ones(20))
+
+    def test_out_of_range_raises(self):
+        with pytest.raises(ValueError):
+            one_hot(np.array([0, 5]), 3)
+
+    def test_wrong_ndim_raises(self):
+        with pytest.raises(ValueError):
+            one_hot(np.zeros((2, 2), dtype=int), 3)
