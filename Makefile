@@ -1,0 +1,19 @@
+# Tier-1 verification and benchmark entry points (mirrors .github/workflows/ci.yml)
+
+PYTHON ?= python
+
+.PHONY: test bench quickstart all
+
+# Tier-1: full test suite (pytest config lives in pyproject.toml)
+test:
+	$(PYTHON) -m pytest -x -q
+
+# Paper-reproduction benchmarks only (tables/figures + inference engine gate)
+bench:
+	$(PYTHON) -m pytest benchmarks/ -q
+
+# Smoke-run the end-to-end quickstart example
+quickstart:
+	$(PYTHON) examples/quickstart.py
+
+all: test bench quickstart

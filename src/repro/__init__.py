@@ -12,6 +12,10 @@ Subpackages
 ``repro.core``
     Multi-exit MCD BayesNNs, Monte-Carlo sampling, FLOP cost model, Phase-1
     optimization, and the four-phase transformation framework.
+``repro.inference``
+    Sample-folded inference engine: cached backbone segments shared across
+    exits and MC samples, folded stochastic suffixes, active-set early
+    exiting, and microbatched streaming.
 ``repro.uncertainty``
     Calibration (ECE) and uncertainty metrics, deep-ensemble baseline.
 ``repro.quantization``
@@ -25,15 +29,16 @@ Subpackages
     Experiment runners reproducing every table and figure of the paper.
 """
 
-from . import analysis, core, datasets, hw, nn, quantization, uncertainty
+from . import analysis, core, datasets, hw, inference, nn, quantization, uncertainty
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "analysis",
     "core",
     "datasets",
     "hw",
+    "inference",
     "nn",
     "quantization",
     "uncertainty",

@@ -23,9 +23,9 @@ from ..hw.accelerator import AcceleratorConfig, AcceleratorModel
 from ..hw.baselines import PUBLISHED_BASELINES
 from ..hw.hls.report import SynthesisReport
 from ..hw.mapping import spatial_mapping, temporal_mapping
+from ..inference.engine import NetworkEngine
 from ..nn.architectures import lenet5_spec, resnet_spec, vgg_spec
 from ..nn.architectures.common import BackboneSpec
-from ..nn.layers.activations import softmax
 from ..nn.losses import CrossEntropyLoss
 from ..nn.optimizers import SGD
 from ..nn.training import DistillationTrainer, Trainer
@@ -172,7 +172,7 @@ def run_table1(settings: Table1Settings | None = None) -> dict:
             seed=settings.seed,
         )
         trainer.fit(dataset.train.x, dataset.train.y, epochs=settings.epochs)
-        se_probs = softmax(se_net.predict(dataset.test.x), axis=-1)
+        se_probs = NetworkEngine(se_net).predict_proba(dataset.test.x)
         arch_results["SE"] = _best_entries([_metric_entry("single-exit", se_probs, labels, 1.0)])
 
         # ---------------- MCD: single exit with MC dropout ----------------- #
@@ -256,16 +256,14 @@ def _evaluate_exit_configurations(
     if mc_samples is not None and stochastic:
         passes = max(1, -(-mc_samples // model.num_exits))
 
-    # MC-averaged per-exit predictions (one stochastic pass per sample batch)
-    accumulated: list[np.ndarray] | None = None
-    for _ in range(passes):
-        exit_probs = model.exit_probabilities(dataset.test.x, stochastic=stochastic)
-        if accumulated is None:
-            accumulated = [p.copy() for p in exit_probs]
-        else:
-            for acc, p in zip(accumulated, exit_probs):
-                acc += p
-    per_exit = [acc / passes for acc in accumulated]
+    # MC-averaged per-exit predictions through the sample-folded engine: the
+    # backbone runs once and each head's stochastic suffix runs a single
+    # folded (passes·N) batch instead of `passes` sequential passes.
+    engine = model.engine
+    if stochastic:
+        per_exit = engine.exit_mc_probabilities(dataset.test.x, passes)
+    else:
+        per_exit = engine.exit_probabilities(dataset.test.x, stochastic=False)
 
     breakdown = model.flop_breakdown()
     # individual exits: backbone up to that exit plus that exit's head

@@ -20,25 +20,17 @@ MCD+ME (ours)     ``num_exits=M, mcd_layers_per_exit>=1``
 
 from __future__ import annotations
 
-import math
 from dataclasses import dataclass, field
 from typing import Iterator, Sequence
 
 import numpy as np
 
 from ..nn.architectures.common import BackboneSpec
-from ..nn.layers.activations import softmax
 from ..nn.layers.base import Parameter
 from ..nn.model import Network
 from .flops import FlopBreakdown, network_flops
-from .mcd import MCPrediction, deterministic_forward
-from .multi_exit import (
-    EarlyExitResult,
-    ExitHeadConfig,
-    build_exit_head,
-    confidence_early_exit,
-    exit_ensemble,
-)
+from .mcd import MCPrediction
+from .multi_exit import EarlyExitResult, ExitHeadConfig, build_exit_head
 
 __all__ = ["MultiExitConfig", "MultiExitBayesNet", "single_exit_bayesnet"]
 
@@ -152,6 +144,8 @@ class MultiExitBayesNet:
         self.backbone: Network = spec.backbone
         self.backbone.build(spec.input_shape, seed=config.seed)
 
+        self._engine = None  # lazily-built repro.inference.InferenceEngine
+
         self.exits: list[Network] = []
         for i, point in enumerate(self.exit_points):
             feature_shape = (
@@ -251,6 +245,10 @@ class MultiExitBayesNet:
 
     def forward_exits(self, x: np.ndarray, training: bool = False) -> list[np.ndarray]:
         """Logits of every exit for one (stochastic, if MCD) forward pass."""
+        if self._engine is not None:
+            # weights are about to change (training) or activations will be
+            # recomputed anyway — drop the engine's backbone cache
+            self._engine.invalidate_cache()
         activations = self.backbone_activations(x, training=training)
         return [
             head.forward(act, training=training)
@@ -277,8 +275,25 @@ class MultiExitBayesNet:
         return grad_back
 
     # ------------------------------------------------------------------ #
-    # inference
+    # inference (delegated to the sample-folded engine)
     # ------------------------------------------------------------------ #
+    @property
+    def engine(self):
+        """The :class:`repro.inference.InferenceEngine` serving this model.
+
+        Built lazily.  Its backbone-activation cache is invalidated
+        automatically by :meth:`forward_exits` (i.e. by training) and by
+        anything that bumps ``backbone.weights_version`` (``set_weights``,
+        post-training quantization).  Code that writes ``param.value[...]``
+        directly must bump the version or call
+        ``model.engine.invalidate_cache()`` itself.
+        """
+        if self._engine is None:
+            from ..inference.engine import InferenceEngine
+
+            self._engine = InferenceEngine(self)
+        return self._engine
+
     def exit_probabilities(
         self, x: np.ndarray, stochastic: bool | None = None
     ) -> list[np.ndarray]:
@@ -287,71 +302,56 @@ class MultiExitBayesNet:
         ``stochastic=None`` uses MCD sampling when the model is Bayesian and
         the deterministic expectation otherwise.
         """
-        if stochastic is None:
-            stochastic = self.config.is_bayesian
-        activations = self.backbone_activations(x, training=False)
-        probs = []
-        for head, act in zip(self.exits, activations):
-            if stochastic:
-                logits = head.forward(act, training=False)
-            else:
-                logits = deterministic_forward(head, act)
-            probs.append(softmax(logits, axis=-1))
-        return probs
+        return self.engine.exit_probabilities(x, stochastic=stochastic)
 
     def predict_deterministic(self, x: np.ndarray) -> np.ndarray:
         """Ensemble prediction with MCD replaced by its expectation."""
-        return exit_ensemble(self.exit_probabilities(x, stochastic=False))
+        return self.engine.predict_deterministic(x)
 
     def predict_mc(self, x: np.ndarray, num_samples: int | None = None) -> MCPrediction:
         """Monte-Carlo prediction with cached backbone activations.
 
-        ``ceil(num_samples / num_exits)`` stochastic passes are run through
-        the exit heads only; each pass yields one sample per exit.  Samples
-        are interleaved round-robin across exits and truncated to exactly
-        ``num_samples``, so small sample counts still cover many exits.
+        The backbone runs once; the ``ceil(num_samples / num_exits)``
+        stochastic passes through each exit head are folded into the batch
+        axis and run as a single pass (:class:`repro.inference.InferenceEngine`).
+        Samples are interleaved round-robin across exits and truncated to
+        exactly ``num_samples``, bit-identically to the historical per-pass
+        loop (:func:`repro.inference.legacy.looped_predict_mc`).
         """
-        if num_samples is None:
-            num_samples = self.config.default_mc_samples
-        if num_samples <= 0:
-            raise ValueError("num_samples must be positive")
-
-        activations = self.backbone_activations(x, training=False)
-        passes = math.ceil(num_samples / self.num_exits)
-
-        per_pass_exit_probs: list[list[np.ndarray]] = []
-        for _ in range(passes):
-            pass_probs = [
-                softmax(head.forward(act, training=False), axis=-1)
-                for head, act in zip(self.exits, activations)
-            ]
-            per_pass_exit_probs.append(pass_probs)
-
-        # round-robin over exits within each pass: e0p0, e1p0, ..., e0p1, ...
-        flat: list[np.ndarray] = []
-        for pass_probs in per_pass_exit_probs:
-            flat.extend(pass_probs)
-        sample_probs = np.stack(flat[:num_samples])
-        return MCPrediction(
-            mean_probs=sample_probs.mean(axis=0), sample_probs=sample_probs
-        )
+        return self.engine.predict_mc(x, num_samples)
 
     def predict_proba(self, x: np.ndarray, num_samples: int | None = None) -> np.ndarray:
         """Mean predictive distribution (MC if Bayesian, deterministic otherwise)."""
-        if self.config.is_bayesian:
-            return self.predict_mc(x, num_samples).mean_probs
-        return self.predict_deterministic(x)
+        return self.engine.predict_proba(x, num_samples)
 
     def predict(self, x: np.ndarray, num_samples: int | None = None) -> np.ndarray:
         """Predicted class labels."""
-        return self.predict_proba(x, num_samples).argmax(axis=1)
+        return self.engine.predict(x, num_samples)
+
+    def predict_stream(
+        self,
+        inputs,
+        batch_size: int = 64,
+        num_samples: int | None = None,
+        early_exit_threshold: float | None = None,
+    ):
+        """Microbatched predictive distributions (see ``InferenceEngine.predict_stream``)."""
+        return self.engine.predict_stream(
+            inputs,
+            batch_size=batch_size,
+            num_samples=num_samples,
+            early_exit_threshold=early_exit_threshold,
+        )
 
     def early_exit_predict(
         self, x: np.ndarray, threshold: float, use_ensemble: bool = True
     ) -> EarlyExitResult:
-        """Confidence-based early exiting over the exits' predictions."""
-        probs = self.exit_probabilities(x)
-        return confidence_early_exit(probs, threshold, use_ensemble=use_ensemble)
+        """Confidence-based early exiting with per-example termination.
+
+        Delegates to the engine's active-set path: only still-undecided
+        examples are propagated through later backbone segments and heads.
+        """
+        return self.engine.early_exit_predict(x, threshold, use_ensemble=use_ensemble)
 
     # ------------------------------------------------------------------ #
     # cost analysis

@@ -6,9 +6,16 @@ FPGA-accelerator design for the corresponding multi-exit MCD BayesNN:
 * **Phase 1** — multi-exit optimization: construct and train candidate
   multi-exit MCD BayesNNs, evaluate accuracy/calibration/FLOPs, and pick the
   best configuration under user constraints
-  (:class:`repro.core.optimization.MultiExitOptimizer`).
+  (:class:`repro.core.optimization.MultiExitOptimizer`).  Candidate
+  evaluation runs through the sample-folded
+  :class:`repro.inference.InferenceEngine`.
 * **Phase 2** — spatial and temporal mapping of the Monte-Carlo engines
-  (:mod:`repro.hw.mapping`).
+  (:mod:`repro.hw.mapping`).  The *spatial* mapping replicates the MC engine
+  per sample so all ``S`` samples of the stochastic suffix are evaluated at
+  once on the cloned cached tensor; :mod:`repro.inference` is the software
+  analogue of exactly this mapping — samples are folded into the batch axis
+  and the stochastic suffix runs once, so the Python hot path mirrors what
+  the silicon does instead of paying ``S`` sequential passes.
 * **Phase 3** — algorithm–hardware co-exploration of bitwidth, channel
   scaling and reuse factor (:class:`repro.hw.dse.CoExplorer`).
 * **Phase 4** — generation of the HLS-based accelerator and its synthesis

@@ -5,10 +5,16 @@ The building blocks here are architecture-agnostic:
 * :func:`insert_mcd_into_head` implements the paper's MCD-placement rule —
   dropout layers are inserted *starting from the exit and moving towards the
   input*, one in front of each of the last ``n`` parameterised layers.
-* :class:`MCSampler` runs repeated stochastic forward passes through a
-  network that contains :class:`~repro.nn.layers.MCDropout` layers, caching
-  the deterministic prefix so that only the stochastic suffix is recomputed
-  per sample (the same trick the hardware design exploits).
+* :class:`MCSampler` draws Monte-Carlo predictive samples from a network
+  that contains :class:`~repro.nn.layers.MCDropout` layers.  It is a thin
+  façade over :class:`repro.inference.NetworkEngine`, the software analogue
+  of the accelerator's **spatial MC-engine mapping** (Phase 2, Figure 4):
+  the deterministic prefix is evaluated once and its activation cached —
+  the hardware's cached-tensor clone step — and the ``S`` samples are then
+  *folded into the batch axis* so the stochastic suffix runs in a single
+  pass, exactly as the replicated MC engines evaluate all samples at once
+  in silicon.  The folded pass is bit-identical to running the suffix once
+  per sample (see :mod:`repro.inference.folding` for the contract).
 """
 
 from __future__ import annotations
@@ -18,7 +24,6 @@ from dataclasses import dataclass
 import numpy as np
 
 from ..nn.layers import Conv2D, Dense, Layer, MCDropout
-from ..nn.layers.activations import softmax
 from ..nn.model import Network
 
 __all__ = ["insert_mcd_into_head", "deterministic_forward", "MCSampler", "MCPrediction"]
@@ -119,48 +124,29 @@ class MCSampler:
     """Draw Monte-Carlo predictive samples from a network with MCD layers.
 
     The sampler splits the network at its first stochastic layer: the
-    deterministic prefix is evaluated once and its activation cached, then
-    the stochastic suffix is re-evaluated ``num_samples`` times.  This is the
-    software analogue of the accelerator's cached-tensor clone step
-    (Figure 4 of the paper).
+    deterministic prefix is evaluated once and its activation cached — the
+    accelerator's cached-tensor clone step (Figure 4) — and the ``S``
+    samples are folded into the batch axis so the stochastic suffix runs in
+    a single pass (:class:`repro.inference.NetworkEngine`).  Results are
+    bit-identical to the historical one-pass-per-sample loop, which lives on
+    as :func:`repro.inference.legacy.looped_mc_sample`.
     """
 
     def __init__(self, network: Network, seed: int | None = None) -> None:
-        if not network.built:
-            raise ValueError("network must be built before sampling")
+        from ..inference.engine import NetworkEngine
+
+        self._engine = NetworkEngine(network, seed=seed)
         self.network = network
         self.split_index = network.first_stochastic_index()
-        if seed is not None:
-            self.reseed(seed)
 
     def reseed(self, seed: int) -> None:
         """Reseed every MCD layer for reproducible sample sequences."""
-        for offset, idx in enumerate(self.network.stochastic_layer_indices()):
-            layer = self.network.layers[idx]
-            if isinstance(layer, MCDropout):
-                layer.reseed(seed + offset)
+        self._engine.reseed(seed)
 
     @property
     def has_stochastic_layers(self) -> bool:
         return self.split_index < len(self.network.layers)
 
     def sample(self, x: np.ndarray, num_samples: int = 3) -> MCPrediction:
-        """Run ``num_samples`` stochastic passes and aggregate the predictions."""
-        if num_samples <= 0:
-            raise ValueError("num_samples must be positive")
-
-        cached = self.network.forward_range(x, 0, self.split_index, training=False)
-        n_layers = len(self.network.layers)
-
-        samples = []
-        for _ in range(num_samples):
-            logits = self.network.forward_range(
-                cached, self.split_index, n_layers, training=False
-            )
-            samples.append(softmax(logits, axis=-1))
-            if not self.has_stochastic_layers:
-                # deterministic network: all samples identical, stop early
-                samples = samples * num_samples
-                break
-        sample_probs = np.stack(samples[:num_samples])
-        return MCPrediction(mean_probs=sample_probs.mean(axis=0), sample_probs=sample_probs)
+        """Draw ``num_samples`` predictive samples in one folded pass."""
+        return self._engine.sample(x, num_samples)

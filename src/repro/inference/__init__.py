@@ -1,0 +1,40 @@
+"""Sample-folded inference engine (DESIGN.md §3.2, Figure 4 analogue).
+
+The paper's accelerator caches the deterministic backbone activation once
+and evaluates the ``S`` Monte-Carlo samples spatially, in parallel MC
+engines.  This subpackage is the software counterpart: Monte-Carlo samples
+are folded into the batch axis and the stochastic suffix runs once, with
+per-segment backbone activations cached and shared across all exits and all
+samples.
+
+Public surface
+--------------
+:class:`InferenceEngine`
+    Folded MC prediction, per-exit distributions, active-set early exiting
+    and microbatched streaming over a multi-exit MCD BayesNN.
+:class:`NetworkEngine`
+    The same folded hot path for flat single-exit networks.
+:mod:`repro.inference.folding`
+    ``fold_batch`` / ``unfold_samples`` / ``folded_forward_range`` primitives
+    with a documented bit-exactness contract.
+:mod:`repro.inference.legacy`
+    The pre-folding per-sample loops, kept as the regression/benchmark
+    reference.
+"""
+
+from .engine import InferenceEngine, NetworkEngine
+from .folding import fold_batch, folded_forward_range, unfold_samples
+from .legacy import eager_early_exit, looped_mc_sample, looped_predict_mc
+from .streaming import iter_microbatches
+
+__all__ = [
+    "InferenceEngine",
+    "NetworkEngine",
+    "fold_batch",
+    "unfold_samples",
+    "folded_forward_range",
+    "iter_microbatches",
+    "looped_mc_sample",
+    "looped_predict_mc",
+    "eager_early_exit",
+]

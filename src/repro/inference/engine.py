@@ -1,0 +1,436 @@
+"""Sample-folded inference engines.
+
+Two engines share the folded hot path of :mod:`repro.inference.folding`:
+
+* :class:`NetworkEngine` wraps a flat :class:`~repro.nn.model.Network` (the
+  single-exit Bayes-LeNet/-VGG/-ResNet construction): the deterministic
+  prefix is evaluated once, tiled ``S`` times into the batch axis, and the
+  stochastic suffix runs in a single folded pass.
+* :class:`InferenceEngine` wraps a
+  :class:`~repro.core.bayesnn.MultiExitBayesNet`: per-segment backbone
+  activations are computed once, cached, and shared across *all* exits and
+  *all* Monte-Carlo samples; each exit head is split at its first stochastic
+  layer so only the stochastic head suffix is folded and re-evaluated.
+
+Both engines reproduce the legacy per-sample loops bit-for-bit (see
+:mod:`repro.inference.legacy`), add microbatched ``predict_stream`` APIs for
+high-volume workloads, and :class:`InferenceEngine` additionally implements
+confidence-based early exiting with *active-set masking*: a whole batch
+streams through the exits and only still-undecided examples are propagated
+through later backbone segments.
+"""
+
+from __future__ import annotations
+
+import math
+import weakref
+from typing import TYPE_CHECKING, Iterable, Iterator
+
+import numpy as np
+
+from ..core.mcd import MCPrediction, deterministic_forward
+from ..core.multi_exit import EarlyExitResult, exit_ensemble
+from ..nn.layers import MCDropout
+from ..nn.layers.activations import softmax
+from ..nn.model import Network
+from .folding import fold_batch, folded_forward_range, unfold_samples
+from .streaming import iter_microbatches
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..core.bayesnn import MultiExitBayesNet
+
+__all__ = ["NetworkEngine", "InferenceEngine"]
+
+
+class _ActivationCache:
+    """Small identity-keyed memo of activations for repeated inputs.
+
+    Keys are ``weakref``s to the input arrays, so entries die with their
+    inputs and an ``id()`` recycled by the allocator can never produce a
+    false hit.  Every entry additionally records a *weights-version token*
+    (see :meth:`Network.bump_weights_version`): entries stored under an
+    older token are treated as misses, so ``set_weights``, post-training
+    quantization and the training paths invalidate the cache without having
+    to know about it.  Code that writes ``param.value[...]`` directly and
+    bypasses ``bump_weights_version`` must call ``engine.invalidate_cache()``
+    itself; mutating a cached *input* array in place is likewise undetectable.
+    """
+
+    def __init__(self, maxsize: int) -> None:
+        self.maxsize = int(maxsize)
+        self._entries: list[tuple[weakref.ref, object, object]] = []
+
+    def get(self, x: np.ndarray, token: object):
+        for ref, entry_token, value in self._entries:
+            if ref() is x and entry_token == token:
+                return value
+        return None
+
+    def put(self, x: np.ndarray, token: object, value: object) -> None:
+        if self.maxsize <= 0:
+            return
+        self._entries = [
+            (r, t, v) for r, t, v in self._entries if r() is not None and t == token
+        ]
+        self._entries.append((weakref.ref(x), token, value))
+        if len(self._entries) > self.maxsize:
+            del self._entries[: len(self._entries) - self.maxsize]
+
+    def clear(self) -> None:
+        self._entries = []
+
+
+class NetworkEngine:
+    """Folded Monte-Carlo inference over a flat network with MCD layers.
+
+    The engine splits the network at its first stochastic layer, evaluates
+    the deterministic prefix once, folds the cached activation ``S`` times
+    into the batch axis and runs the stochastic suffix in a single pass —
+    the software analogue of the accelerator's spatial MC-engine mapping.
+
+    Parameters
+    ----------
+    network:
+        A built :class:`~repro.nn.model.Network`.
+    seed:
+        When given, reseeds every MCD layer (as ``MCSampler`` does).
+    exact:
+        Keep the folded pass bit-identical to the legacy per-sample loop
+        (default).  ``False`` runs every layer on the flat fold instead,
+        which is fastest but only ULP-level equivalent.
+    cache_size:
+        Number of recent inputs whose prefix activation is memoised
+        (0 disables caching; see :class:`_ActivationCache` for invalidation
+        caveats).
+    """
+
+    def __init__(
+        self,
+        network: Network,
+        seed: int | None = None,
+        exact: bool = True,
+        cache_size: int = 0,
+    ) -> None:
+        if not network.built:
+            raise ValueError("network must be built before sampling")
+        self.network = network
+        self.exact = bool(exact)
+        self._cache = _ActivationCache(cache_size)
+        if seed is not None:
+            self.reseed(seed)
+
+    # ------------------------------------------------------------------ #
+    def reseed(self, seed: int) -> None:
+        """Reseed every MCD layer for reproducible sample sequences."""
+        for offset, idx in enumerate(self.network.stochastic_layer_indices()):
+            layer = self.network.layers[idx]
+            if isinstance(layer, MCDropout):
+                layer.reseed(seed + offset)
+
+    def invalidate_cache(self) -> None:
+        self._cache.clear()
+
+    @property
+    def split_index(self) -> int:
+        return self.network.first_stochastic_index()
+
+    @property
+    def has_stochastic_layers(self) -> bool:
+        return self.split_index < len(self.network.layers)
+
+    # ------------------------------------------------------------------ #
+    def _prefix(self, x: np.ndarray, split: int) -> np.ndarray:
+        token = (self.network.weights_version, split)
+        cached = self._cache.get(x, token)
+        if cached is None:
+            cached = self.network.forward_range(x, 0, split, training=False)
+            self._cache.put(x, token, cached)
+        return cached
+
+    def sample(self, x: np.ndarray, num_samples: int = 3) -> MCPrediction:
+        """Draw ``num_samples`` MC predictive samples in one folded pass."""
+        if num_samples <= 0:
+            raise ValueError("num_samples must be positive")
+        split = self.split_index
+        n_layers = len(self.network.layers)
+        cached = self._prefix(x, split)
+
+        if split >= n_layers:
+            # deterministic network: one pass, replicate the sample
+            probs = softmax(cached, axis=-1)
+            sample_probs = np.stack([probs] * num_samples)
+        else:
+            folded = fold_batch(cached, num_samples)
+            logits = folded_forward_range(
+                self.network, folded, num_samples, split, n_layers, exact=self.exact
+            )
+            sample_probs = unfold_samples(softmax(logits, axis=-1), num_samples)
+        return MCPrediction(
+            mean_probs=sample_probs.mean(axis=0), sample_probs=sample_probs
+        )
+
+    def predict_proba(
+        self, x: np.ndarray, num_samples: int | None = None
+    ) -> np.ndarray:
+        """Predictive distribution: MC mean when ``num_samples`` is given,
+        otherwise one (stochastic, if MCD) forward pass."""
+        if num_samples is not None:
+            return self.sample(x, num_samples).mean_probs
+        return softmax(self.network.forward(x, training=False), axis=-1)
+
+    def predict_stream(
+        self,
+        inputs: np.ndarray | Iterable[np.ndarray],
+        batch_size: int = 64,
+        num_samples: int | None = None,
+    ) -> Iterator[np.ndarray]:
+        """Microbatched predictive distributions for high-volume workloads.
+
+        Yields one ``(<=batch_size, classes)`` probability array per
+        microbatch; peak memory stays bounded by the microbatch fold.
+        """
+        for batch in iter_microbatches(inputs, batch_size):
+            yield self.predict_proba(batch, num_samples)
+
+
+class InferenceEngine:
+    """Vectorised inference over a multi-exit MCD BayesNN.
+
+    The engine is the software analogue of the paper's cached-tensor +
+    MC-engine design: per-segment backbone activations are computed once and
+    shared across all exits and all samples, and the ``ceil(S / E)``
+    stochastic head passes are folded into the batch axis so every exit head
+    runs exactly once per prediction.
+
+    All public methods keep the semantics (and, for ``predict_mc``, the bit
+    pattern) of the legacy loops in :mod:`repro.inference.legacy`.
+    """
+
+    def __init__(
+        self,
+        model: "MultiExitBayesNet",
+        exact: bool = True,
+        cache_size: int = 4,
+    ) -> None:
+        self.model = model
+        self.exact = bool(exact)
+        self._cache = _ActivationCache(cache_size)
+
+    # ------------------------------------------------------------------ #
+    def invalidate_cache(self) -> None:
+        """Drop cached backbone activations (call after mutating weights)."""
+        self._cache.clear()
+
+    def _weights_token(self) -> object:
+        return self.model.backbone.weights_version
+
+    def backbone_activations(self, x: np.ndarray) -> list[np.ndarray]:
+        """Backbone activation at each exit point, computed once and cached."""
+        token = self._weights_token()
+        acts = self._cache.get(x, token)
+        if acts is None:
+            acts = self.model.backbone_activations(x, training=False)
+            self._cache.put(x, token, acts)
+        return acts
+
+    # ------------------------------------------------------------------ #
+    # Monte-Carlo prediction (folded)
+    # ------------------------------------------------------------------ #
+    def _head_mc_probs(
+        self, head: Network, act: np.ndarray, num_passes: int
+    ) -> np.ndarray:
+        """``num_passes`` MC samples of one head, shape ``(P, N, classes)``.
+
+        The head is split at its first stochastic layer: the deterministic
+        head prefix runs once on the ``(N, …)`` activation and only the
+        stochastic suffix is folded ``P`` times.
+        """
+        split = head.first_stochastic_index()
+        prefix = head.forward_range(act, 0, split, training=False)
+        if split >= len(head.layers):
+            probs = softmax(prefix, axis=-1)
+            return np.stack([probs] * num_passes)
+        folded = fold_batch(prefix, num_passes)
+        logits = folded_forward_range(
+            head, folded, num_passes, split, len(head.layers), exact=self.exact
+        )
+        return unfold_samples(softmax(logits, axis=-1), num_passes)
+
+    def predict_mc(
+        self, x: np.ndarray, num_samples: int | None = None
+    ) -> MCPrediction:
+        """Monte-Carlo prediction with cached backbone and folded heads.
+
+        Bit-identical to the legacy per-pass loop: samples are interleaved
+        round-robin across exits (``e0p0, e1p0, …, e0p1, …``) and truncated
+        to exactly ``num_samples``.
+        """
+        model = self.model
+        if num_samples is None:
+            num_samples = model.config.default_mc_samples
+        if num_samples <= 0:
+            raise ValueError("num_samples must be positive")
+
+        activations = self.backbone_activations(x)
+        passes = math.ceil(num_samples / model.num_exits)
+
+        per_head = [
+            self._head_mc_probs(head, act, passes)
+            for head, act in zip(model.exits, activations)
+        ]
+        # (E, P, N, C) -> (P, E, N, C) -> flat sample index k = p*E + e
+        stacked = np.stack(per_head)
+        flat = stacked.transpose(1, 0, 2, 3).reshape(
+            (passes * model.num_exits,) + stacked.shape[2:]
+        )
+        sample_probs = np.ascontiguousarray(flat[:num_samples])
+        return MCPrediction(
+            mean_probs=sample_probs.mean(axis=0), sample_probs=sample_probs
+        )
+
+    # ------------------------------------------------------------------ #
+    # per-exit predictions
+    # ------------------------------------------------------------------ #
+    def exit_probabilities(
+        self, x: np.ndarray, stochastic: bool | None = None
+    ) -> list[np.ndarray]:
+        """Per-exit predictive distributions for one forward pass."""
+        if stochastic is None:
+            stochastic = self.model.config.is_bayesian
+        activations = self.backbone_activations(x)
+        probs = []
+        for head, act in zip(self.model.exits, activations):
+            if stochastic:
+                logits = head.forward(act, training=False)
+            else:
+                logits = deterministic_forward(head, act)
+            probs.append(softmax(logits, axis=-1))
+        return probs
+
+    def exit_mc_probabilities(
+        self, x: np.ndarray, num_passes: int
+    ) -> list[np.ndarray]:
+        """Per-exit MC-mean distributions over ``num_passes`` folded passes.
+
+        Replaces the accumulate-over-passes loops of the Table I evaluation:
+        each head's stochastic suffix runs once on a ``(P·N, …)`` fold
+        instead of ``P`` times on ``(N, …)``.
+        """
+        if num_passes <= 0:
+            raise ValueError("num_passes must be positive")
+        activations = self.backbone_activations(x)
+        return [
+            self._head_mc_probs(head, act, num_passes).mean(axis=0)
+            for head, act in zip(self.model.exits, activations)
+        ]
+
+    def predict_deterministic(self, x: np.ndarray) -> np.ndarray:
+        """Ensemble prediction with MCD replaced by its expectation."""
+        return exit_ensemble(self.exit_probabilities(x, stochastic=False))
+
+    def predict_proba(
+        self, x: np.ndarray, num_samples: int | None = None
+    ) -> np.ndarray:
+        """Mean predictive distribution (MC if Bayesian, deterministic otherwise)."""
+        if self.model.config.is_bayesian:
+            return self.predict_mc(x, num_samples).mean_probs
+        return self.predict_deterministic(x)
+
+    def predict(self, x: np.ndarray, num_samples: int | None = None) -> np.ndarray:
+        """Predicted class labels."""
+        return self.predict_proba(x, num_samples).argmax(axis=1)
+
+    # ------------------------------------------------------------------ #
+    # batched early exiting (active-set masking)
+    # ------------------------------------------------------------------ #
+    def early_exit_predict(
+        self,
+        x: np.ndarray,
+        threshold: float,
+        use_ensemble: bool = True,
+        stochastic: bool | None = None,
+    ) -> EarlyExitResult:
+        """Confidence-based early exiting with per-example termination.
+
+        Unlike the eager legacy path (compute every exit, then select), the
+        batch streams through the exits: after each exit, examples whose
+        confidence reaches ``threshold`` are retired and only the active set
+        is propagated through later backbone segments and heads — so a
+        mostly-easy batch never pays for the deep exits.
+        """
+        if not 0.0 < threshold < 1.0:
+            raise ValueError("threshold must be in (0, 1)")
+        model = self.model
+        if stochastic is None:
+            stochastic = model.config.is_bayesian
+        bounds = model._segment_bounds()
+        n = x.shape[0]
+        num_exits = model.num_exits
+
+        chosen = np.zeros((n, model.num_classes))
+        exit_indices = np.full(n, num_exits - 1, dtype=np.int64)
+        active = np.arange(n)
+        out = x
+        running: np.ndarray | None = None
+
+        for i, ((start, stop), head) in enumerate(zip(bounds, model.exits)):
+            out = model.backbone.forward_range(out, start, stop, training=False)
+            if stochastic:
+                logits = head.forward(out, training=False)
+            else:
+                logits = deterministic_forward(head, out)
+            probs = softmax(logits, axis=-1)
+            if use_ensemble:
+                running = probs if running is None else running + probs
+                candidate = running / (i + 1)
+            else:
+                candidate = probs
+
+            is_last = i == num_exits - 1
+            if is_last:
+                retire = np.ones(candidate.shape[0], dtype=bool)
+            else:
+                retire = candidate.max(axis=1) >= threshold
+            retired = active[retire]
+            chosen[retired] = candidate[retire]
+            exit_indices[retired] = i
+            if is_last:
+                break
+
+            keep = ~retire
+            if not keep.any():
+                break
+            active = active[keep]
+            out = out[keep]
+            if use_ensemble:
+                running = running[keep]
+
+        distribution = np.bincount(exit_indices, minlength=num_exits) / n
+        return EarlyExitResult(
+            probs=chosen,
+            exit_indices=exit_indices,
+            threshold=float(threshold),
+            exit_distribution=distribution,
+        )
+
+    # ------------------------------------------------------------------ #
+    # streaming
+    # ------------------------------------------------------------------ #
+    def predict_stream(
+        self,
+        inputs: np.ndarray | Iterable[np.ndarray],
+        batch_size: int = 64,
+        num_samples: int | None = None,
+        early_exit_threshold: float | None = None,
+    ) -> Iterator[np.ndarray]:
+        """Microbatched mean predictive distributions for high-volume workloads.
+
+        Yields one ``(<=batch_size, classes)`` probability array per
+        microbatch.  With ``early_exit_threshold`` set, each microbatch runs
+        through the active-set early-exit path instead of full MC sampling.
+        """
+        for batch in iter_microbatches(inputs, batch_size):
+            if early_exit_threshold is not None:
+                yield self.early_exit_predict(batch, early_exit_threshold).probs
+            else:
+                yield self.predict_proba(batch, num_samples)

@@ -1,0 +1,159 @@
+"""Sample-folding primitives: run S Monte-Carlo samples as one wide batch.
+
+The accelerator evaluates ``S`` Monte-Carlo samples *spatially* — the cached
+deterministic activation is cloned into ``S`` parallel MC engines and the
+stochastic suffix is evaluated once (Figure 4 of the paper).  The software
+analogue implemented here folds the sample axis into the batch axis: the
+cached activation of shape ``(N, …)`` is tiled to ``(S·N, …)`` and the
+stochastic suffix is evaluated in a single pass, with every
+:class:`~repro.nn.layers.MCDropout` layer drawing one *independent* mask row
+per (sample, example) pair.
+
+Bit-exactness contract
+----------------------
+The folded pass is required to be **bit-identical** to the legacy
+one-pass-per-sample loop (see :mod:`repro.inference.legacy`) so that the
+refactor is observationally invisible.  Three facts make that possible:
+
+* ``np.random.Generator.random`` fills arrays from the bit stream in row-major
+  order, so one draw of shape ``(S·N, …)`` consumes the per-layer RNG stream
+  in exactly the same order as ``S`` sequential draws of shape ``(N, …)``.
+  Tiling the batch sample-major therefore reproduces the legacy masks.
+* Row-wise layers (activations, pooling, dropout masking, reshapes,
+  inference-mode batch norm) compute each batch row independently, so they
+  are bit-stable under batch tiling.
+* GEMM-backed layers are **not** bit-stable under batch tiling (BLAS picks
+  different kernels/blocking for different M), so :class:`Dense` layers are
+  evaluated as a *stacked* ``(S, N, F) @ (F, U)`` matmul — one GEMM per
+  sample slice with the legacy shapes, dispatched in C — and any remaining
+  parameterised layer (``Conv2D``, ``ResidualBlock``, custom layers) falls
+  back to a per-slice loop.
+
+Passing ``exact=False`` trades the guarantee for speed: every layer then runs
+directly on the flat ``(S·N, …)`` fold (results still agree to within a few
+ULPs).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..nn.layers import (
+    AvgPool2D,
+    BatchNorm,
+    Dense,
+    Dropout,
+    Flatten,
+    GlobalAvgPool2D,
+    MaxPool2D,
+    MCDropout,
+    ReLU,
+    Softmax,
+)
+from ..nn.layers.base import Layer
+from ..nn.model import Network
+
+__all__ = [
+    "ROWWISE_LAYERS",
+    "fold_batch",
+    "unfold_samples",
+    "folded_forward_range",
+]
+
+#: Layers whose forward pass treats every batch row independently with
+#: identical per-row arithmetic — safe to evaluate on the flat fold.
+#: ``MCDropout`` belongs here by construction: its mask draw on the folded
+#: batch consumes the per-layer RNG stream exactly like S sequential draws.
+ROWWISE_LAYERS: tuple[type[Layer], ...] = (
+    ReLU,
+    Softmax,
+    Flatten,
+    MaxPool2D,
+    AvgPool2D,
+    GlobalAvgPool2D,
+    BatchNorm,
+    Dropout,
+    MCDropout,
+)
+
+
+def fold_batch(x: np.ndarray, num_samples: int) -> np.ndarray:
+    """Tile a batch ``(N, …)`` sample-major into ``(S·N, …)``.
+
+    Row ``s·N + n`` of the result is example ``n`` of Monte-Carlo sample
+    ``s`` — the clone step of the accelerator's spatial mapping.
+    """
+    if num_samples <= 0:
+        raise ValueError("num_samples must be positive")
+    return np.tile(x, (num_samples,) + (1,) * (x.ndim - 1))
+
+
+def unfold_samples(y: np.ndarray, num_samples: int) -> np.ndarray:
+    """Inverse of :func:`fold_batch` on the output: ``(S·N, …) -> (S, N, …)``."""
+    if num_samples <= 0:
+        raise ValueError("num_samples must be positive")
+    if y.shape[0] % num_samples:
+        raise ValueError(
+            f"folded batch of {y.shape[0]} rows is not divisible by "
+            f"num_samples={num_samples}"
+        )
+    return y.reshape((num_samples, y.shape[0] // num_samples) + y.shape[1:])
+
+
+def _dense_folded(layer: Dense, x: np.ndarray, num_samples: int) -> np.ndarray:
+    """Evaluate a Dense layer on the fold as a stacked per-sample GEMM."""
+    n = x.shape[0] // num_samples
+    stacked = x.reshape(num_samples, n, x.shape[1])
+    out = np.matmul(stacked, layer.weight.value)
+    if layer.use_bias:
+        out = out + layer.bias.value
+    return out.reshape(num_samples * n, layer.units)
+
+
+def _sliced_forward(layer: Layer, x: np.ndarray, num_samples: int) -> np.ndarray:
+    """Evaluate a layer one sample-slice at a time (always bit-exact)."""
+    n = x.shape[0] // num_samples
+    return np.concatenate(
+        [
+            layer.forward(x[s * n : (s + 1) * n], training=False)
+            for s in range(num_samples)
+        ],
+        axis=0,
+    )
+
+
+def folded_forward_range(
+    network: Network,
+    x: np.ndarray,
+    num_samples: int,
+    start: int,
+    stop: int,
+    exact: bool = True,
+) -> np.ndarray:
+    """Run layers ``[start, stop)`` of ``network`` on a sample-folded batch.
+
+    ``x`` must already be folded to ``(S·N, …)`` (see :func:`fold_batch`).
+    With ``exact=True`` (default) the result is bit-identical to evaluating
+    the range once per sample on the ``(N, …)`` batch; with ``exact=False``
+    every layer runs on the flat fold (fastest, agreement to a few ULPs).
+    """
+    if not network.built:
+        raise RuntimeError("network must be built before folded evaluation")
+    if not 0 <= start <= stop <= len(network.layers):
+        raise IndexError(
+            f"invalid layer range [{start}, {stop}) for {len(network.layers)} layers"
+        )
+    if x.shape[0] % num_samples:
+        raise ValueError(
+            f"folded batch of {x.shape[0]} rows is not divisible by "
+            f"num_samples={num_samples}"
+        )
+    out = x
+    for layer in network.layers[start:stop]:
+        if not exact or isinstance(layer, ROWWISE_LAYERS):
+            out = layer.forward(out, training=False)
+        elif isinstance(layer, Dense):
+            out = _dense_folded(layer, out, num_samples)
+        else:
+            out = _sliced_forward(layer, out, num_samples)
+    return out

@@ -47,11 +47,21 @@ class _DropoutBase(Layer):
         return 1.0 - self.rate
 
     def _sample_mask(self, x: np.ndarray) -> np.ndarray:
-        """Sample a Bernoulli keep-mask broadcastable to ``x``."""
+        """Sample a Bernoulli keep-mask broadcastable to ``x``.
+
+        Filter-wise masking (Section II-A) draws **one Bernoulli per
+        filter**: on convolutional ``(N, C, H, W)`` activations the mask has
+        shape ``(N, C, 1, 1)`` and drops whole feature maps.  On dense
+        ``(N, F)`` activations every feature *is* a single-element filter,
+        so the filter-wise mask is the full ``(N, F)`` shape and coincides
+        with element-wise masking — there is deliberately no separate code
+        path for it.  Either way the mask consumes ``rows(x)``-proportional
+        RNG stream, which is what lets the sample-folded engine
+        (:mod:`repro.inference.folding`) draw all S per-sample masks in one
+        call without changing the stream.
+        """
         if self.filter_wise and x.ndim == 4:
-            shape = (x.shape[0], x.shape[1], 1, 1)
-        elif self.filter_wise and x.ndim == 2:
-            shape = x.shape
+            shape: tuple[int, ...] = (x.shape[0], x.shape[1], 1, 1)
         else:
             shape = x.shape
         return (self._rng.random(shape) < self.keep_prob).astype(x.dtype)

@@ -31,6 +31,7 @@ class Network:
         self.layers: list[Layer] = list(layers) if layers else []
         self.built = False
         self.input_shape: tuple[int, ...] | None = None
+        self.weights_version = 0
 
     # ------------------------------------------------------------------ #
     # construction
@@ -136,6 +137,17 @@ class Network:
         for layer in self.layers:
             layer.zero_grad()
 
+    def bump_weights_version(self) -> None:
+        """Record that parameter values changed.
+
+        ``weights_version`` lets activation caches (the sample-folded
+        inference engines) detect stale entries.  Weight-mutating utilities
+        in the repository (``set_weights``, post-training quantization, the
+        training paths) call this; code that writes ``param.value[...]``
+        directly should do the same.
+        """
+        self.weights_version += 1
+
     def get_weights(self) -> list[np.ndarray]:
         """Return copies of every parameter value, in deterministic order."""
         return [p.value.copy() for p in self.parameters()]
@@ -156,6 +168,7 @@ class Network:
                     f"{param.value.shape} vs {value.shape}"
                 )
             param.value[...] = value
+        self.bump_weights_version()
 
     # ------------------------------------------------------------------ #
     # structure / introspection

@@ -82,6 +82,9 @@ def quantize_network(
         rmse[param.name] = fmt.quantization_error(param.value)
         if in_place:
             param.value[...] = fmt.quantize(param.value)
+    if in_place:
+        # let activation caches (repro.inference engines) detect the mutation
+        network.bump_weights_version()
     return QuantizationResult(config=config, weight_formats=formats, weight_rmse=rmse)
 
 

@@ -8,11 +8,11 @@ calibration and FLOP cost can be compared against the multi-exit approach.
 
 from __future__ import annotations
 
-from typing import Callable, Sequence
+from typing import Callable, Iterable, Iterator, Sequence
 
 import numpy as np
 
-from ..nn.layers.activations import softmax
+from ..inference.engine import NetworkEngine
 from ..nn.losses import CrossEntropyLoss
 from ..nn.model import Network
 from ..nn.optimizers import SGD
@@ -55,10 +55,18 @@ class DeepEnsemble:
             member.name = f"{member.name}_member{i}"
             member.build(self.input_shape, seed=self.seed + i)
             self.members.append(member)
+        self._engines: list[NetworkEngine] | None = None
 
     @property
     def num_members(self) -> int:
         return len(self.members)
+
+    @property
+    def engines(self) -> list[NetworkEngine]:
+        """One sample-folded :class:`NetworkEngine` per member (lazily built)."""
+        if self._engines is None:
+            self._engines = [NetworkEngine(member) for member in self.members]
+        return self._engines
 
     # ------------------------------------------------------------------ #
     def fit(
@@ -80,20 +88,51 @@ class DeepEnsemble:
             )
             history = trainer.fit(x, y, epochs=epochs)
             final_acc.append(history.accuracy[-1])
+        self._engines = None  # weights changed: rebuild engines (and caches)
         return final_acc
 
     # ------------------------------------------------------------------ #
-    def member_probabilities(self, x: np.ndarray) -> np.ndarray:
-        """Per-member predictive distributions, shape ``(M, N, classes)``."""
-        return np.stack([softmax(m.predict(x), axis=-1) for m in self.members])
+    def member_probabilities(
+        self, x: np.ndarray, num_samples: int | None = None
+    ) -> np.ndarray:
+        """Per-member predictive distributions, shape ``(M, N, classes)``.
 
-    def predict_proba(self, x: np.ndarray) -> np.ndarray:
+        Each member runs through its sample-folded
+        :class:`repro.inference.NetworkEngine`.  When ``num_samples`` is
+        given, members containing MC-dropout layers return the mean over
+        that many folded Monte-Carlo samples instead of a single stochastic
+        pass.
+        """
+        return np.stack(
+            [engine.predict_proba(x, num_samples) for engine in self.engines]
+        )
+
+    def predict_proba(
+        self, x: np.ndarray, num_samples: int | None = None
+    ) -> np.ndarray:
         """Equally-weighted ensemble predictive distribution ``(N, classes)``."""
-        return self.member_probabilities(x).mean(axis=0)
+        return self.member_probabilities(x, num_samples).mean(axis=0)
 
-    def predict(self, x: np.ndarray) -> np.ndarray:
+    def predict(self, x: np.ndarray, num_samples: int | None = None) -> np.ndarray:
         """Predicted class labels."""
-        return self.predict_proba(x).argmax(axis=1)
+        return self.predict_proba(x, num_samples).argmax(axis=1)
+
+    def predict_stream(
+        self,
+        inputs: np.ndarray | Iterable[np.ndarray],
+        batch_size: int = 64,
+        num_samples: int | None = None,
+    ) -> Iterator[np.ndarray]:
+        """Microbatched ensemble predictive distributions.
+
+        Yields one ``(<=batch_size, classes)`` array per microbatch; every
+        member evaluates the same microbatch before the next one is formed,
+        so peak memory is one microbatch of activations per member.
+        """
+        from ..inference.streaming import iter_microbatches
+
+        for batch in iter_microbatches(inputs, batch_size):
+            yield self.member_probabilities(batch, num_samples).mean(axis=0)
 
     def total_parameters(self) -> int:
         """Total parameter count across all members (the ensemble's memory cost)."""

@@ -1,0 +1,190 @@
+"""Folded-vs-looped equivalence: the refactor must be bit-invisible.
+
+These tests guard the acceptance criterion of the sample-folded engine:
+for a fixed seed, ``MCSampler.sample`` and ``MultiExitBayesNet.predict_mc``
+(now folded) produce **bit-identical** ``sample_probs`` to the pre-refactor
+per-sample loops, which live on verbatim in :mod:`repro.inference.legacy`.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import MCSampler, MultiExitBayesNet, MultiExitConfig, single_exit_bayesnet
+from repro.inference import (
+    fold_batch,
+    looped_mc_sample,
+    looped_predict_mc,
+    unfold_samples,
+)
+from repro.inference.engine import NetworkEngine
+from repro.nn.layers import MCDropout
+
+from ..conftest import small_lenet_spec, small_resnet_spec, small_vgg_spec
+
+SPECS = {
+    "lenet": (small_lenet_spec, (1, 12, 12)),
+    "resnet": (small_resnet_spec, (3, 8, 8)),
+    "vgg": (small_vgg_spec, (3, 8, 8)),
+}
+
+
+def _batch(shape, n=6, seed=0):
+    return np.random.default_rng(seed).normal(size=(n,) + shape)
+
+
+# --------------------------------------------------------------------------- #
+# MCSampler (single-exit Bayes nets) vs the legacy per-sample loop
+# --------------------------------------------------------------------------- #
+@pytest.mark.parametrize("arch", sorted(SPECS))
+@pytest.mark.parametrize("num_mcd_layers", [1, 3])
+def test_mcsampler_bit_identical_to_legacy_loop(arch, num_mcd_layers):
+    spec_fn, shape = SPECS[arch]
+    x = _batch(shape)
+
+    folded_net = single_exit_bayesnet(spec_fn(), num_mcd_layers=num_mcd_layers, seed=0)
+    looped_net = single_exit_bayesnet(spec_fn(), num_mcd_layers=num_mcd_layers, seed=0)
+
+    folded = MCSampler(folded_net, seed=11).sample(x, num_samples=5)
+    NetworkEngine(looped_net, seed=11)  # reseed the twin's MCD layers identically
+    looped = looped_mc_sample(looped_net, x, num_samples=5)
+
+    np.testing.assert_array_equal(folded.sample_probs, looped.sample_probs)
+    np.testing.assert_array_equal(folded.mean_probs, looped.mean_probs)
+
+
+def test_mcsampler_repeated_calls_stay_aligned_with_loop(lenet_spec_small):
+    """The folded pass consumes exactly the legacy RNG stream per call."""
+    x = _batch((1, 12, 12))
+    net_a = single_exit_bayesnet(lenet_spec_small, num_mcd_layers=2, seed=0)
+    net_b = single_exit_bayesnet(small_lenet_spec(), num_mcd_layers=2, seed=0)
+    sampler = MCSampler(net_a, seed=3)
+    NetworkEngine(net_b, seed=3)
+    for num_samples in (1, 4, 2):
+        folded = sampler.sample(x, num_samples)
+        looped = looped_mc_sample(net_b, x, num_samples)
+        np.testing.assert_array_equal(folded.sample_probs, looped.sample_probs)
+
+
+# --------------------------------------------------------------------------- #
+# MultiExitBayesNet.predict_mc vs the legacy per-pass loop
+# --------------------------------------------------------------------------- #
+@pytest.mark.parametrize("arch", sorted(SPECS))
+@pytest.mark.parametrize(
+    "mcd_layers,conv_channels", [(1, 0), (2, 8)], ids=["mcd1", "mcd2+conv"]
+)
+def test_predict_mc_bit_identical_to_legacy_loop(arch, mcd_layers, conv_channels):
+    spec_fn, shape = SPECS[arch]
+    x = _batch(shape)
+    config = dict(
+        num_exits=2,
+        mcd_layers_per_exit=mcd_layers,
+        dropout_rate=0.25,
+        default_mc_samples=5,
+        exit_conv_channels=conv_channels,
+        seed=0,
+    )
+    folded_model = MultiExitBayesNet(spec_fn(), MultiExitConfig(**config))
+    looped_model = MultiExitBayesNet(spec_fn(), MultiExitConfig(**config))
+
+    for num_samples in (5, 2):  # truncation below/above num_exits boundaries
+        folded = folded_model.predict_mc(x, num_samples)
+        looped = looped_predict_mc(looped_model, x, num_samples)
+        np.testing.assert_array_equal(folded.sample_probs, looped.sample_probs)
+        np.testing.assert_array_equal(folded.mean_probs, looped.mean_probs)
+
+
+def test_exit_mc_probabilities_match_pass_accumulation(lenet_spec_small):
+    """The folded per-exit MC mean equals the legacy accumulate-over-passes loop."""
+    config = dict(
+        num_exits=2, mcd_layers_per_exit=1, dropout_rate=0.25,
+        default_mc_samples=4, seed=0,
+    )
+    folded_model = MultiExitBayesNet(lenet_spec_small, MultiExitConfig(**config))
+    looped_model = MultiExitBayesNet(small_lenet_spec(), MultiExitConfig(**config))
+    x = _batch((1, 12, 12))
+    passes = 3
+
+    folded = folded_model.engine.exit_mc_probabilities(x, passes)
+
+    accumulated = None
+    for _ in range(passes):
+        exit_probs = looped_model.exit_probabilities(x, stochastic=True)
+        if accumulated is None:
+            accumulated = [p.copy() for p in exit_probs]
+        else:
+            for acc, p in zip(accumulated, exit_probs):
+                acc += p
+    legacy = [acc / passes for acc in accumulated]
+
+    assert len(folded) == len(legacy) == 2
+    for f, l in zip(folded, legacy):
+        np.testing.assert_allclose(f, l, atol=1e-15)
+
+
+def test_non_bayesian_predict_mc_matches_legacy(lenet_spec_small):
+    """Deterministic heads: folding degenerates to replication, still identical."""
+    config = dict(num_exits=2, mcd_layers_per_exit=0, dropout_rate=0.0,
+                  default_mc_samples=4, seed=0)
+    model_a = MultiExitBayesNet(lenet_spec_small, MultiExitConfig(**config))
+    model_b = MultiExitBayesNet(small_lenet_spec(), MultiExitConfig(**config))
+    x = _batch((1, 12, 12))
+    folded = model_a.predict_mc(x, 4)
+    looped = looped_predict_mc(model_b, x, 4)
+    np.testing.assert_array_equal(folded.sample_probs, looped.sample_probs)
+
+
+# --------------------------------------------------------------------------- #
+# property test: folded masks are independent across the S tiles
+# --------------------------------------------------------------------------- #
+@settings(max_examples=25, deadline=None)
+@given(
+    rate=st.floats(min_value=0.1, max_value=0.7),
+    num_samples=st.integers(min_value=2, max_value=6),
+    batch=st.integers(min_value=1, max_value=4),
+    filter_wise=st.booleans(),
+    seed=st.integers(min_value=0, max_value=2**16),
+)
+def test_folded_masks_independent_across_tiles(rate, num_samples, batch, filter_wise, seed):
+    """One folded draw == S independent sequential draws, tile for tile.
+
+    Running an MCDropout layer on the sample-folded batch must (a) give each
+    of the S tiles its own mask — not a shared/broadcast one — and (b) draw
+    those masks from the layer's RNG stream in exactly the order the legacy
+    per-sample loop would, which is the precise sense in which the tiles are
+    independent Bernoulli draws.
+    """
+    features = 64
+    folded_layer = MCDropout(rate, filter_wise=filter_wise, seed=seed)
+    looped_layer = MCDropout(rate, filter_wise=filter_wise, seed=seed)
+    for layer in (folded_layer, looped_layer):
+        layer.build((features,), np.random.default_rng(0))
+
+    x = np.ones((batch, features))
+    folded_out = folded_layer.forward(fold_batch(x, num_samples))
+    tiles = unfold_samples(folded_out, num_samples)
+
+    sequential = np.stack([looped_layer.forward(x) for _ in range(num_samples)])
+    np.testing.assert_array_equal(tiles, sequential)
+
+    # with 64 features and rate in [0.1, 0.7], two identical tiles would be a
+    # ~(p^p·q^q)^64 coincidence — treat any collision as dependence
+    for s in range(num_samples - 1):
+        assert not np.array_equal(tiles[s], tiles[s + 1])
+
+
+@settings(max_examples=10, deadline=None)
+@given(num_samples=st.integers(min_value=2, max_value=5), seed=st.integers(0, 2**16))
+def test_folded_conv_masks_independent_across_tiles(num_samples, seed):
+    """Filter-wise 4-D masks: one (S·N, C, 1, 1) draw == S (N, C, 1, 1) draws."""
+    shape = (3, 16, 2, 2)
+    folded_layer = MCDropout(0.5, filter_wise=True, seed=seed)
+    looped_layer = MCDropout(0.5, filter_wise=True, seed=seed)
+    for layer in (folded_layer, looped_layer):
+        layer.build(shape[1:], np.random.default_rng(0))
+
+    x = np.ones(shape)
+    tiles = unfold_samples(folded_layer.forward(fold_batch(x, num_samples)), num_samples)
+    sequential = np.stack([looped_layer.forward(x) for _ in range(num_samples)])
+    np.testing.assert_array_equal(tiles, sequential)

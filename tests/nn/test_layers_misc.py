@@ -179,6 +179,28 @@ class TestDropout:
                 vals = np.unique(per_channel[n, c])
                 assert len(vals) == 1
 
+    def test_filter_wise_dense_mask_shape_and_semantics(self):
+        """Regression: on (N, F) activations, filter-wise == element-wise.
+
+        Each dense feature is a single-element filter, so the filter-wise
+        mask must cover the full ``(batch, features)`` shape (one draw per
+        feature, not per example or shared across the batch) and equal the
+        element-wise mask drawn from the same stream.
+        """
+        fw = build(MCDropout(0.5, filter_wise=True, seed=123), (32,))
+        ew = build(MCDropout(0.5, filter_wise=False, seed=123), (32,))
+        x = np.ones((6, 32))
+        mask_fw = fw._sample_mask(x)
+        assert mask_fw.shape == (6, 32)
+        np.testing.assert_array_equal(mask_fw, ew._sample_mask(x))
+        # per-element masking: rows must not be forced to a single value
+        assert any(len(np.unique(mask_fw[n])) == 2 for n in range(6))
+
+    def test_filter_wise_conv_mask_shape(self):
+        layer = build(MCDropout(0.5, filter_wise=True, seed=5), (8, 4, 4))
+        mask = layer._sample_mask(np.ones((3, 8, 4, 4)))
+        assert mask.shape == (3, 8, 1, 1)
+
     def test_deterministic_forward_is_identity(self, rng):
         layer = build(MCDropout(0.5), (6,))
         x = rng.normal(size=(3, 6))
