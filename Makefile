@@ -2,18 +2,26 @@
 
 PYTHON ?= python
 
-.PHONY: test bench quickstart all
+.PHONY: test bench docs quickstart serve-demo all
 
 # Tier-1: full test suite (pytest config lives in pyproject.toml)
 test:
 	$(PYTHON) -m pytest -x -q
 
-# Paper-reproduction benchmarks only (tables/figures + inference engine gate)
+# Paper-reproduction benchmarks only (tables/figures + perf gates)
 bench:
 	$(PYTHON) -m pytest benchmarks/ -q
+
+# Documentation gate: relative links resolve, README/docs examples execute
+docs:
+	$(PYTHON) -m pytest tests/docs/ -q
 
 # Smoke-run the end-to-end quickstart example
 quickstart:
 	$(PYTHON) examples/quickstart.py
 
-all: test bench quickstart
+# Smoke-run the async serving demo
+serve-demo:
+	$(PYTHON) examples/serving_demo.py
+
+all: test bench docs quickstart

@@ -16,6 +16,10 @@ Subpackages
     Sample-folded inference engine: cached backbone segments shared across
     exits and MC samples, folded stochastic suffixes, active-set early
     exiting, and microbatched streaming.
+``repro.serving``
+    Asyncio serving layer: dynamic request batching with bounded-queue
+    backpressure over the folded engines, per-request uncertainty results
+    and throughput/latency stats.
 ``repro.uncertainty``
     Calibration (ECE) and uncertainty metrics, deep-ensemble baseline.
 ``repro.quantization``
@@ -29,9 +33,9 @@ Subpackages
     Experiment runners reproducing every table and figure of the paper.
 """
 
-from . import analysis, core, datasets, hw, inference, nn, quantization, uncertainty
+from . import analysis, core, datasets, hw, inference, nn, quantization, serving, uncertainty
 
-__version__ = "1.1.0"
+__version__ = "1.2.0"
 
 __all__ = [
     "analysis",
@@ -41,6 +45,7 @@ __all__ = [
     "inference",
     "nn",
     "quantization",
+    "serving",
     "uncertainty",
     "__version__",
 ]

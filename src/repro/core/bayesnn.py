@@ -283,16 +283,35 @@ class MultiExitBayesNet:
 
         Built lazily.  Its backbone-activation cache is invalidated
         automatically by :meth:`forward_exits` (i.e. by training) and by
-        anything that bumps ``backbone.weights_version`` (``set_weights``,
-        post-training quantization).  Code that writes ``param.value[...]``
-        directly must bump the version or call
-        ``model.engine.invalidate_cache()`` itself.
+        anything that changes ``backbone.weights_version`` — optimizer
+        steps, ``Parameter.assign``, ``set_weights``, post-training
+        quantization.  Only a raw ``param.value[...]`` write without a
+        ``param.bump_version()`` needs a manual
+        ``model.engine.invalidate_cache()``.
         """
         if self._engine is None:
             from ..inference.engine import InferenceEngine
 
             self._engine = InferenceEngine(self)
         return self._engine
+
+    def serving_engine(self, **kwargs):
+        """Build a :class:`repro.serving.ServingEngine` over this model.
+
+        The serving engine wraps :attr:`engine` (sharing its activation
+        cache) and adds asyncio dynamic batching with backpressure::
+
+            async with model.serving_engine(num_samples=8) as server:
+                result = await server.submit(example)
+
+        Keyword arguments are forwarded to
+        :class:`repro.serving.ServingEngine` (``num_samples``,
+        ``early_exit_threshold``, ``max_batch_size``, ``max_batch_latency``,
+        ``max_queue_size``, ``reject_on_full``, ``executor``).
+        """
+        from ..serving import ServingEngine
+
+        return ServingEngine(self, **kwargs)
 
     def exit_probabilities(
         self, x: np.ndarray, stochastic: bool | None = None

@@ -20,12 +20,16 @@ Public surface
 :mod:`repro.inference.legacy`
     The pre-folding per-sample loops, kept as the regression/benchmark
     reference.
+:func:`iter_microbatches` / :func:`aiter_microbatches`
+    Synchronous and async-aware microbatching primitives; the latter (with
+    its ``max_latency`` partial-batch flush) is the building block of the
+    engines' ``apredict_stream`` hooks and of :mod:`repro.serving`.
 """
 
 from .engine import InferenceEngine, NetworkEngine
 from .folding import fold_batch, folded_forward_range, unfold_samples
 from .legacy import eager_early_exit, looped_mc_sample, looped_predict_mc
-from .streaming import iter_microbatches
+from .streaming import aiter_microbatches, iter_microbatches
 
 __all__ = [
     "InferenceEngine",
@@ -34,6 +38,7 @@ __all__ = [
     "unfold_samples",
     "folded_forward_range",
     "iter_microbatches",
+    "aiter_microbatches",
     "looped_mc_sample",
     "looped_predict_mc",
     "eager_early_exit",

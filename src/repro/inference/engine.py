@@ -13,18 +13,23 @@ Two engines share the folded hot path of :mod:`repro.inference.folding`:
   layer so only the stochastic head suffix is folded and re-evaluated.
 
 Both engines reproduce the legacy per-sample loops bit-for-bit (see
-:mod:`repro.inference.legacy`), add microbatched ``predict_stream`` APIs for
-high-volume workloads, and :class:`InferenceEngine` additionally implements
-confidence-based early exiting with *active-set masking*: a whole batch
-streams through the exits and only still-undecided examples are propagated
-through later backbone segments.
+:mod:`repro.inference.legacy`), add microbatched ``predict_stream`` /
+``apredict_stream`` APIs for high-volume (sync and async) workloads, and
+:class:`InferenceEngine` additionally implements confidence-based early
+exiting with *active-set masking*: a whole batch streams through the exits
+and only still-undecided examples are propagated through later backbone
+segments — reusing the engine's memoised per-segment activations when the
+batch is already cached.  The request/response serving layer in
+:mod:`repro.serving` sits directly on top of these engines.
 """
 
 from __future__ import annotations
 
+import asyncio
 import math
 import weakref
-from typing import TYPE_CHECKING, Iterable, Iterator
+from concurrent.futures import Executor
+from typing import TYPE_CHECKING, AsyncIterable, AsyncIterator, Iterable, Iterator
 
 import numpy as np
 
@@ -34,7 +39,7 @@ from ..nn.layers import MCDropout
 from ..nn.layers.activations import softmax
 from ..nn.model import Network
 from .folding import fold_batch, folded_forward_range, unfold_samples
-from .streaming import iter_microbatches
+from .streaming import aiter_microbatches, iter_microbatches
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from ..core.bayesnn import MultiExitBayesNet
@@ -48,12 +53,14 @@ class _ActivationCache:
     Keys are ``weakref``s to the input arrays, so entries die with their
     inputs and an ``id()`` recycled by the allocator can never produce a
     false hit.  Every entry additionally records a *weights-version token*
-    (see :meth:`Network.bump_weights_version`): entries stored under an
-    older token are treated as misses, so ``set_weights``, post-training
-    quantization and the training paths invalidate the cache without having
-    to know about it.  Code that writes ``param.value[...]`` directly and
-    bypasses ``bump_weights_version`` must call ``engine.invalidate_cache()``
-    itself; mutating a cached *input* array in place is likewise undetectable.
+    (see :attr:`Network.weights_version`, derived from the per-parameter
+    mutation counters): entries stored under an older token are treated as
+    misses, so optimizer steps, ``Parameter.assign``, ``set_weights`` and
+    post-training quantization all invalidate the cache without having to
+    know about it.  Only a raw ``param.value[...]`` write without a
+    following ``param.bump_version()`` goes unnoticed — such code must call
+    ``engine.invalidate_cache()`` itself; mutating a cached *input* array in
+    place is likewise undetectable.
     """
 
     def __init__(self, maxsize: int) -> None:
@@ -191,6 +198,43 @@ class NetworkEngine:
         """
         for batch in iter_microbatches(inputs, batch_size):
             yield self.predict_proba(batch, num_samples)
+
+    async def apredict_stream(
+        self,
+        inputs: np.ndarray | Iterable[np.ndarray] | AsyncIterable[np.ndarray],
+        batch_size: int = 64,
+        num_samples: int | None = None,
+        max_latency: float | None = None,
+        executor: Executor | None = None,
+    ) -> AsyncIterator[np.ndarray]:
+        """Async counterpart of :meth:`predict_stream`.
+
+        Accepts asynchronous example streams in addition to the synchronous
+        input forms, and runs every folded NumPy pass in ``executor`` (the
+        event loop's default thread pool when ``None``) so the loop stays
+        responsive while a microbatch computes.
+
+        Parameters
+        ----------
+        inputs:
+            Batch array, iterable of examples, or async iterable of examples.
+        batch_size:
+            Maximum examples per folded pass.
+        num_samples:
+            MC samples per prediction (``None`` = one stochastic pass).
+        max_latency:
+            Flush deadline (seconds) for partially-filled microbatches of an
+            async stream; see :func:`repro.inference.aiter_microbatches`.
+        executor:
+            Where the NumPy work runs.  The engine is not thread-safe, so a
+            multi-worker executor must not be shared with other callers of
+            this engine.
+        """
+        loop = asyncio.get_running_loop()
+        async for batch in aiter_microbatches(inputs, batch_size, max_latency):
+            yield await loop.run_in_executor(
+                executor, self.predict_proba, batch, num_samples
+            )
 
 
 class InferenceEngine:
@@ -357,6 +401,15 @@ class InferenceEngine:
         confidence reaches ``threshold`` are retired and only the active set
         is propagated through later backbone segments and heads — so a
         mostly-easy batch never pays for the deep exits.
+
+        When the batch's backbone activations are already memoised (a prior
+        :meth:`predict_mc` / :meth:`backbone_activations` call on the *same*
+        array under the current weights), the backbone is not re-run at all:
+        each exit reads the still-active rows straight out of the cached
+        per-segment activations.  Cache hits may differ from the cold path
+        by a few ULPs (GEMMs over a row subset are not bit-stable against
+        GEMMs over the full batch); the retire/exit decisions and result
+        semantics are identical.
         """
         if not 0.0 < threshold < 1.0:
             raise ValueError("threshold must be in (0, 1)")
@@ -367,6 +420,9 @@ class InferenceEngine:
         n = x.shape[0]
         num_exits = model.num_exits
 
+        # reuse memoised per-segment activations for this exact batch, if any
+        cached_acts = self._cache.get(x, self._weights_token())
+
         chosen = np.zeros((n, model.num_classes))
         exit_indices = np.full(n, num_exits - 1, dtype=np.int64)
         active = np.arange(n)
@@ -374,7 +430,11 @@ class InferenceEngine:
         running: np.ndarray | None = None
 
         for i, ((start, stop), head) in enumerate(zip(bounds, model.exits)):
-            out = model.backbone.forward_range(out, start, stop, training=False)
+            if cached_acts is not None:
+                act = cached_acts[i]
+                out = act if active.shape[0] == n else act[active]
+            else:
+                out = model.backbone.forward_range(out, start, stop, training=False)
             if stochastic:
                 logits = head.forward(out, training=False)
             else:
@@ -401,7 +461,8 @@ class InferenceEngine:
             if not keep.any():
                 break
             active = active[keep]
-            out = out[keep]
+            if cached_acts is None:
+                out = out[keep]
             if use_ensemble:
                 running = running[keep]
 
@@ -434,3 +495,50 @@ class InferenceEngine:
                 yield self.early_exit_predict(batch, early_exit_threshold).probs
             else:
                 yield self.predict_proba(batch, num_samples)
+
+    async def apredict_stream(
+        self,
+        inputs: np.ndarray | Iterable[np.ndarray] | AsyncIterable[np.ndarray],
+        batch_size: int = 64,
+        num_samples: int | None = None,
+        early_exit_threshold: float | None = None,
+        max_latency: float | None = None,
+        executor: Executor | None = None,
+    ) -> AsyncIterator[np.ndarray]:
+        """Async counterpart of :meth:`predict_stream`.
+
+        Accepts asynchronous example streams in addition to the synchronous
+        input forms, and runs every folded NumPy pass in ``executor`` (the
+        event loop's default thread pool when ``None``) so the event loop is
+        never blocked by a microbatch.  This is the low-level hook the
+        serving layer (:mod:`repro.serving`) builds on; use
+        :class:`repro.serving.ServingEngine` when you need per-request
+        futures, backpressure and stats rather than an ordered batch stream.
+
+        Parameters
+        ----------
+        inputs:
+            Batch array, iterable of examples, or async iterable of examples.
+        batch_size:
+            Maximum examples per folded pass.
+        num_samples:
+            MC samples per prediction (ignored in early-exit mode).
+        early_exit_threshold:
+            When set, each microbatch runs the active-set early-exit path.
+        max_latency:
+            Flush deadline (seconds) for partially-filled microbatches of an
+            async stream; see :func:`repro.inference.aiter_microbatches`.
+        executor:
+            Where the NumPy work runs.  The engine is not thread-safe, so a
+            multi-worker executor must not be shared with other callers of
+            this engine.
+        """
+        loop = asyncio.get_running_loop()
+
+        def compute(batch: np.ndarray) -> np.ndarray:
+            if early_exit_threshold is not None:
+                return self.early_exit_predict(batch, early_exit_threshold).probs
+            return self.predict_proba(batch, num_samples)
+
+        async for batch in aiter_microbatches(inputs, batch_size, max_latency):
+            yield await loop.run_in_executor(executor, compute, batch)

@@ -19,12 +19,23 @@ __all__ = ["Layer", "Parameter"]
 
 
 class Parameter:
-    """A trainable tensor together with its gradient accumulator."""
+    """A trainable tensor together with its gradient accumulator.
+
+    Every value mutation must be recorded in :attr:`version` so that
+    activation caches keyed on :attr:`repro.nn.model.Network.weights_version`
+    (which sums the versions of all parameters) can detect stale entries.
+    Use :meth:`assign` to write new values — it bumps the version for you.
+    Code that writes ``param.value[...]`` directly must call
+    :meth:`bump_version` afterwards; a raw in-place write is invisible to
+    NumPy and therefore to every cache.
+    """
 
     def __init__(self, value: np.ndarray, name: str = "param") -> None:
         self.name = name
         self.value = np.asarray(value, dtype=np.float64)
         self.grad = np.zeros_like(self.value)
+        #: mutation counter; monotonically increasing, never reset.
+        self.version = 0
 
     @property
     def shape(self) -> tuple[int, ...]:
@@ -33,6 +44,21 @@ class Parameter:
     @property
     def size(self) -> int:
         return int(self.value.size)
+
+    def assign(self, value: np.ndarray) -> None:
+        """Write new values in place and record the mutation.
+
+        The assignment follows NumPy broadcasting rules against the existing
+        shape (so a scalar or a full array both work) and keeps the storage
+        and dtype of :attr:`value` — references held by optimizers and caches
+        stay valid.
+        """
+        self.value[...] = value
+        self.bump_version()
+
+    def bump_version(self) -> None:
+        """Record an in-place mutation of :attr:`value` done without :meth:`assign`."""
+        self.version += 1
 
     def zero_grad(self) -> None:
         self.grad[...] = 0.0

@@ -31,7 +31,7 @@ class Network:
         self.layers: list[Layer] = list(layers) if layers else []
         self.built = False
         self.input_shape: tuple[int, ...] | None = None
-        self.weights_version = 0
+        self._weights_version_base = 0
 
     # ------------------------------------------------------------------ #
     # construction
@@ -137,16 +137,30 @@ class Network:
         for layer in self.layers:
             layer.zero_grad()
 
-    def bump_weights_version(self) -> None:
-        """Record that parameter values changed.
+    @property
+    def weights_version(self) -> int:
+        """Monotonic token that changes whenever parameter values change.
 
-        ``weights_version`` lets activation caches (the sample-folded
-        inference engines) detect stale entries.  Weight-mutating utilities
-        in the repository (``set_weights``, post-training quantization, the
-        training paths) call this; code that writes ``param.value[...]``
-        directly should do the same.
+        Activation caches (the sample-folded inference engines, the serving
+        layer) key their entries on this value to detect stale activations.
+        The token is derived from the per-parameter mutation counters
+        (:attr:`Parameter.version`), so *any* documented mutation path —
+        optimizer steps, ``Parameter.assign``, ``set_weights``, post-training
+        quantization — invalidates caches automatically.  Only a raw
+        ``param.value[...] = ...`` write without a following
+        ``param.bump_version()`` (or :meth:`bump_weights_version` on the
+        network) can go unnoticed.
         """
-        self.weights_version += 1
+        return self._weights_version_base + sum(p.version for p in self.parameters())
+
+    def bump_weights_version(self) -> None:
+        """Record a parameter mutation done outside the ``Parameter`` API.
+
+        Prefer :meth:`Parameter.assign` (or ``param.bump_version()``) for new
+        code; this network-level escape hatch remains for call sites that
+        mutate many parameters at once and for backward compatibility.
+        """
+        self._weights_version_base += 1
 
     def get_weights(self) -> list[np.ndarray]:
         """Return copies of every parameter value, in deterministic order."""
@@ -167,8 +181,7 @@ class Network:
                     f"shape mismatch for {param.name}: "
                     f"{param.value.shape} vs {value.shape}"
                 )
-            param.value[...] = value
-        self.bump_weights_version()
+            param.assign(value)
 
     # ------------------------------------------------------------------ #
     # structure / introspection

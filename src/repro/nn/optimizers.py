@@ -61,6 +61,7 @@ class SGD(Optimizer):
             v *= self.momentum
             v += grad
             p.value -= self.lr * v
+            p.bump_version()
 
 
 class Adam(Optimizer):
@@ -99,6 +100,7 @@ class Adam(Optimizer):
             m_hat = m / bias1
             v_hat = v / bias2
             p.value -= self.lr * m_hat / (np.sqrt(v_hat) + self.epsilon)
+            p.bump_version()
 
 
 class StepLR:

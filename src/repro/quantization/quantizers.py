@@ -81,10 +81,9 @@ def quantize_network(
         formats[param.name] = fmt
         rmse[param.name] = fmt.quantization_error(param.value)
         if in_place:
-            param.value[...] = fmt.quantize(param.value)
-    if in_place:
-        # let activation caches (repro.inference engines) detect the mutation
-        network.bump_weights_version()
+            # assign() bumps the parameter version, so activation caches
+            # (repro.inference engines, the serving layer) see the mutation
+            param.assign(fmt.quantize(param.value))
     return QuantizationResult(config=config, weight_formats=formats, weight_rmse=rmse)
 
 

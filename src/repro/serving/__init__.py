@@ -1,0 +1,34 @@
+"""Async serving layer over the sample-folded inference engines.
+
+The batch-oriented engines of :mod:`repro.inference` answer "run this
+``(N, …)`` array"; a service has to answer "here is *one* example, respond
+soon" for thousands of concurrent callers.  This subpackage bridges the
+two with classic dynamic batching:
+
+* :class:`DynamicBatcher` — payload-agnostic microbatch assembly: dispatch
+  when full (``max_batch_size``) or when the oldest queued request has
+  waited ``max_batch_latency`` seconds; bounded-queue backpressure that
+  either *awaits* capacity (default) or fails fast with
+  :class:`ServerOverloaded`.
+* :class:`ServingEngine` — the facade: ``await submit(x)`` returns an
+  :class:`repro.uncertainty.UncertaintyResult` (probabilities, entropy,
+  mutual information, exit index, latency).  Batches run the folded
+  ``predict_mc`` hot path — or the active-set early-exit path — inside a
+  worker executor, so the event loop never blocks on NumPy.
+* :class:`ServingStats` / :class:`BatcherStats` — throughput, latency
+  percentiles, batch-size and exit-distribution counters.
+
+See ``docs/architecture.md`` for the request dataflow and
+``examples/serving_demo.py`` for an end-to-end run.
+"""
+
+from .batcher import BatcherStats, DynamicBatcher, ServerOverloaded
+from .engine import ServingEngine, ServingStats
+
+__all__ = [
+    "DynamicBatcher",
+    "BatcherStats",
+    "ServerOverloaded",
+    "ServingEngine",
+    "ServingStats",
+]

@@ -1,0 +1,325 @@
+"""Dynamic request batching with bounded-queue backpressure.
+
+:class:`DynamicBatcher` is the transport half of the serving layer: it
+collects individually-submitted requests into microbatches so that the
+folded inference hot path (:mod:`repro.inference`) amortises its per-pass
+cost over many concurrent requests — the serving analogue of the paper's
+spatial MC-engine mapping, where cost is amortised over samples instead.
+
+Batch assembly follows the two standard knobs of request-driven serving
+harnesses:
+
+* ``max_batch_size`` — a batch is dispatched as soon as it is full;
+* ``max_batch_latency`` — a *partial* batch is dispatched once this many
+  seconds have passed since its first request, so a trickle of traffic is
+  never stalled waiting for a batch that will not fill.
+
+Backpressure comes from the bounded submission queue (``max_queue_size``):
+with the default ``reject_on_full=False`` an overloaded server makes
+``submit`` *await* until capacity frees up (cooperative backpressure, load
+is shed to the callers' own queues); with ``reject_on_full=True`` it fails
+fast with :class:`ServerOverloaded` so the caller can retry elsewhere.
+
+The batcher is payload-agnostic: it moves opaque payloads to an async
+``dispatch`` callable that maps a list of payloads to one result per
+payload.  :class:`repro.serving.ServingEngine` supplies the dispatch that
+stacks payloads into a NumPy batch and runs the folded engine in a worker
+executor.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from dataclasses import dataclass
+from typing import Any, Awaitable, Callable, Sequence
+
+__all__ = ["DynamicBatcher", "BatcherStats", "ServerOverloaded"]
+
+
+class ServerOverloaded(RuntimeError):
+    """Raised by ``submit`` when the queue is full and rejection is enabled."""
+
+
+@dataclass
+class BatcherStats:
+    """Running counters of one :class:`DynamicBatcher`.
+
+    Attributes
+    ----------
+    submitted:
+        Requests accepted into the queue.
+    completed:
+        Requests whose future received a result.
+    rejected:
+        Requests refused with :class:`ServerOverloaded` (never enqueued).
+    cancelled:
+        Requests whose future was cancelled before a result was delivered.
+    batches:
+        Batches dispatched (including partial and single-request batches).
+    batched_requests:
+        Total requests across all dispatched batches.
+    queue_peak:
+        High-water mark of the submission queue.
+    """
+
+    submitted: int = 0
+    completed: int = 0
+    rejected: int = 0
+    cancelled: int = 0
+    batches: int = 0
+    batched_requests: int = 0
+    queue_peak: int = 0
+
+    @property
+    def mean_batch_size(self) -> float:
+        """Average dispatched batch size (0.0 before the first batch)."""
+        return self.batched_requests / self.batches if self.batches else 0.0
+
+
+class _Request:
+    __slots__ = ("payload", "future", "enqueued_at")
+
+    def __init__(
+        self, payload: Any, future: asyncio.Future, enqueued_at: float
+    ) -> None:
+        self.payload = payload
+        self.future = future
+        #: event-loop clock time of submission; the max_batch_latency
+        #: deadline counts from here, so time spent queued behind an
+        #: in-flight batch is not waited again during assembly
+        self.enqueued_at = enqueued_at
+
+
+class DynamicBatcher:
+    """Collect single-payload submissions into dispatched microbatches.
+
+    Parameters
+    ----------
+    dispatch:
+        Async callable mapping a list of payloads to a sequence with exactly
+        one result per payload, in order.  Exceptions it raises are
+        propagated to every request of the failing batch (the batcher itself
+        keeps running).
+    max_batch_size:
+        Dispatch a batch as soon as it holds this many requests.
+    max_batch_latency:
+        Dispatch a partial batch this many seconds after its first request
+        arrived.
+    max_queue_size:
+        Bound of the submission queue — the backpressure knob.
+    reject_on_full:
+        ``False`` (default): ``submit`` awaits for queue capacity.
+        ``True``: ``submit`` raises :class:`ServerOverloaded` immediately.
+
+    Notes
+    -----
+    Batches are dispatched one at a time: while a batch is being computed,
+    new requests accumulate in the queue and form the next batch — so batch
+    size adapts to load (single-request batches when idle, full batches
+    under bursts) without any explicit tuning.
+    """
+
+    def __init__(
+        self,
+        dispatch: Callable[[list[Any]], Awaitable[Sequence[Any]]],
+        max_batch_size: int = 32,
+        max_batch_latency: float = 0.002,
+        max_queue_size: int = 128,
+        reject_on_full: bool = False,
+    ) -> None:
+        if max_batch_size <= 0:
+            raise ValueError("max_batch_size must be positive")
+        if max_batch_latency <= 0:
+            raise ValueError("max_batch_latency must be positive")
+        if max_queue_size <= 0:
+            raise ValueError("max_queue_size must be positive")
+        self._dispatch = dispatch
+        self.max_batch_size = int(max_batch_size)
+        self.max_batch_latency = float(max_batch_latency)
+        self.max_queue_size = int(max_queue_size)
+        self.reject_on_full = bool(reject_on_full)
+        self.stats = BatcherStats()
+        self._queue: asyncio.Queue | None = None
+        self._collector: asyncio.Task | None = None
+
+    # ------------------------------------------------------------------ #
+    # lifecycle
+    # ------------------------------------------------------------------ #
+    @property
+    def running(self) -> bool:
+        return self._collector is not None and not self._collector.done()
+
+    async def start(self) -> None:
+        """Start the background collector (idempotent)."""
+        if self.running:
+            return
+        self._queue = asyncio.Queue(maxsize=self.max_queue_size)
+        self._collector = asyncio.ensure_future(self._collect())
+
+    async def stop(self, drain: bool = True) -> None:
+        """Stop the collector.
+
+        With ``drain=True`` (default) every already-queued request is batched
+        and answered first; with ``drain=False`` the collector is cancelled
+        and pending requests fail with :class:`asyncio.CancelledError`.
+        """
+        if self._queue is None or self._collector is None:
+            return
+        queue, collector = self._queue, self._collector
+        self._queue = None  # reject new submissions immediately
+        if drain:
+            await queue.put(None)  # sentinel: drain, then exit
+            await collector
+        else:
+            collector.cancel()
+            try:
+                await collector
+            except asyncio.CancelledError:
+                pass
+            # sweep until stable: each get_nowait may wake a submitter that
+            # was parked in `await queue.put(...)` (backpressure), and its
+            # request lands in the queue one loop step later — a single
+            # drain pass would strand those submitters forever
+            while True:
+                drained = False
+                while not queue.empty():
+                    drained = True
+                    req = queue.get_nowait()
+                    if req is not None and not req.future.done():
+                        req.future.cancel()
+                await asyncio.sleep(0)
+                if not drained and queue.empty():
+                    break
+        self._collector = None
+
+    async def __aenter__(self) -> "DynamicBatcher":
+        await self.start()
+        return self
+
+    async def __aexit__(self, *exc_info) -> None:
+        await self.stop(drain=True)
+
+    # ------------------------------------------------------------------ #
+    # submission
+    # ------------------------------------------------------------------ #
+    async def submit(self, payload: Any) -> Any:
+        """Enqueue one payload and await its result.
+
+        Raises
+        ------
+        RuntimeError
+            If the batcher is not running.
+        ServerOverloaded
+            If the queue is full and ``reject_on_full`` is set.
+        """
+        queue = self._queue
+        if queue is None or not self.running:
+            raise RuntimeError("batcher is not running (call start() first)")
+        loop = asyncio.get_running_loop()
+        req = _Request(payload, loop.create_future(), loop.time())
+        if self.reject_on_full:
+            try:
+                queue.put_nowait(req)
+            except asyncio.QueueFull:
+                self.stats.rejected += 1
+                raise ServerOverloaded(
+                    f"submission queue full ({self.max_queue_size} pending requests)"
+                ) from None
+        else:
+            try:
+                queue.put_nowait(req)  # fast path: capacity available
+            except asyncio.QueueFull:
+                await queue.put(req)  # cooperative backpressure: await capacity
+        self.stats.submitted += 1
+        self.stats.queue_peak = max(self.stats.queue_peak, queue.qsize())
+        try:
+            return await req.future
+        except asyncio.CancelledError:
+            self.stats.cancelled += 1
+            raise
+
+    # ------------------------------------------------------------------ #
+    # batch assembly / dispatch
+    # ------------------------------------------------------------------ #
+    async def _collect(self) -> None:
+        loop = asyncio.get_running_loop()
+        queue = self._queue
+        assert queue is not None
+        # One queue.get may be left in flight when a deadline fires; it is
+        # carried over to the next round instead of being cancelled.  (A
+        # plain asyncio.wait_for(queue.get(), ...) can lose a dequeued item
+        # when the timeout and the item race on Python <= 3.11; awaiting a
+        # persistent getter task through asyncio.wait cannot.)
+        pending_get: asyncio.Future | None = None
+        try:
+            draining = False
+            while not draining:
+                if pending_get is None:
+                    pending_get = asyncio.ensure_future(queue.get())
+                first = await pending_get
+                pending_get = None
+                if first is None:
+                    return
+                batch = [] if first.future.done() else [first]
+                # the latency budget counts from submission, so time already
+                # spent queued behind an in-flight batch is not re-waited
+                deadline = first.enqueued_at + self.max_batch_latency
+                while len(batch) < self.max_batch_size:
+                    try:
+                        # fast path: drain an already-populated queue
+                        req = queue.get_nowait()
+                    except asyncio.QueueEmpty:
+                        remaining = deadline - loop.time()
+                        if remaining <= 0:
+                            break
+                        pending_get = asyncio.ensure_future(queue.get())
+                        done, _ = await asyncio.wait({pending_get}, timeout=remaining)
+                        if pending_get not in done:
+                            break  # deadline fired; the get stays in flight
+                        req = pending_get.result()
+                        pending_get = None
+                    if req is None:
+                        draining = True  # dispatch this last batch, then exit
+                        break
+                    if not req.future.done():  # skip requests cancelled in queue
+                        batch.append(req)
+                if batch:
+                    await self._run_batch(batch)
+        finally:
+            if pending_get is not None:
+                if pending_get.done() and not pending_get.cancelled():
+                    # the get completed just as the collector was cancelled:
+                    # don't strand the request it retrieved
+                    req = pending_get.result()
+                    if req is not None and not req.future.done():
+                        req.future.cancel()
+                else:
+                    pending_get.cancel()
+
+    async def _run_batch(self, batch: list[_Request]) -> None:
+        self.stats.batches += 1
+        self.stats.batched_requests += len(batch)
+        try:
+            results = await self._dispatch([req.payload for req in batch])
+        except asyncio.CancelledError:
+            for req in batch:
+                if not req.future.done():
+                    req.future.cancel()
+            raise
+        except Exception as exc:
+            for req in batch:
+                if not req.future.done():
+                    req.future.set_exception(exc)
+            return
+        if len(results) != len(batch):
+            exc = RuntimeError(
+                f"dispatch returned {len(results)} results for {len(batch)} requests"
+            )
+            for req in batch:
+                if not req.future.done():
+                    req.future.set_exception(exc)
+            return
+        for req, result in zip(batch, results):
+            if not req.future.done():  # request may have been cancelled mid-flight
+                req.future.set_result(result)
+                self.stats.completed += 1

@@ -1,0 +1,329 @@
+"""Async serving facade over the sample-folded inference engines.
+
+:class:`ServingEngine` turns the batch-oriented engines of
+:mod:`repro.inference` into a request/response service: callers submit one
+example at a time, a :class:`~repro.serving.batcher.DynamicBatcher`
+assembles concurrent requests into microbatches, and each microbatch runs
+through the folded Monte-Carlo hot path (or the active-set early-exit path)
+in a worker executor so the asyncio event loop never blocks on NumPy.
+
+Request lifecycle::
+
+    submit(x) ──► bounded queue ──► DynamicBatcher ──► np.stack(batch)
+                  (backpressure)    (size/latency)          │
+                                                            ▼
+    UncertaintyResult ◄── per-example split ◄── folded predict_mc /
+    (+ latency stamp)                           early_exit_predict
+                                                (worker executor)
+
+The response type is :class:`repro.uncertainty.UncertaintyResult` — mean
+probabilities plus calibrated uncertainty (predictive entropy, and mutual
+information when MC samples are drawn), the exit index in early-exit mode,
+and the end-to-end request latency.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import time
+from collections import deque
+from concurrent.futures import Executor, ThreadPoolExecutor
+from dataclasses import dataclass
+from typing import Iterable, Sequence
+
+import numpy as np
+
+from ..core.bayesnn import MultiExitBayesNet
+from ..inference.engine import InferenceEngine, NetworkEngine
+from ..nn.model import Network
+from ..uncertainty.metrics import (
+    UncertaintyResult,
+    mc_uncertainty_results,
+    predictive_entropy,
+)
+from .batcher import BatcherStats, DynamicBatcher
+
+__all__ = ["ServingEngine", "ServingStats"]
+
+
+@dataclass
+class ServingStats:
+    """Aggregate view of a :class:`ServingEngine`'s lifetime so far.
+
+    Attributes
+    ----------
+    requests_completed / requests_rejected / requests_cancelled:
+        Request outcome counters (from the underlying batcher).
+    num_batches / mean_batch_size / queue_peak:
+        Batch-assembly counters — how well dynamic batching amortised the
+        folded passes, and how deep the backlog got.
+    throughput_rps:
+        Completed requests per second of wall time between the first
+        submission and the latest completion (0.0 before any completion).
+    latency_p50_s / latency_p95_s / latency_max_s:
+        Percentiles of end-to-end request latency (submit to response,
+        queueing included), over a bounded window of the most recent
+        requests.
+    exit_counts:
+        In early-exit mode, completed requests per exit index; ``None``
+        in MC-sampling mode.
+    """
+
+    requests_completed: int
+    requests_rejected: int
+    requests_cancelled: int
+    num_batches: int
+    mean_batch_size: float
+    queue_peak: int
+    throughput_rps: float
+    latency_p50_s: float
+    latency_p95_s: float
+    latency_max_s: float
+    exit_counts: list[int] | None = None
+
+
+class ServingEngine:
+    """Asynchronous single-example serving over a folded inference engine.
+
+    Parameters
+    ----------
+    model:
+        What to serve: a :class:`~repro.core.bayesnn.MultiExitBayesNet`
+        (its lazily-built folded engine is reused, so activation caches are
+        shared with batch callers), an :class:`InferenceEngine` /
+        :class:`NetworkEngine`, or a flat :class:`~repro.nn.model.Network`
+        (wrapped in a :class:`NetworkEngine`).
+    num_samples:
+        MC samples per prediction in sampling mode (``None`` = the model's
+        ``default_mc_samples`` for multi-exit models, 1 otherwise).
+    early_exit_threshold:
+        When set, batches run the active-set early-exit path instead of MC
+        sampling and responses carry ``exit_index`` (multi-exit models
+        only).  Note the engine's activation-cache reuse in
+        ``early_exit_predict`` keys batches by array identity, so it
+        benefits direct engine callers re-submitting the same array — a
+        served microbatch is a freshly stacked array and always takes the
+        cold active-set path.
+    max_batch_size / max_batch_latency / max_queue_size / reject_on_full:
+        Dynamic-batching and backpressure knobs, passed to
+        :class:`~repro.serving.batcher.DynamicBatcher`.
+    executor:
+        Executor for the NumPy work.  Defaults to a private single-worker
+        thread pool: the engines keep per-layer RNG streams and caches that
+        are not thread-safe, so batches for one engine must never run
+        concurrently.  Pass a custom executor only if it serialises work per
+        engine.
+
+    Examples
+    --------
+    >>> # doctest: +SKIP
+    >>> async with model.serving_engine(num_samples=8) as server:
+    ...     result = await server.submit(example)
+    ...     print(result.label, result.confidence, result.latency_s)
+    """
+
+    def __init__(
+        self,
+        model: MultiExitBayesNet | InferenceEngine | NetworkEngine | Network,
+        num_samples: int | None = None,
+        early_exit_threshold: float | None = None,
+        max_batch_size: int = 32,
+        max_batch_latency: float = 0.002,
+        max_queue_size: int = 128,
+        reject_on_full: bool = False,
+        executor: Executor | None = None,
+    ) -> None:
+        if isinstance(model, MultiExitBayesNet):
+            self.engine: InferenceEngine | NetworkEngine = model.engine
+        elif isinstance(model, Network):
+            self.engine = NetworkEngine(model, cache_size=4)
+        elif isinstance(model, (InferenceEngine, NetworkEngine)):
+            self.engine = model
+        else:
+            raise TypeError(
+                "model must be a MultiExitBayesNet, InferenceEngine, "
+                f"NetworkEngine or Network, got {type(model).__name__}"
+            )
+        if early_exit_threshold is not None:
+            if not isinstance(self.engine, InferenceEngine):
+                raise ValueError(
+                    "early-exit serving requires a multi-exit model "
+                    "(InferenceEngine); flat networks have a single exit"
+                )
+            if not 0.0 < early_exit_threshold < 1.0:
+                raise ValueError("early_exit_threshold must be in (0, 1)")
+        if num_samples is not None and num_samples <= 0:
+            raise ValueError("num_samples must be positive")
+        self.num_samples = num_samples
+        self.early_exit_threshold = early_exit_threshold
+        self._batcher = DynamicBatcher(
+            self._dispatch,
+            max_batch_size=max_batch_size,
+            max_batch_latency=max_batch_latency,
+            max_queue_size=max_queue_size,
+            reject_on_full=reject_on_full,
+        )
+        self._executor = executor
+        self._owns_executor = executor is None
+        # bounded: a long-lived server must not accumulate one float per
+        # request forever; percentiles are over the most recent window
+        self._latencies: deque[float] = deque(maxlen=16384)
+        self._exit_counts: list[int] | None = None
+        if early_exit_threshold is not None and isinstance(
+            self.engine, InferenceEngine
+        ):
+            self._exit_counts = [0] * self.engine.model.num_exits
+        self._first_submit_at: float | None = None
+        self._last_done_at: float | None = None
+
+    @property
+    def input_shape(self) -> tuple[int, ...] | None:
+        """Per-example input shape requests must match (``None`` if unknown)."""
+        if isinstance(self.engine, InferenceEngine):
+            return tuple(self.engine.model.input_shape)
+        shape = self.engine.network.input_shape
+        return tuple(shape) if shape is not None else None
+
+    # ------------------------------------------------------------------ #
+    # lifecycle
+    # ------------------------------------------------------------------ #
+    @property
+    def running(self) -> bool:
+        return self._batcher.running
+
+    async def start(self) -> None:
+        """Start the batching loop and the worker executor (idempotent)."""
+        if self._executor is None:
+            self._executor = ThreadPoolExecutor(
+                max_workers=1, thread_name_prefix="repro-serving"
+            )
+        await self._batcher.start()
+
+    async def stop(self, drain: bool = True) -> None:
+        """Stop serving; with ``drain=True`` answer queued requests first."""
+        await self._batcher.stop(drain=drain)
+        if self._owns_executor and self._executor is not None:
+            self._executor.shutdown(wait=True)
+            self._executor = None
+
+    async def __aenter__(self) -> "ServingEngine":
+        await self.start()
+        return self
+
+    async def __aexit__(self, *exc_info) -> None:
+        await self.stop(drain=True)
+
+    # ------------------------------------------------------------------ #
+    # request path
+    # ------------------------------------------------------------------ #
+    async def submit(self, x: np.ndarray) -> UncertaintyResult:
+        """Serve one example; awaits until its microbatch has been computed.
+
+        Parameters
+        ----------
+        x:
+            A single example of the model's per-sample input shape (no batch
+            dimension), e.g. ``(C, H, W)``.
+
+        Returns
+        -------
+        UncertaintyResult
+            Prediction + uncertainty for this example, with ``latency_s``
+            covering queueing, batching and compute.
+
+        Raises
+        ------
+        ServerOverloaded
+            Queue full and ``reject_on_full`` is set.  With the default
+            awaiting policy, overload instead slows submitters down.
+        """
+        x = np.asarray(x, dtype=np.float64)
+        expected = self.input_shape
+        if expected is not None and x.shape != expected:
+            # fail fast: a mis-shaped payload must never reach np.stack,
+            # where it would fail the whole microbatch it rides in
+            raise ValueError(
+                f"expected a single example of shape {expected}, got {x.shape}"
+            )
+        t0 = time.perf_counter()
+        if self._first_submit_at is None:
+            self._first_submit_at = t0
+        result = await self._batcher.submit(x)
+        done = time.perf_counter()
+        latency = done - t0
+        self._last_done_at = done
+        self._latencies.append(latency)
+        if self._exit_counts is not None and result.exit_index is not None:
+            self._exit_counts[result.exit_index] += 1
+        # each result object belongs to exactly one request: stamp in place
+        result.latency_s = latency
+        return result
+
+    async def submit_many(
+        self, xs: np.ndarray | Iterable[np.ndarray]
+    ) -> list[UncertaintyResult]:
+        """Serve many examples concurrently; results keep submission order."""
+        if isinstance(xs, np.ndarray):
+            xs = list(xs)
+        return list(await asyncio.gather(*(self.submit(x) for x in xs)))
+
+    # ------------------------------------------------------------------ #
+    # batch execution (runs on the event loop + worker executor)
+    # ------------------------------------------------------------------ #
+    async def _dispatch(self, payloads: list[np.ndarray]) -> Sequence[UncertaintyResult]:
+        loop = asyncio.get_running_loop()
+        return await loop.run_in_executor(self._executor, self._predict_batch, payloads)
+
+    def _predict_batch(self, payloads: list[np.ndarray]) -> list[UncertaintyResult]:
+        # stacking happens here, on the worker thread: even the batch-assembly
+        # copy must not run on the event loop
+        batch = np.stack(payloads)
+        if self.early_exit_threshold is not None:
+            assert isinstance(self.engine, InferenceEngine)
+            res = self.engine.early_exit_predict(batch, self.early_exit_threshold)
+            entropy = predictive_entropy(res.probs)
+            return [
+                UncertaintyResult(
+                    probs=res.probs[i],
+                    label=int(res.probs[i].argmax()),
+                    confidence=float(res.probs[i].max()),
+                    entropy=float(entropy[i]),
+                    exit_index=int(res.exit_indices[i]),
+                )
+                for i in range(batch.shape[0])
+            ]
+        if isinstance(self.engine, InferenceEngine):
+            pred = self.engine.predict_mc(batch, self.num_samples)
+        else:
+            pred = self.engine.sample(batch, self.num_samples or 1)
+        return mc_uncertainty_results(pred.sample_probs)
+
+    # ------------------------------------------------------------------ #
+    # stats
+    # ------------------------------------------------------------------ #
+    @property
+    def batcher_stats(self) -> BatcherStats:
+        """Raw counters of the underlying :class:`DynamicBatcher`."""
+        return self._batcher.stats
+
+    def stats(self) -> ServingStats:
+        """Aggregate throughput/latency/batching statistics so far."""
+        b = self._batcher.stats
+        lat = np.asarray(self._latencies, dtype=np.float64)
+        if self._first_submit_at is not None and self._last_done_at is not None:
+            wall = self._last_done_at - self._first_submit_at
+        else:
+            wall = 0.0
+        return ServingStats(
+            requests_completed=b.completed,
+            requests_rejected=b.rejected,
+            requests_cancelled=b.cancelled,
+            num_batches=b.batches,
+            mean_batch_size=b.mean_batch_size,
+            queue_peak=b.queue_peak,
+            throughput_rps=b.completed / wall if wall > 0 else 0.0,
+            latency_p50_s=float(np.percentile(lat, 50)) if lat.size else 0.0,
+            latency_p95_s=float(np.percentile(lat, 95)) if lat.size else 0.0,
+            latency_max_s=float(lat.max()) if lat.size else 0.0,
+            exit_counts=list(self._exit_counts) if self._exit_counts else None,
+        )

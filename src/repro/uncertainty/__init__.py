@@ -9,10 +9,12 @@ from .calibration import (
 from .ensembles import DeepEnsemble
 from .metrics import (
     UncertaintyReport,
+    UncertaintyResult,
     accuracy,
     brier_score,
     evaluate_predictions,
     expected_entropy,
+    mc_uncertainty_results,
     mutual_information,
     negative_log_likelihood,
     predictive_entropy,
@@ -25,6 +27,8 @@ __all__ = [
     "maximum_calibration_error",
     "DeepEnsemble",
     "UncertaintyReport",
+    "UncertaintyResult",
+    "mc_uncertainty_results",
     "accuracy",
     "brier_score",
     "negative_log_likelihood",

@@ -20,7 +20,9 @@ __all__ = [
     "expected_entropy",
     "mutual_information",
     "UncertaintyReport",
+    "UncertaintyResult",
     "evaluate_predictions",
+    "mc_uncertainty_results",
 ]
 
 _EPS = 1e-12
@@ -71,6 +73,84 @@ def mutual_information(sample_probs: np.ndarray) -> np.ndarray:
         raise ValueError("sample_probs must have shape (S, N, classes)")
     mean_probs = sample_probs.mean(axis=0)
     return predictive_entropy(mean_probs) - expected_entropy(sample_probs)
+
+
+@dataclass
+class UncertaintyResult:
+    """Prediction + uncertainty bundle for a *single* example.
+
+    This is the per-request response type of the serving layer
+    (:meth:`repro.serving.ServingEngine.submit`), but it is equally usable
+    for batch workflows via :func:`mc_uncertainty_results`.
+
+    Attributes
+    ----------
+    probs:
+        Predictive distribution over classes, shape ``(classes,)`` — the MC
+        mean in sampling mode, the selected (ensembled) exit distribution in
+        early-exit mode.
+    label:
+        ``argmax`` of :attr:`probs`.
+    confidence:
+        ``max`` of :attr:`probs`.
+    entropy:
+        Predictive entropy of :attr:`probs` (total uncertainty).
+    mutual_information:
+        Epistemic part of the uncertainty (BALD); ``None`` when no MC
+        samples were drawn (deterministic or early-exit predictions).
+    exit_index:
+        Exit that produced the prediction in early-exit mode, else ``None``.
+    num_samples:
+        MC samples behind the prediction, ``None`` for single-pass modes.
+    latency_s:
+        End-to-end request latency stamped by the serving layer (submit to
+        response, including queueing); ``None`` outside serving.
+    """
+
+    probs: np.ndarray
+    label: int
+    confidence: float
+    entropy: float
+    mutual_information: float | None = None
+    exit_index: int | None = None
+    num_samples: int | None = None
+    latency_s: float | None = None
+
+
+def mc_uncertainty_results(
+    sample_probs: np.ndarray, num_samples: int | None = None
+) -> list[UncertaintyResult]:
+    """Per-example :class:`UncertaintyResult` list from MC sample stacks.
+
+    Parameters
+    ----------
+    sample_probs:
+        Monte-Carlo predictive samples of shape ``(S, N, classes)`` (e.g.
+        ``MCPrediction.sample_probs`` from the folded engines).
+    num_samples:
+        Recorded on each result; defaults to ``S``.
+    """
+    sample_probs = np.asarray(sample_probs, dtype=np.float64)
+    if sample_probs.ndim != 3:
+        raise ValueError("sample_probs must have shape (S, N, classes)")
+    if num_samples is None:
+        num_samples = int(sample_probs.shape[0])
+    mean_probs = sample_probs.mean(axis=0)
+    entropy = predictive_entropy(mean_probs)
+    mi = mutual_information(sample_probs)
+    labels = mean_probs.argmax(axis=1)
+    confidence = mean_probs.max(axis=1)
+    return [
+        UncertaintyResult(
+            probs=mean_probs[i],
+            label=int(labels[i]),
+            confidence=float(confidence[i]),
+            entropy=float(entropy[i]),
+            mutual_information=float(mi[i]),
+            num_samples=num_samples,
+        )
+        for i in range(mean_probs.shape[0])
+    ]
 
 
 @dataclass

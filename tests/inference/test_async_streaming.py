@@ -1,0 +1,159 @@
+"""Async microbatching (`aiter_microbatches`) and engine `apredict_stream` hooks."""
+
+from __future__ import annotations
+
+import asyncio
+
+import numpy as np
+import pytest
+
+from repro.core import MultiExitBayesNet, MultiExitConfig, single_exit_bayesnet
+from repro.inference import aiter_microbatches
+from repro.nn.architectures import lenet5_spec
+
+RNG = np.random.default_rng(3)
+
+
+def _collect(agen):
+    async def main():
+        return [batch async for batch in agen]
+
+    return asyncio.run(main())
+
+
+def test_aiter_microbatches_on_batch_array():
+    x = RNG.normal(size=(10, 4))
+    batches = _collect(aiter_microbatches(x, batch_size=4))
+    assert [b.shape[0] for b in batches] == [4, 4, 2]
+    np.testing.assert_array_equal(np.concatenate(batches), x)
+
+
+def test_aiter_microbatches_on_sync_iterable():
+    x = RNG.normal(size=(5, 3))
+    batches = _collect(aiter_microbatches(iter(x), batch_size=2))
+    assert [b.shape[0] for b in batches] == [2, 2, 1]
+    np.testing.assert_array_equal(np.concatenate(batches), x)
+
+
+def test_aiter_microbatches_on_async_iterable():
+    x = RNG.normal(size=(7, 3))
+
+    async def source():
+        for row in x:
+            yield row
+
+    batches = _collect(aiter_microbatches(source(), batch_size=3))
+    assert [b.shape[0] for b in batches] == [3, 3, 1]
+    np.testing.assert_array_equal(np.concatenate(batches), x)
+
+
+def test_aiter_microbatches_max_latency_flushes_partial_batch():
+    x = RNG.normal(size=(3, 2))
+
+    async def trickle():
+        for row in x:
+            yield row
+        await asyncio.sleep(0.2)  # stream stays open but goes quiet
+
+    async def main():
+        batches = []
+        agen = aiter_microbatches(trickle(), batch_size=64, max_latency=0.02)
+        # the first batch must arrive long before the 0.2 s stream tail
+        batches.append(await asyncio.wait_for(anext(agen), timeout=0.15))
+        async for batch in agen:
+            batches.append(batch)
+        return batches
+
+    batches = asyncio.run(main())
+    assert batches[0].shape[0] == 3  # flushed by deadline, not by stream end
+    np.testing.assert_array_equal(np.concatenate(batches), x)
+
+
+def test_aiter_microbatches_propagates_source_errors():
+    async def broken():
+        yield np.zeros(2)
+        raise RuntimeError("sensor died")
+
+    async def main():
+        async for _ in aiter_microbatches(broken(), batch_size=8):
+            pass
+
+    with pytest.raises(RuntimeError, match="sensor died"):
+        asyncio.run(main())
+
+
+def test_aiter_microbatches_validates_arguments():
+    async def main(**kwargs):
+        async for _ in aiter_microbatches(np.zeros((2, 2)), **kwargs):
+            pass
+
+    with pytest.raises(ValueError, match="batch_size"):
+        asyncio.run(main(batch_size=0))
+    with pytest.raises(ValueError, match="max_latency"):
+        asyncio.run(main(batch_size=2, max_latency=-1.0))
+
+
+def _small_spec():
+    return lenet5_spec(input_shape=(1, 12, 12), num_classes=5, width_multiplier=0.5)
+
+
+def test_inference_engine_apredict_stream_matches_sync_stream():
+    model = MultiExitBayesNet(
+        _small_spec(), MultiExitConfig(num_exits=2, mcd_layers_per_exit=0, seed=0)
+    )
+    x = RNG.normal(size=(9, 1, 12, 12))
+    sync_batches = list(model.engine.predict_stream(x, batch_size=4, num_samples=2))
+
+    async def main():
+        return [
+            b
+            async for b in model.engine.apredict_stream(x, batch_size=4, num_samples=2)
+        ]
+
+    async_batches = asyncio.run(main())
+    assert len(async_batches) == len(sync_batches)
+    for a, s in zip(async_batches, sync_batches):
+        np.testing.assert_allclose(a, s, atol=1e-12)
+
+
+def test_inference_engine_apredict_stream_early_exit_mode():
+    model = MultiExitBayesNet(
+        _small_spec(), MultiExitConfig(num_exits=2, mcd_layers_per_exit=0, seed=0)
+    )
+    x = RNG.normal(size=(6, 1, 12, 12))
+
+    async def main():
+        return [
+            b
+            async for b in model.engine.apredict_stream(
+                x, batch_size=3, early_exit_threshold=0.5
+            )
+        ]
+
+    batches = asyncio.run(main())
+    assert [b.shape for b in batches] == [(3, 5), (3, 5)]
+
+
+def test_network_engine_apredict_stream_async_source():
+    net = single_exit_bayesnet(_small_spec(), num_mcd_layers=1, seed=0)
+    from repro.inference.engine import NetworkEngine
+
+    engine = NetworkEngine(net, seed=0)
+    x = RNG.normal(size=(5, 1, 12, 12))
+
+    async def source():
+        for row in x:
+            yield row
+
+    async def main():
+        return [
+            b
+            async for b in engine.apredict_stream(
+                source(), batch_size=2, num_samples=3, max_latency=0.05
+            )
+        ]
+
+    batches = asyncio.run(main())
+    assert sum(b.shape[0] for b in batches) == 5
+    for b in batches:
+        np.testing.assert_allclose(b.sum(axis=1), 1.0, atol=1e-9)

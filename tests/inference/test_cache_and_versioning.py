@@ -1,0 +1,158 @@
+"""Regression tests for the weights-version cache-invalidation contract and
+the early-exit activation-cache reuse.
+
+The ROADMAP named two holes after PR 1:
+
+* code writing ``param.value[...]`` directly bypassed
+  ``Network.weights_version`` and could serve stale cached activations —
+  closed by the ``Parameter``-level version counter (``Parameter.assign`` /
+  ``bump_version``) that ``weights_version`` now aggregates;
+* ``InferenceEngine.early_exit_predict`` recomputed backbone segments even
+  when the engine had the batch's activations memoised — closed by the
+  cache-reuse fast path.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import MultiExitBayesNet, MultiExitConfig, single_exit_bayesnet
+from repro.nn import SGD
+from repro.nn.architectures import lenet5_spec
+from repro.nn.layers.base import Parameter
+
+
+def _small_spec():
+    return lenet5_spec(input_shape=(1, 12, 12), num_classes=5, width_multiplier=0.5)
+
+
+def _model(mcd=1):
+    return MultiExitBayesNet(
+        _small_spec(), MultiExitConfig(num_exits=2, mcd_layers_per_exit=mcd, seed=0)
+    )
+
+
+X = np.random.default_rng(11).normal(size=(8, 1, 12, 12))
+
+
+# --------------------------------------------------------------------------- #
+# Parameter-level versioning
+# --------------------------------------------------------------------------- #
+def test_parameter_assign_bumps_version_and_keeps_storage():
+    p = Parameter(np.zeros((2, 3)), name="w")
+    storage = p.value
+    assert p.version == 0
+    p.assign(np.ones((2, 3)))
+    assert p.version == 1
+    assert p.value is storage  # in-place: optimizer/engine references stay valid
+    np.testing.assert_array_equal(p.value, 1.0)
+    p.assign(5.0)  # broadcasting assignment
+    assert p.version == 2
+    np.testing.assert_array_equal(p.value, 5.0)
+
+
+def test_network_weights_version_reflects_parameter_mutations():
+    net = single_exit_bayesnet(_small_spec(), num_mcd_layers=1, seed=0)
+    v0 = net.weights_version
+    param = next(net.parameters())
+    param.assign(param.value * 2.0)
+    assert net.weights_version > v0
+    v1 = net.weights_version
+    param.value[...] = 0.0  # raw write: invisible on its own...
+    assert net.weights_version == v1
+    param.bump_version()  # ...until recorded
+    assert net.weights_version > v1
+    net.bump_weights_version()  # network-level escape hatch still works
+    assert net.weights_version > v1 + 1
+
+
+def test_optimizer_step_bumps_weights_version():
+    net = single_exit_bayesnet(_small_spec(), num_mcd_layers=1, seed=0)
+    v0 = net.weights_version
+    opt = SGD(net.parameters(), lr=0.01)
+    for p in opt.parameters:
+        p.grad[...] = 1.0
+    opt.step()
+    assert net.weights_version > v0
+
+
+def test_direct_param_assign_invalidates_engine_cache():
+    """The ROADMAP staleness hole: mutate weights via the documented setter
+    with *no* manual invalidation and the engine must not serve stale
+    activations."""
+    model = _model(mcd=0)  # deterministic so staleness would be observable
+    engine = model.engine
+    before = engine.predict_mc(X, num_samples=2).mean_probs
+    before_again = engine.predict_mc(X, num_samples=2).mean_probs
+    np.testing.assert_array_equal(before, before_again)  # cache hit, stable
+
+    for param in model.backbone.parameters():
+        param.assign(param.value + 0.1)
+
+    after = engine.predict_mc(X, num_samples=2).mean_probs
+    assert not np.allclose(before, after), (
+        "engine served stale cached activations after Parameter.assign"
+    )
+
+
+def test_set_weights_still_invalidates():
+    model = _model(mcd=0)
+    engine = model.engine
+    before = engine.predict_mc(X, num_samples=2).mean_probs
+    weights = model.backbone.get_weights()
+    model.backbone.set_weights([w + 0.05 for w in weights])
+    after = engine.predict_mc(X, num_samples=2).mean_probs
+    assert not np.allclose(before, after)
+
+
+# --------------------------------------------------------------------------- #
+# early-exit activation-cache reuse
+# --------------------------------------------------------------------------- #
+def test_early_exit_reuses_cached_backbone_activations():
+    model = _model(mcd=0)
+    engine = model.engine
+    cold = engine.early_exit_predict(X, 0.5)
+
+    engine.backbone_activations(X)  # memoise this batch
+    calls = 0
+    original = model.backbone.forward_range
+
+    def counting_forward_range(*args, **kwargs):
+        nonlocal calls
+        calls += 1
+        return original(*args, **kwargs)
+
+    model.backbone.forward_range = counting_forward_range
+    try:
+        warm = engine.early_exit_predict(X, 0.5)
+    finally:
+        model.backbone.forward_range = original
+
+    assert calls == 0, "early_exit_predict recomputed memoised backbone segments"
+    np.testing.assert_allclose(warm.probs, cold.probs, atol=1e-9)
+    np.testing.assert_array_equal(warm.exit_indices, cold.exit_indices)
+    np.testing.assert_allclose(warm.exit_distribution, cold.exit_distribution)
+
+
+def test_early_exit_cache_reuse_respects_weight_changes():
+    model = _model(mcd=0)
+    engine = model.engine
+    engine.backbone_activations(X)  # memoise under the current weights
+    before = engine.early_exit_predict(X, 0.5)
+    for param in model.backbone.parameters():
+        param.assign(param.value + 0.1)
+    after = engine.early_exit_predict(X, 0.5)
+    assert not np.allclose(before.probs, after.probs), (
+        "early-exit served activations cached under stale weights"
+    )
+
+
+def test_early_exit_cold_path_unchanged():
+    """Without a cache hit the streaming active-set path still runs (and
+    matches the legacy eager path, which is pinned elsewhere)."""
+    model = _model(mcd=0)
+    engine = model.engine
+    res = engine.early_exit_predict(X, 0.7)
+    assert res.probs.shape == (X.shape[0], 5)
+    assert res.exit_distribution.sum() == pytest.approx(1.0)

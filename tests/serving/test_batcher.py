@@ -1,0 +1,266 @@
+"""DynamicBatcher unit tests: assembly, backpressure and cancellation.
+
+These tests drive the batcher with trivial payloads and controllable fake
+dispatch functions (no model involved) so that every edge case is
+deterministic: queue-full rejection and awaiting, max-latency flushes of
+partial batches, single-request batches, and cancellation both while queued
+and while a batch is in flight.
+"""
+
+from __future__ import annotations
+
+import asyncio
+
+import pytest
+
+from repro.serving import DynamicBatcher, ServerOverloaded
+
+
+async def _echo_dispatch(payloads):
+    return [p * 10 for p in payloads]
+
+
+def test_batches_respect_max_batch_size():
+    async def main():
+        async with DynamicBatcher(
+            _echo_dispatch, max_batch_size=4, max_batch_latency=0.05
+        ) as batcher:
+            results = await asyncio.gather(*(batcher.submit(i) for i in range(10)))
+        assert results == [i * 10 for i in range(10)]
+        stats = batcher.stats
+        assert stats.completed == 10
+        assert stats.batches >= 3  # 10 requests can never fit in 2 batches of 4
+        assert stats.batched_requests == 10
+        assert stats.mean_batch_size <= 4
+
+    asyncio.run(main())
+
+
+def test_single_request_batches():
+    async def main():
+        async with DynamicBatcher(
+            _echo_dispatch, max_batch_size=1, max_batch_latency=0.05
+        ) as batcher:
+            results = await asyncio.gather(*(batcher.submit(i) for i in range(5)))
+        assert results == [0, 10, 20, 30, 40]
+        assert batcher.stats.batches == 5
+        assert batcher.stats.mean_batch_size == 1.0
+
+    asyncio.run(main())
+
+
+def test_max_latency_flushes_partial_batch():
+    async def main():
+        async with DynamicBatcher(
+            _echo_dispatch, max_batch_size=64, max_batch_latency=0.02
+        ) as batcher:
+            # 3 requests can never fill a 64-wide batch: only the deadline
+            # can flush them
+            results = await asyncio.wait_for(
+                asyncio.gather(*(batcher.submit(i) for i in range(3))), timeout=5.0
+            )
+        assert results == [0, 10, 20]
+        assert batcher.stats.batches == 1
+        assert batcher.stats.batched_requests == 3
+
+    asyncio.run(main())
+
+
+def test_queue_full_rejection():
+    release = None
+
+    async def blocked_dispatch(payloads):
+        await release.wait()
+        return payloads
+
+    async def main():
+        nonlocal release
+        release = asyncio.Event()
+        async with DynamicBatcher(
+            blocked_dispatch,
+            max_batch_size=1,
+            max_batch_latency=0.005,
+            max_queue_size=2,
+            reject_on_full=True,
+        ) as batcher:
+            first = asyncio.ensure_future(batcher.submit("a"))
+            await asyncio.sleep(0.02)  # collector takes "a" into the blocked batch
+            q1 = asyncio.ensure_future(batcher.submit("b"))
+            q2 = asyncio.ensure_future(batcher.submit("c"))
+            await asyncio.sleep(0.02)  # queue now holds exactly "b" and "c"
+            with pytest.raises(ServerOverloaded):
+                await batcher.submit("d")
+            assert batcher.stats.rejected == 1
+            release.set()
+            assert await asyncio.gather(first, q1, q2) == ["a", "b", "c"]
+        assert batcher.stats.completed == 3
+
+    asyncio.run(main())
+
+
+def test_queue_full_awaits_instead_of_rejecting():
+    async def main():
+        async with DynamicBatcher(
+            _echo_dispatch,
+            max_batch_size=2,
+            max_batch_latency=0.005,
+            max_queue_size=1,
+            reject_on_full=False,
+        ) as batcher:
+            results = await asyncio.gather(*(batcher.submit(i) for i in range(12)))
+        assert results == [i * 10 for i in range(12)]
+        assert batcher.stats.rejected == 0
+        assert batcher.stats.completed == 12
+        assert batcher.stats.queue_peak <= 1
+
+    asyncio.run(main())
+
+
+def test_cancellation_while_queued_skips_request():
+    release = None
+
+    async def blocked_dispatch(payloads):
+        await release.wait()
+        return payloads
+
+    async def main():
+        nonlocal release
+        release = asyncio.Event()
+        async with DynamicBatcher(
+            blocked_dispatch,
+            max_batch_size=1,
+            max_batch_latency=0.005,
+            max_queue_size=8,
+        ) as batcher:
+            first = asyncio.ensure_future(batcher.submit("a"))
+            await asyncio.sleep(0.02)  # "a" is in flight (blocked)
+            doomed = asyncio.ensure_future(batcher.submit("b"))
+            survivor = asyncio.ensure_future(batcher.submit("c"))
+            await asyncio.sleep(0.02)
+            doomed.cancel()
+            release.set()
+            assert await first == "a"
+            assert await survivor == "c"
+            with pytest.raises(asyncio.CancelledError):
+                await doomed
+        stats = batcher.stats
+        assert stats.cancelled == 1
+        assert stats.completed == 2
+        # the cancelled request was skipped at assembly, not dispatched
+        assert stats.batched_requests == 2
+
+    asyncio.run(main())
+
+
+def test_cancellation_mid_flight_is_harmless():
+    release = None
+
+    async def blocked_dispatch(payloads):
+        await release.wait()
+        return payloads
+
+    async def main():
+        nonlocal release
+        release = asyncio.Event()
+        async with DynamicBatcher(
+            blocked_dispatch, max_batch_size=2, max_batch_latency=0.005
+        ) as batcher:
+            doomed = asyncio.ensure_future(batcher.submit("a"))
+            survivor = asyncio.ensure_future(batcher.submit("b"))
+            await asyncio.sleep(0.02)  # both are inside the in-flight batch
+            doomed.cancel()
+            release.set()
+            assert await survivor == "b"
+            with pytest.raises(asyncio.CancelledError):
+                await doomed
+            # the batcher keeps serving after a mid-flight cancellation
+            assert await batcher.submit("c") == "c"
+        assert batcher.stats.cancelled == 1
+
+    asyncio.run(main())
+
+
+def test_dispatch_error_propagates_to_batch_and_batcher_survives():
+    fail = True
+
+    async def flaky_dispatch(payloads):
+        if fail:
+            raise ValueError("model exploded")
+        return payloads
+
+    async def main():
+        nonlocal fail
+        async with DynamicBatcher(
+            flaky_dispatch, max_batch_size=4, max_batch_latency=0.005
+        ) as batcher:
+            with pytest.raises(ValueError, match="model exploded"):
+                await batcher.submit("a")
+            fail = False
+            assert await batcher.submit("b") == "b"
+
+    asyncio.run(main())
+
+
+def test_stop_drains_queued_requests():
+    async def main():
+        batcher = DynamicBatcher(_echo_dispatch, max_batch_size=4, max_batch_latency=0.01)
+        await batcher.start()
+        pending = [asyncio.ensure_future(batcher.submit(i)) for i in range(6)]
+        await asyncio.sleep(0)  # let every submit reach the queue before stopping
+        await batcher.stop(drain=True)
+        assert await asyncio.gather(*pending) == [i * 10 for i in range(6)]
+        with pytest.raises(RuntimeError, match="not running"):
+            await batcher.submit(99)
+
+    asyncio.run(main())
+
+
+def test_stop_without_drain_cancels_blocked_submitters():
+    """stop(drain=False) must fail every pending request, including
+    submitters parked in `await queue.put(...)` by backpressure."""
+    release = None
+
+    async def blocked_dispatch(payloads):
+        await release.wait()
+        return payloads
+
+    async def main():
+        nonlocal release
+        release = asyncio.Event()
+        batcher = DynamicBatcher(
+            blocked_dispatch,
+            max_batch_size=1,
+            max_batch_latency=0.005,
+            max_queue_size=2,
+            reject_on_full=False,
+        )
+        await batcher.start()
+        # 1 in flight + 2 queued + 7 blocked awaiting queue capacity
+        pending = [asyncio.ensure_future(batcher.submit(i)) for i in range(10)]
+        await asyncio.sleep(0.02)
+        await batcher.stop(drain=False)
+        outcomes = await asyncio.gather(*pending, return_exceptions=True)
+        assert all(isinstance(o, asyncio.CancelledError) for o in outcomes), (
+            f"every request must fail on non-draining stop, got {outcomes}"
+        )
+
+    asyncio.run(asyncio.wait_for(main(), timeout=10.0))
+
+
+def test_submit_before_start_raises():
+    async def main():
+        batcher = DynamicBatcher(_echo_dispatch)
+        with pytest.raises(RuntimeError, match="not running"):
+            await batcher.submit(1)
+
+    asyncio.run(main())
+
+
+def test_invalid_configuration_rejected():
+    for kwargs in (
+        {"max_batch_size": 0},
+        {"max_batch_latency": 0.0},
+        {"max_queue_size": 0},
+    ):
+        with pytest.raises(ValueError):
+            DynamicBatcher(_echo_dispatch, **kwargs)
