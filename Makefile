@@ -2,15 +2,23 @@
 
 PYTHON ?= python
 
-.PHONY: test bench docs quickstart serve-demo all
+.PHONY: test bench parallel docs quickstart serve-demo all
 
 # Tier-1: full test suite (pytest config lives in pyproject.toml)
 test:
 	$(PYTHON) -m pytest -x -q
 
-# Paper-reproduction benchmarks only (tables/figures + perf gates)
+# Paper-reproduction benchmarks only (tables/figures + perf gates);
+# also emits machine-readable metrics to BENCH_serving.json
 bench:
 	$(PYTHON) -m pytest benchmarks/ -q
+
+# Reentrancy/concurrency suite + the K=4 multi-worker throughput gate
+# (gate skips below 4 cores; BLAS pinned so workers scale, not libraries)
+parallel:
+	OMP_NUM_THREADS=1 OPENBLAS_NUM_THREADS=1 MKL_NUM_THREADS=1 $(PYTHON) -m pytest -q -p no:randomly \
+		tests/nn/test_forward_context.py tests/serving/test_parallel_serving.py \
+		benchmarks/test_parallel_serving.py
 
 # Documentation gate: relative links resolve, README/docs examples execute
 docs:

@@ -16,6 +16,15 @@ import pytest
 
 from repro.analysis import Table1Settings, build_bayes_lenet_accelerator
 
+from . import reporting
+
+
+def pytest_sessionfinish(session, exitstatus):
+    """Flush recorded benchmark metrics to BENCH_serving.json (see reporting)."""
+    path = reporting.flush()
+    if path is not None:
+        print(f"\nbenchmark metrics written to {path}")
+
 
 def benchmark_table1_settings() -> Table1Settings:
     """Scaled-down but structurally faithful Table I configuration."""

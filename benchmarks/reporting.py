@@ -1,0 +1,65 @@
+"""Machine-readable benchmark results: ``BENCH_serving.json``.
+
+The timing benchmarks print their measurements, but printed numbers leave
+no trajectory: CI cannot plot a perf history from log lines.  Benchmarks
+therefore also :func:`record` their headline metrics (throughput, latency
+percentiles, speedup ratios) into a module-level registry, and a
+``pytest_sessionfinish`` hook in ``benchmarks/conftest.py`` flushes the
+registry to ``BENCH_serving.json`` in the working directory at the end of
+every ``make bench`` / ``pytest benchmarks`` run.  CI uploads the file as
+a build artifact.
+
+The file maps benchmark names to flat metric dicts, plus an ``_meta``
+section (timestamp, host facts) so runs are comparable::
+
+    {
+      "_meta": {"generated_at": "...", "cpu_count": 8, ...},
+      "serving_dynamic_batching": {"speedup_vs_sequential": 4.2, ...},
+      "parallel_serving": {"speedup_k4_vs_k1": 2.6, ...}
+    }
+
+Only numbers/strings belong in metrics — the file is for dashboards and
+diffing, not for pickling arrays.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import platform
+import sys
+from datetime import datetime, timezone
+from pathlib import Path
+
+__all__ = ["record", "flush", "RESULTS_FILENAME"]
+
+RESULTS_FILENAME = "BENCH_serving.json"
+
+_RESULTS: dict[str, dict] = {}
+
+
+def record(name: str, **metrics) -> None:
+    """Register (or update) one benchmark's headline metrics."""
+    _RESULTS.setdefault(name, {}).update(metrics)
+
+
+def flush(directory: str | os.PathLike | None = None) -> Path | None:
+    """Write all recorded metrics to ``BENCH_serving.json``; returns the path.
+
+    No file is written (and ``None`` returned) when nothing was recorded —
+    e.g. a benchmark subset run that touched no serving benchmarks.
+    """
+    if not _RESULTS:
+        return None
+    payload: dict[str, dict] = {
+        "_meta": {
+            "generated_at": datetime.now(timezone.utc).isoformat(),
+            "python": sys.version.split()[0],
+            "platform": platform.platform(),
+            "cpu_count": os.cpu_count(),
+        }
+    }
+    payload.update(_RESULTS)
+    path = Path(directory or ".") / RESULTS_FILENAME
+    path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+    return path

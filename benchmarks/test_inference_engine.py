@@ -132,7 +132,7 @@ def test_folded_head_sampling_beats_looped_heads_on_shared_activations():
 
     def folded_heads():
         return [
-            engine._head_mc_probs(head, act, passes)
+            engine._head_mc_probs(head, act, passes, engine.ctx)
             for head, act in zip(model.exits, activations)
         ]
 

@@ -1,0 +1,147 @@
+"""Multi-worker serving benchmark: K=4 engine replicas vs the single lane.
+
+Acceptance gate of the reentrancy refactor: on a host with >= 4 cores,
+serving a flood of concurrent single-example requests with ``workers=4``
+must sustain **>= 1.8x** the throughput of the identically-configured
+``workers=1`` server.  The win exists because the layer stack is now
+stateless per call (every worker thread runs its own engine replica over
+shared parameter arrays) and NumPy's GEMMs release the GIL, so folded
+batches genuinely overlap on separate cores while the batcher pipelines
+assembly of the next batch.
+
+The gate is deliberately generous (perfect scaling would be ~4x; GIL-held
+Python glue, BLAS threading and shared caches all eat into it) and the
+benchmark **skips on hosts with fewer than 4 cores**, where worker threads
+would only time-slice one core.  Results are recorded into
+``BENCH_serving.json`` either way the gate goes.
+
+For stronger scaling on shared CI runners, pin BLAS to one thread per
+worker (``OMP_NUM_THREADS=1 OPENBLAS_NUM_THREADS=1``) so library-internal
+parallelism does not hand the K=1 baseline all the cores for free.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import os
+import time
+
+import numpy as np
+import pytest
+
+from repro.core import MultiExitBayesNet, MultiExitConfig
+from repro.nn.architectures import lenet5_spec
+from repro.serving import ServingEngine
+
+from . import reporting
+
+NUM_SAMPLES = 8
+NUM_REQUESTS = 128
+MAX_BATCH = 8
+WORKERS = 4
+
+needs_cores = pytest.mark.skipif(
+    (os.cpu_count() or 1) < WORKERS,
+    reason=f"multi-worker throughput needs >= {WORKERS} cores "
+    f"(host has {os.cpu_count()})",
+)
+
+
+def _model() -> MultiExitBayesNet:
+    # bigger input than the unit-test LeNet: each folded pass must be
+    # GEMM-heavy enough for thread scaling to show through the Python glue
+    return MultiExitBayesNet(
+        lenet5_spec(input_shape=(1, 20, 20), num_classes=10),
+        MultiExitConfig(num_exits=2, mcd_layers_per_exit=1, seed=0),
+    )
+
+
+def _serve_flood_seconds(workers: int, x: np.ndarray, repeats: int = 3) -> float:
+    """Best wall time to serve all of ``x`` concurrently with K workers."""
+    model = _model()
+
+    async def main() -> float:
+        async with ServingEngine(
+            model,
+            num_samples=NUM_SAMPLES,
+            workers=workers,
+            max_batch_size=MAX_BATCH,
+            max_batch_latency=0.002,
+            max_queue_size=2 * NUM_REQUESTS,
+        ) as server:
+            await server.submit_many(x)  # warmup wave (threads, caches)
+            times = []
+            for _ in range(repeats):
+                start = time.perf_counter()
+                await server.submit_many(x)
+                times.append(time.perf_counter() - start)
+            return float(min(times))
+
+    return asyncio.run(main())
+
+
+@needs_cores
+def test_four_workers_at_least_1p8x_one_worker():
+    """Gate: K=4 replica serving >= 1.8x K=1 throughput under flood load."""
+    x = np.random.default_rng(3).normal(size=(NUM_REQUESTS, 1, 20, 20))
+
+    t_k1 = _serve_flood_seconds(1, x)
+    t_k4 = _serve_flood_seconds(WORKERS, x)
+
+    speedup = t_k1 / t_k4
+    rps_k1 = NUM_REQUESTS / t_k1
+    rps_k4 = NUM_REQUESTS / t_k4
+    print(
+        f"\nparallel serving (S={NUM_SAMPLES}, {NUM_REQUESTS} requests, "
+        f"batch<={MAX_BATCH}): K=1 {t_k1 * 1e3:.1f} ms ({rps_k1:.0f} req/s), "
+        f"K={WORKERS} {t_k4 * 1e3:.1f} ms ({rps_k4:.0f} req/s), "
+        f"speedup {speedup:.2f}x on {os.cpu_count()} cores"
+    )
+    reporting.record(
+        "parallel_serving",
+        workers=WORKERS,
+        num_samples=NUM_SAMPLES,
+        num_requests=NUM_REQUESTS,
+        k1_s=t_k1,
+        k4_s=t_k4,
+        throughput_k1_rps=rps_k1,
+        throughput_k4_rps=rps_k4,
+        speedup_k4_vs_k1=speedup,
+        cpu_count=os.cpu_count(),
+    )
+    assert speedup >= 1.8, (
+        f"4-worker serving only {speedup:.2f}x over 1 worker "
+        f"({t_k1 * 1e3:.1f} ms vs {t_k4 * 1e3:.1f} ms) — reentrant engines "
+        "should overlap folded batches across cores"
+    )
+
+
+def test_multiworker_flood_is_correct_under_load():
+    """Runs on any host: K-worker flood must answer every request correctly.
+
+    This is the functional half of the benchmark (the timing gate above
+    needs cores; correctness must hold even when threads just time-slice).
+    """
+    model = _model()
+    x = np.random.default_rng(5).normal(size=(48, 1, 20, 20))
+
+    async def main():
+        async with ServingEngine(
+            model,
+            num_samples=4,
+            workers=WORKERS,
+            max_batch_size=MAX_BATCH,
+            max_batch_latency=0.002,
+            max_queue_size=96,
+        ) as server:
+            results = await server.submit_many(x)
+            return results, server.stats()
+
+    results, stats = asyncio.run(main())
+    assert len(results) == x.shape[0]
+    assert stats.requests_completed == x.shape[0]
+    assert stats.workers == WORKERS
+    for res in results:
+        assert res.probs.shape == (10,)
+        assert res.probs.sum() == pytest.approx(1.0)
+        assert res.mutual_information is not None

@@ -28,6 +28,8 @@ from repro.core import MultiExitBayesNet, MultiExitConfig
 from repro.nn.architectures import lenet5_spec
 from repro.serving import ServerOverloaded, ServingEngine
 
+from . import reporting
+
 NUM_SAMPLES = 10
 NUM_REQUESTS = 64
 
@@ -96,6 +98,18 @@ def test_dynamic_batching_3x_sequential_throughput():
         f"({NUM_REQUESTS / t_served:.0f} req/s), "
         f"speedup {speedup:.2f}x, mean batch {stats.mean_batch_size:.1f}, "
         f"p95 latency {stats.latency_p95_s * 1e3:.1f} ms"
+    )
+    reporting.record(
+        "serving_dynamic_batching",
+        num_samples=NUM_SAMPLES,
+        num_requests=NUM_REQUESTS,
+        sequential_s=t_sequential,
+        served_s=t_served,
+        speedup_vs_sequential=speedup,
+        throughput_rps=NUM_REQUESTS / t_served,
+        mean_batch_size=stats.mean_batch_size,
+        latency_p50_s=stats.latency_p50_s,
+        latency_p95_s=stats.latency_p95_s,
     )
     assert stats.mean_batch_size > 1.0, "dynamic batching never formed a batch"
     assert speedup >= 3.0, (

@@ -26,6 +26,7 @@ from typing import Iterator, Sequence
 import numpy as np
 
 from ..nn.architectures.common import BackboneSpec
+from ..nn.context import ForwardContext, resolve_context
 from ..nn.layers.base import Parameter
 from ..nn.model import Network
 from .flops import FlopBreakdown, network_flops
@@ -233,45 +234,61 @@ class MultiExitBayesNet:
         return bounds
 
     def backbone_activations(
-        self, x: np.ndarray, training: bool = False
+        self,
+        x: np.ndarray,
+        training: bool = False,
+        ctx: ForwardContext | None = None,
     ) -> list[np.ndarray]:
         """Activation of the backbone at each exit point (computed once)."""
+        ctx = resolve_context(ctx)
         activations = []
         out = x
         for start, stop in self._segment_bounds():
-            out = self.backbone.forward_range(out, start, stop, training=training)
+            out = self.backbone.forward_range(
+                out, start, stop, training=training, ctx=ctx
+            )
             activations.append(out)
         return activations
 
-    def forward_exits(self, x: np.ndarray, training: bool = False) -> list[np.ndarray]:
+    def forward_exits(
+        self,
+        x: np.ndarray,
+        training: bool = False,
+        ctx: ForwardContext | None = None,
+    ) -> list[np.ndarray]:
         """Logits of every exit for one (stochastic, if MCD) forward pass."""
         if self._engine is not None:
             # weights are about to change (training) or activations will be
             # recomputed anyway — drop the engine's backbone cache
             self._engine.invalidate_cache()
-        activations = self.backbone_activations(x, training=training)
+        ctx = resolve_context(ctx)
+        activations = self.backbone_activations(x, training=training, ctx=ctx)
         return [
-            head.forward(act, training=training)
+            head.forward(act, training=training, ctx=ctx)
             for head, act in zip(self.exits, activations)
         ]
 
-    def backward_exits(self, grads: Sequence[np.ndarray]) -> np.ndarray:
+    def backward_exits(
+        self, grads: Sequence[np.ndarray], ctx: ForwardContext | None = None
+    ) -> np.ndarray:
         """Back-propagate one logits-gradient per exit through the shared backbone.
 
-        Must be called right after :meth:`forward_exits` (layer caches are
-        reused).  Returns the gradient with respect to the network input.
+        Must be called right after :meth:`forward_exits` with the same
+        context (layer caches are read back from it).  Returns the gradient
+        with respect to the network input.
         """
         if len(grads) != self.num_exits:
             raise ValueError(
                 f"expected {self.num_exits} gradients, got {len(grads)}"
             )
+        ctx = resolve_context(ctx)
         bounds = self._segment_bounds()
         grad_back: np.ndarray | None = None
         for i in reversed(range(self.num_exits)):
-            grad_head = self.exits[i].backward(grads[i])
+            grad_head = self.exits[i].backward(grads[i], ctx=ctx)
             total = grad_head if grad_back is None else grad_head + grad_back
             start, stop = bounds[i]
-            grad_back = self.backbone.backward_range(total, start, stop)
+            grad_back = self.backbone.backward_range(total, start, stop, ctx=ctx)
         return grad_back
 
     # ------------------------------------------------------------------ #

@@ -23,6 +23,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from ..nn.context import ForwardContext, resolve_context
 from ..nn.layers import Conv2D, Dense, Layer, MCDropout
 from ..nn.model import Network
 
@@ -81,19 +82,22 @@ def insert_mcd_into_head(
     return out
 
 
-def deterministic_forward(network: Network, x: np.ndarray) -> np.ndarray:
+def deterministic_forward(
+    network: Network, x: np.ndarray, ctx: ForwardContext | None = None
+) -> np.ndarray:
     """Forward pass with every MC-dropout layer replaced by its expectation.
 
     With inverted dropout the expectation of the MCD layer is the identity,
     so this simply skips the stochastic masking.  Used for the non-Bayesian
     point prediction that Table I's "SE"/"ME" rows rely on.
     """
+    ctx = resolve_context(ctx)
     out = x
     for layer in network.layers:
         if isinstance(layer, MCDropout):
-            out = layer.deterministic_forward(out)
+            out = layer.deterministic_forward(out, ctx=ctx)
         else:
-            out = layer.forward(out, training=False)
+            out = layer.forward(out, training=False, ctx=ctx)
     return out
 
 

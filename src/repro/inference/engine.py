@@ -35,6 +35,7 @@ import numpy as np
 
 from ..core.mcd import MCPrediction, deterministic_forward
 from ..core.multi_exit import EarlyExitResult, exit_ensemble
+from ..nn.context import ForwardContext
 from ..nn.layers import MCDropout
 from ..nn.layers.activations import softmax
 from ..nn.model import Network
@@ -109,6 +110,15 @@ class NetworkEngine:
         Number of recent inputs whose prefix activation is memoised
         (0 disables caching; see :class:`_ActivationCache` for invalidation
         caveats).
+
+    Notes
+    -----
+    Each engine owns a private :class:`~repro.nn.context.ForwardContext`
+    (:attr:`ctx`) holding its dropout streams and layer caches, so several
+    engines over the *same* network — see :meth:`replicate` — can run
+    concurrently on shared ``Parameter`` storage.  One engine instance is
+    still a single logical caller: don't share it between threads; pass an
+    explicit per-call ``ctx`` or use a replica per worker instead.
     """
 
     def __init__(
@@ -123,16 +133,34 @@ class NetworkEngine:
         self.network = network
         self.exact = bool(exact)
         self._cache = _ActivationCache(cache_size)
+        #: the engine's private forward context (streams + layer caches)
+        self.ctx = ForwardContext()
         if seed is not None:
             self.reseed(seed)
 
     # ------------------------------------------------------------------ #
     def reseed(self, seed: int) -> None:
-        """Reseed every MCD layer for reproducible sample sequences."""
+        """Reseed every MCD layer for reproducible sample sequences.
+
+        Model-wide: the layers' seeds are updated, so every context (this
+        engine's, other replicas', the ctx-less default) re-derives its
+        streams from the new seeds on its next draw.
+        """
         for offset, idx in enumerate(self.network.stochastic_layer_indices()):
             layer = self.network.layers[idx]
             if isinstance(layer, MCDropout):
                 layer.reseed(seed + offset)
+
+    def replicate(self) -> "NetworkEngine":
+        """A new engine over the *same* network (zero-copy parameter sharing).
+
+        The replica has its own :class:`~repro.nn.context.ForwardContext`
+        and activation cache, so it can run concurrently with this engine —
+        this is the building block of the multi-worker serving pool.
+        """
+        return NetworkEngine(
+            self.network, exact=self.exact, cache_size=self._cache.maxsize
+        )
 
     def invalidate_cache(self) -> None:
         self._cache.clear()
@@ -146,21 +174,35 @@ class NetworkEngine:
         return self.split_index < len(self.network.layers)
 
     # ------------------------------------------------------------------ #
-    def _prefix(self, x: np.ndarray, split: int) -> np.ndarray:
+    def _prefix(
+        self, x: np.ndarray, split: int, ctx: ForwardContext
+    ) -> np.ndarray:
         token = (self.network.weights_version, split)
         cached = self._cache.get(x, token)
         if cached is None:
-            cached = self.network.forward_range(x, 0, split, training=False)
+            cached = self.network.forward_range(x, 0, split, training=False, ctx=ctx)
             self._cache.put(x, token, cached)
         return cached
 
-    def sample(self, x: np.ndarray, num_samples: int = 3) -> MCPrediction:
-        """Draw ``num_samples`` MC predictive samples in one folded pass."""
+    def sample(
+        self,
+        x: np.ndarray,
+        num_samples: int = 3,
+        ctx: ForwardContext | None = None,
+    ) -> MCPrediction:
+        """Draw ``num_samples`` MC predictive samples in one folded pass.
+
+        ``ctx`` overrides the engine's own context for this call — that is
+        how the serving pool gives every batch a deterministic, scheduling-
+        independent stream; leave it ``None`` for the (bit-identical to
+        pre-context) persistent engine streams.
+        """
         if num_samples <= 0:
             raise ValueError("num_samples must be positive")
+        ctx = self.ctx if ctx is None else ctx
         split = self.split_index
         n_layers = len(self.network.layers)
-        cached = self._prefix(x, split)
+        cached = self._prefix(x, split, ctx)
 
         if split >= n_layers:
             # deterministic network: one pass, replicate the sample
@@ -169,7 +211,13 @@ class NetworkEngine:
         else:
             folded = fold_batch(cached, num_samples)
             logits = folded_forward_range(
-                self.network, folded, num_samples, split, n_layers, exact=self.exact
+                self.network,
+                folded,
+                num_samples,
+                split,
+                n_layers,
+                exact=self.exact,
+                ctx=ctx,
             )
             sample_probs = unfold_samples(softmax(logits, axis=-1), num_samples)
         return MCPrediction(
@@ -177,13 +225,17 @@ class NetworkEngine:
         )
 
     def predict_proba(
-        self, x: np.ndarray, num_samples: int | None = None
+        self,
+        x: np.ndarray,
+        num_samples: int | None = None,
+        ctx: ForwardContext | None = None,
     ) -> np.ndarray:
         """Predictive distribution: MC mean when ``num_samples`` is given,
         otherwise one (stochastic, if MCD) forward pass."""
         if num_samples is not None:
-            return self.sample(x, num_samples).mean_probs
-        return softmax(self.network.forward(x, training=False), axis=-1)
+            return self.sample(x, num_samples, ctx=ctx).mean_probs
+        ctx = self.ctx if ctx is None else ctx
+        return softmax(self.network.forward(x, training=False, ctx=ctx), axis=-1)
 
     def predict_stream(
         self,
@@ -248,6 +300,12 @@ class InferenceEngine:
 
     All public methods keep the semantics (and, for ``predict_mc``, the bit
     pattern) of the legacy loops in :mod:`repro.inference.legacy`.
+
+    Like :class:`NetworkEngine`, each instance owns a private
+    :class:`~repro.nn.context.ForwardContext` and activation cache;
+    :meth:`replicate` builds additional engines over the same model
+    (parameters shared zero-copy) that can run concurrently — one replica
+    per serving worker.
     """
 
     def __init__(
@@ -259,8 +317,20 @@ class InferenceEngine:
         self.model = model
         self.exact = bool(exact)
         self._cache = _ActivationCache(cache_size)
+        #: the engine's private forward context (streams + layer caches)
+        self.ctx = ForwardContext()
 
     # ------------------------------------------------------------------ #
+    def replicate(self) -> "InferenceEngine":
+        """A new engine over the *same* model (zero-copy parameter sharing).
+
+        The replica has its own :class:`~repro.nn.context.ForwardContext`
+        and activation cache, so it can run concurrently with this engine.
+        """
+        return InferenceEngine(
+            self.model, exact=self.exact, cache_size=self._cache.maxsize
+        )
+
     def invalidate_cache(self) -> None:
         """Drop cached backbone activations (call after mutating weights)."""
         self._cache.clear()
@@ -268,12 +338,16 @@ class InferenceEngine:
     def _weights_token(self) -> object:
         return self.model.backbone.weights_version
 
-    def backbone_activations(self, x: np.ndarray) -> list[np.ndarray]:
+    def backbone_activations(
+        self, x: np.ndarray, ctx: ForwardContext | None = None
+    ) -> list[np.ndarray]:
         """Backbone activation at each exit point, computed once and cached."""
         token = self._weights_token()
         acts = self._cache.get(x, token)
         if acts is None:
-            acts = self.model.backbone_activations(x, training=False)
+            acts = self.model.backbone_activations(
+                x, training=False, ctx=self.ctx if ctx is None else ctx
+            )
             self._cache.put(x, token, acts)
         return acts
 
@@ -281,7 +355,7 @@ class InferenceEngine:
     # Monte-Carlo prediction (folded)
     # ------------------------------------------------------------------ #
     def _head_mc_probs(
-        self, head: Network, act: np.ndarray, num_passes: int
+        self, head: Network, act: np.ndarray, num_passes: int, ctx: ForwardContext
     ) -> np.ndarray:
         """``num_passes`` MC samples of one head, shape ``(P, N, classes)``.
 
@@ -290,36 +364,42 @@ class InferenceEngine:
         stochastic suffix is folded ``P`` times.
         """
         split = head.first_stochastic_index()
-        prefix = head.forward_range(act, 0, split, training=False)
+        prefix = head.forward_range(act, 0, split, training=False, ctx=ctx)
         if split >= len(head.layers):
             probs = softmax(prefix, axis=-1)
             return np.stack([probs] * num_passes)
         folded = fold_batch(prefix, num_passes)
         logits = folded_forward_range(
-            head, folded, num_passes, split, len(head.layers), exact=self.exact
+            head, folded, num_passes, split, len(head.layers),
+            exact=self.exact, ctx=ctx,
         )
         return unfold_samples(softmax(logits, axis=-1), num_passes)
 
     def predict_mc(
-        self, x: np.ndarray, num_samples: int | None = None
+        self,
+        x: np.ndarray,
+        num_samples: int | None = None,
+        ctx: ForwardContext | None = None,
     ) -> MCPrediction:
         """Monte-Carlo prediction with cached backbone and folded heads.
 
         Bit-identical to the legacy per-pass loop: samples are interleaved
         round-robin across exits (``e0p0, e1p0, …, e0p1, …``) and truncated
-        to exactly ``num_samples``.
+        to exactly ``num_samples``.  ``ctx`` overrides the engine's own
+        context for this call (see :meth:`NetworkEngine.sample`).
         """
         model = self.model
         if num_samples is None:
             num_samples = model.config.default_mc_samples
         if num_samples <= 0:
             raise ValueError("num_samples must be positive")
+        ctx = self.ctx if ctx is None else ctx
 
-        activations = self.backbone_activations(x)
+        activations = self.backbone_activations(x, ctx=ctx)
         passes = math.ceil(num_samples / model.num_exits)
 
         per_head = [
-            self._head_mc_probs(head, act, passes)
+            self._head_mc_probs(head, act, passes, ctx)
             for head, act in zip(model.exits, activations)
         ]
         # (E, P, N, C) -> (P, E, N, C) -> flat sample index k = p*E + e
@@ -336,23 +416,27 @@ class InferenceEngine:
     # per-exit predictions
     # ------------------------------------------------------------------ #
     def exit_probabilities(
-        self, x: np.ndarray, stochastic: bool | None = None
+        self,
+        x: np.ndarray,
+        stochastic: bool | None = None,
+        ctx: ForwardContext | None = None,
     ) -> list[np.ndarray]:
         """Per-exit predictive distributions for one forward pass."""
         if stochastic is None:
             stochastic = self.model.config.is_bayesian
-        activations = self.backbone_activations(x)
+        ctx = self.ctx if ctx is None else ctx
+        activations = self.backbone_activations(x, ctx=ctx)
         probs = []
         for head, act in zip(self.model.exits, activations):
             if stochastic:
-                logits = head.forward(act, training=False)
+                logits = head.forward(act, training=False, ctx=ctx)
             else:
-                logits = deterministic_forward(head, act)
+                logits = deterministic_forward(head, act, ctx=ctx)
             probs.append(softmax(logits, axis=-1))
         return probs
 
     def exit_mc_probabilities(
-        self, x: np.ndarray, num_passes: int
+        self, x: np.ndarray, num_passes: int, ctx: ForwardContext | None = None
     ) -> list[np.ndarray]:
         """Per-exit MC-mean distributions over ``num_passes`` folded passes.
 
@@ -362,23 +446,29 @@ class InferenceEngine:
         """
         if num_passes <= 0:
             raise ValueError("num_passes must be positive")
-        activations = self.backbone_activations(x)
+        ctx = self.ctx if ctx is None else ctx
+        activations = self.backbone_activations(x, ctx=ctx)
         return [
-            self._head_mc_probs(head, act, num_passes).mean(axis=0)
+            self._head_mc_probs(head, act, num_passes, ctx).mean(axis=0)
             for head, act in zip(self.model.exits, activations)
         ]
 
-    def predict_deterministic(self, x: np.ndarray) -> np.ndarray:
+    def predict_deterministic(
+        self, x: np.ndarray, ctx: ForwardContext | None = None
+    ) -> np.ndarray:
         """Ensemble prediction with MCD replaced by its expectation."""
-        return exit_ensemble(self.exit_probabilities(x, stochastic=False))
+        return exit_ensemble(self.exit_probabilities(x, stochastic=False, ctx=ctx))
 
     def predict_proba(
-        self, x: np.ndarray, num_samples: int | None = None
+        self,
+        x: np.ndarray,
+        num_samples: int | None = None,
+        ctx: ForwardContext | None = None,
     ) -> np.ndarray:
         """Mean predictive distribution (MC if Bayesian, deterministic otherwise)."""
         if self.model.config.is_bayesian:
-            return self.predict_mc(x, num_samples).mean_probs
-        return self.predict_deterministic(x)
+            return self.predict_mc(x, num_samples, ctx=ctx).mean_probs
+        return self.predict_deterministic(x, ctx=ctx)
 
     def predict(self, x: np.ndarray, num_samples: int | None = None) -> np.ndarray:
         """Predicted class labels."""
@@ -393,6 +483,7 @@ class InferenceEngine:
         threshold: float,
         use_ensemble: bool = True,
         stochastic: bool | None = None,
+        ctx: ForwardContext | None = None,
     ) -> EarlyExitResult:
         """Confidence-based early exiting with per-example termination.
 
@@ -416,6 +507,7 @@ class InferenceEngine:
         model = self.model
         if stochastic is None:
             stochastic = model.config.is_bayesian
+        ctx = self.ctx if ctx is None else ctx
         bounds = model._segment_bounds()
         n = x.shape[0]
         num_exits = model.num_exits
@@ -434,11 +526,13 @@ class InferenceEngine:
                 act = cached_acts[i]
                 out = act if active.shape[0] == n else act[active]
             else:
-                out = model.backbone.forward_range(out, start, stop, training=False)
+                out = model.backbone.forward_range(
+                    out, start, stop, training=False, ctx=ctx
+                )
             if stochastic:
-                logits = head.forward(out, training=False)
+                logits = head.forward(out, training=False, ctx=ctx)
             else:
-                logits = deterministic_forward(head, out)
+                logits = deterministic_forward(head, out, ctx=ctx)
             probs = softmax(logits, axis=-1)
             if use_ensemble:
                 running = probs if running is None else running + probs

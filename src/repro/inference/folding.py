@@ -50,6 +50,7 @@ from ..nn.layers import (
     ReLU,
     Softmax,
 )
+from ..nn.context import ForwardContext, resolve_context
 from ..nn.layers.base import Layer
 from ..nn.model import Network
 
@@ -110,12 +111,14 @@ def _dense_folded(layer: Dense, x: np.ndarray, num_samples: int) -> np.ndarray:
     return out.reshape(num_samples * n, layer.units)
 
 
-def _sliced_forward(layer: Layer, x: np.ndarray, num_samples: int) -> np.ndarray:
+def _sliced_forward(
+    layer: Layer, x: np.ndarray, num_samples: int, ctx: ForwardContext
+) -> np.ndarray:
     """Evaluate a layer one sample-slice at a time (always bit-exact)."""
     n = x.shape[0] // num_samples
     return np.concatenate(
         [
-            layer.forward(x[s * n : (s + 1) * n], training=False)
+            layer.forward(x[s * n : (s + 1) * n], training=False, ctx=ctx)
             for s in range(num_samples)
         ],
         axis=0,
@@ -129,6 +132,7 @@ def folded_forward_range(
     start: int,
     stop: int,
     exact: bool = True,
+    ctx: ForwardContext | None = None,
 ) -> np.ndarray:
     """Run layers ``[start, stop)`` of ``network`` on a sample-folded batch.
 
@@ -136,6 +140,8 @@ def folded_forward_range(
     With ``exact=True`` (default) the result is bit-identical to evaluating
     the range once per sample on the ``(N, …)`` batch; with ``exact=False``
     every layer runs on the flat fold (fastest, agreement to a few ULPs).
+    ``ctx`` supplies the MCD mask streams (and receives the layer caches);
+    concurrent callers over the same network must each pass their own.
     """
     if not network.built:
         raise RuntimeError("network must be built before folded evaluation")
@@ -148,12 +154,13 @@ def folded_forward_range(
             f"folded batch of {x.shape[0]} rows is not divisible by "
             f"num_samples={num_samples}"
         )
+    ctx = resolve_context(ctx)
     out = x
     for layer in network.layers[start:stop]:
         if not exact or isinstance(layer, ROWWISE_LAYERS):
-            out = layer.forward(out, training=False)
+            out = layer.forward(out, training=False, ctx=ctx)
         elif isinstance(layer, Dense):
             out = _dense_folded(layer, out, num_samples)
         else:
-            out = _sliced_forward(layer, out, num_samples)
+            out = _sliced_forward(layer, out, num_samples, ctx)
     return out

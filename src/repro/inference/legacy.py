@@ -9,6 +9,12 @@ folded hot path must reproduce **bit-for-bit** (same seeds ⇒ identical
 ``tests/inference/test_folded_equivalence.py`` enforce, and they serve as the
 baseline of the looped-vs-folded microbenchmark in
 ``benchmarks/test_inference_engine.py``.
+
+These loops deliberately run ctx-less: they use the process-wide default
+:class:`~repro.nn.context.ForwardContext`, whose streams seed from the
+layers' seeds exactly like the engines' private contexts do — which is
+what keeps twin-model folded-vs-legacy comparisons bit-identical after the
+reentrancy refactor.
 """
 
 from __future__ import annotations

@@ -6,6 +6,7 @@ the PyTorch/Keras dependency of the original paper.  See ``DESIGN.md`` §3.1.
 """
 
 from . import architectures, layers
+from .context import ForwardContext, default_context, resolve_context
 from .losses import CrossEntropyLoss, DistillationLoss, MSELoss
 from .model import Network
 from .optimizers import Adam, CosineLR, SGD, StepLR
@@ -20,6 +21,9 @@ from .training import (
 __all__ = [
     "architectures",
     "layers",
+    "ForwardContext",
+    "default_context",
+    "resolve_context",
     "Network",
     "CrossEntropyLoss",
     "DistillationLoss",

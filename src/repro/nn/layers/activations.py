@@ -4,6 +4,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from ..context import ForwardContext
 from .base import Layer
 
 __all__ = ["ReLU", "Softmax", "softmax", "log_softmax"]
@@ -25,12 +26,20 @@ def log_softmax(logits: np.ndarray, axis: int = -1) -> np.ndarray:
 class ReLU(Layer):
     """Rectified linear activation."""
 
-    def forward(self, x: np.ndarray, training: bool = False) -> np.ndarray:
-        self._mask = x > 0
-        return x * self._mask
+    def forward(
+        self,
+        x: np.ndarray,
+        training: bool = False,
+        ctx: ForwardContext | None = None,
+    ) -> np.ndarray:
+        mask = x > 0
+        self._ctx(ctx).save(self, mask)
+        return x * mask
 
-    def backward(self, grad_output: np.ndarray) -> np.ndarray:
-        return grad_output * self._mask
+    def backward(
+        self, grad_output: np.ndarray, ctx: ForwardContext | None = None
+    ) -> np.ndarray:
+        return grad_output * self._ctx(ctx).saved(self)
 
 
 class Softmax(Layer):
@@ -42,12 +51,19 @@ class Softmax(Layer):
     into the loss gradient for numerical stability.
     """
 
-    def forward(self, x: np.ndarray, training: bool = False) -> np.ndarray:
+    def forward(
+        self,
+        x: np.ndarray,
+        training: bool = False,
+        ctx: ForwardContext | None = None,
+    ) -> np.ndarray:
         out = softmax(x, axis=-1)
-        self._out = out
+        self._ctx(ctx).save(self, out)
         return out
 
-    def backward(self, grad_output: np.ndarray) -> np.ndarray:
-        s = self._out
+    def backward(
+        self, grad_output: np.ndarray, ctx: ForwardContext | None = None
+    ) -> np.ndarray:
+        s = self._ctx(ctx).saved(self)
         dot = (grad_output * s).sum(axis=-1, keepdims=True)
         return s * (grad_output - dot)

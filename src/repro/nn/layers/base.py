@@ -1,6 +1,14 @@
 """Base class shared by every layer in the NumPy substrate.
 
-A :class:`Layer` is a stateful object with a ``forward`` / ``backward`` pair.
+A :class:`Layer` carries *persistent* state only — parameters, shapes,
+configuration.  All *per-call* state (backward caches, dropout masks, RNG
+streams) lives in an explicit :class:`~repro.nn.context.ForwardContext`
+threaded through ``forward`` / ``backward``, which is what makes the layers
+reentrant: the same layer object can be mid-forward in several threads at
+once as long as each caller uses its own context.  When ``ctx`` is omitted,
+a process-wide default context is used, so single-threaded code reads
+exactly as before.
+
 Shapes exclude the batch dimension: ``input_shape`` and ``output_shape`` are
 per-sample shapes such as ``(C, H, W)`` or ``(features,)``.  Layers must be
 ``build()``-able from their input shape so that architectures can be described
@@ -14,6 +22,8 @@ from __future__ import annotations
 from typing import Iterator
 
 import numpy as np
+
+from ..context import ForwardContext, resolve_context
 
 __all__ = ["Layer", "Parameter"]
 
@@ -71,7 +81,11 @@ class Layer:
     """Common interface for all layers.
 
     Subclasses implement :meth:`build`, :meth:`forward` and :meth:`backward`.
-    ``forward`` must stash whatever it needs for ``backward`` on ``self``.
+    ``forward`` must stash whatever it needs for ``backward`` in the
+    :class:`~repro.nn.context.ForwardContext` (``ctx.save(self, ...)``),
+    never on ``self`` — per-call state on the layer would break reentrancy.
+    ``backward`` reads it back with ``ctx.saved(self)``; the two must be
+    called with the same context (both default to the process-wide one).
     """
 
     #: whether the layer behaves stochastically at inference time
@@ -106,18 +120,35 @@ class Layer:
     # ------------------------------------------------------------------ #
     # computation
     # ------------------------------------------------------------------ #
-    def forward(self, x: np.ndarray, training: bool = False) -> np.ndarray:
+    @staticmethod
+    def _ctx(ctx: ForwardContext | None) -> ForwardContext:
+        """Resolve an optional context to a concrete one (default if None)."""
+        return resolve_context(ctx)
+
+    def forward(
+        self,
+        x: np.ndarray,
+        training: bool = False,
+        ctx: ForwardContext | None = None,
+    ) -> np.ndarray:
         raise NotImplementedError
 
-    def backward(self, grad_output: np.ndarray) -> np.ndarray:
+    def backward(
+        self, grad_output: np.ndarray, ctx: ForwardContext | None = None
+    ) -> np.ndarray:
         raise NotImplementedError
 
-    def __call__(self, x: np.ndarray, training: bool = False) -> np.ndarray:
+    def __call__(
+        self,
+        x: np.ndarray,
+        training: bool = False,
+        ctx: ForwardContext | None = None,
+    ) -> np.ndarray:
         if not self.built:
             raise RuntimeError(
                 f"layer {self.name!r} must be built before it is called"
             )
-        return self.forward(x, training=training)
+        return self.forward(x, training=training, ctx=ctx)
 
     # ------------------------------------------------------------------ #
     # parameter access

@@ -4,6 +4,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from ..context import ForwardContext
 from .base import Layer
 
 __all__ = ["BatchNorm"]
@@ -14,6 +15,13 @@ class BatchNorm(Layer):
 
     Works on both ``(N, C, H, W)`` tensors (normalising per channel) and
     ``(N, F)`` tensors (normalising per feature).
+
+    The running mean/variance live on the layer, not in the
+    :class:`~repro.nn.context.ForwardContext`: they are learned model state
+    (like parameters, shared by all contexts) and are only mutated by
+    *training-mode* forward passes, which — like all gradient work — remain
+    a single-context affair.  Inference-mode forwards only read them and
+    are fully reentrant.
     """
 
     def __init__(
@@ -42,7 +50,12 @@ class BatchNorm(Layer):
             return stat[None, :, None, None]
         return stat[None, :]
 
-    def forward(self, x: np.ndarray, training: bool = False) -> np.ndarray:
+    def forward(
+        self,
+        x: np.ndarray,
+        training: bool = False,
+        ctx: ForwardContext | None = None,
+    ) -> np.ndarray:
         axes = (0, 2, 3) if x.ndim == 4 else (0,)
 
         if training:
@@ -67,11 +80,13 @@ class BatchNorm(Layer):
         beta_b = self._reshape_stats(self.beta.value, x.ndim)
         out = gamma_b * x_hat + beta_b
 
-        self._cache = (x_hat, inv_std, axes, x.ndim)
+        self._ctx(ctx).save(self, (x_hat, inv_std, axes, x.ndim))
         return out
 
-    def backward(self, grad_output: np.ndarray) -> np.ndarray:
-        x_hat, inv_std, axes, ndim = self._cache
+    def backward(
+        self, grad_output: np.ndarray, ctx: ForwardContext | None = None
+    ) -> np.ndarray:
+        x_hat, inv_std, axes, ndim = self._ctx(ctx).saved(self)
         m = float(np.prod([grad_output.shape[a] for a in axes]))
 
         self.gamma.grad += (grad_output * x_hat).sum(axis=axes)

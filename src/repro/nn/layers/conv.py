@@ -4,6 +4,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from ..context import ForwardContext
 from ..initializers import HeNormal, Initializer, Zeros, get_initializer
 from ..tensor import col2im, conv_output_size, im2col
 from .base import Layer
@@ -81,7 +82,12 @@ class Conv2D(Layer):
             )
 
     # ------------------------------------------------------------------ #
-    def forward(self, x: np.ndarray, training: bool = False) -> np.ndarray:
+    def forward(
+        self,
+        x: np.ndarray,
+        training: bool = False,
+        ctx: ForwardContext | None = None,
+    ) -> np.ndarray:
         n = x.shape[0]
         out_c, out_h, out_w = self.output_shape
         cols = im2col(x, self.kernel_size, self.kernel_size, self.stride, self.padding)
@@ -91,11 +97,13 @@ class Conv2D(Layer):
             out += self.bias.value
         out = out.reshape(n, out_h, out_w, out_c).transpose(0, 3, 1, 2)
 
-        self._cache = (x.shape, cols)
+        self._ctx(ctx).save(self, (x.shape, cols))
         return out
 
-    def backward(self, grad_output: np.ndarray) -> np.ndarray:
-        x_shape, cols = self._cache
+    def backward(
+        self, grad_output: np.ndarray, ctx: ForwardContext | None = None
+    ) -> np.ndarray:
+        x_shape, cols = self._ctx(ctx).saved(self)
         n = grad_output.shape[0]
         grad_mat = grad_output.transpose(0, 2, 3, 1).reshape(-1, self.filters)
 

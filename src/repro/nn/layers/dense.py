@@ -4,6 +4,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from ..context import ForwardContext
 from ..initializers import Initializer, Zeros, get_initializer
 from .base import Layer
 
@@ -47,15 +48,22 @@ class Dense(Layer):
                 "bias", self._bias_initializer((self.units,), rng)
             )
 
-    def forward(self, x: np.ndarray, training: bool = False) -> np.ndarray:
-        self._cache = x
+    def forward(
+        self,
+        x: np.ndarray,
+        training: bool = False,
+        ctx: ForwardContext | None = None,
+    ) -> np.ndarray:
+        self._ctx(ctx).save(self, x)
         out = x @ self.weight.value
         if self.use_bias:
             out = out + self.bias.value
         return out
 
-    def backward(self, grad_output: np.ndarray) -> np.ndarray:
-        x = self._cache
+    def backward(
+        self, grad_output: np.ndarray, ctx: ForwardContext | None = None
+    ) -> np.ndarray:
+        x = self._ctx(ctx).saved(self)
         self.weight.grad += x.T @ grad_output
         if self.use_bias:
             self.bias.grad += grad_output.sum(axis=0)

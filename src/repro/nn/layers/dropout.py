@@ -10,12 +10,20 @@ Both layers use *inverted* dropout scaling (surviving activations are scaled
 by ``1 / keep_prob``) so that the expected activation magnitude is preserved
 and no rescaling is needed at evaluation time.  The generated HLS code in
 :mod:`repro.hw.hls` instead follows the paper's Algorithm 1 verbatim.
+
+The layers themselves are stateless per call: masks are stored in the
+:class:`~repro.nn.context.ForwardContext` and the Bernoulli draws come from
+the *context-owned* RNG stream for this layer (see :meth:`ForwardContext.rng`
+for the seeding/spawn rule).  The layer only carries the ``seed`` the streams
+derive from, which is what lets several engine replicas run the same layer
+concurrently with independent streams.
 """
 
 from __future__ import annotations
 
 import numpy as np
 
+from ..context import ForwardContext, resolve_context
 from .base import Layer
 
 __all__ = ["Dropout", "MCDropout"]
@@ -36,17 +44,33 @@ class _DropoutBase(Layer):
             raise ValueError(f"dropout rate must be in [0, 1), got {rate}")
         self.rate = float(rate)
         self.filter_wise = bool(filter_wise)
-        self._rng = np.random.default_rng(seed)
+        #: seed every context derives its mask stream for this layer from
+        self.seed = seed
+        #: bumped by :meth:`reseed`; contexts compare it to re-derive streams
+        self.seed_epoch = 0
 
     def reseed(self, seed: int) -> None:
-        """Reset the mask RNG, making subsequent masks reproducible."""
-        self._rng = np.random.default_rng(seed)
+        """Reset the mask stream(s), making subsequent masks reproducible.
+
+        This is a *model-wide* operation: the new seed is recorded on the
+        layer and the ``seed_epoch`` bump makes **every**
+        :class:`~repro.nn.context.ForwardContext` — the process-wide default
+        and each engine replica's private one — re-derive its stream for
+        this layer from the new seed on its next draw.  Two ``reseed(s)``
+        calls with the same ``s`` therefore replay the same mask sequence in
+        whichever context draws next, exactly as when the layer owned its
+        stream directly.
+        """
+        self.seed = int(seed)
+        self.seed_epoch += 1
 
     @property
     def keep_prob(self) -> float:
         return 1.0 - self.rate
 
-    def _sample_mask(self, x: np.ndarray) -> np.ndarray:
+    def _sample_mask(
+        self, x: np.ndarray, rng: np.random.Generator | None = None
+    ) -> np.ndarray:
         """Sample a Bernoulli keep-mask broadcastable to ``x``.
 
         Filter-wise masking (Section II-A) draws **one Bernoulli per
@@ -59,23 +83,31 @@ class _DropoutBase(Layer):
         RNG stream, which is what lets the sample-folded engine
         (:mod:`repro.inference.folding`) draw all S per-sample masks in one
         call without changing the stream.
+
+        ``rng`` defaults to the process-wide default context's stream for
+        this layer.
         """
+        if rng is None:
+            rng = resolve_context(None).rng(self)
         if self.filter_wise and x.ndim == 4:
             shape: tuple[int, ...] = (x.shape[0], x.shape[1], 1, 1)
         else:
             shape = x.shape
-        return (self._rng.random(shape) < self.keep_prob).astype(x.dtype)
+        return (rng.random(shape) < self.keep_prob).astype(x.dtype)
 
-    def _apply(self, x: np.ndarray) -> np.ndarray:
+    def _apply(self, x: np.ndarray, ctx: ForwardContext) -> np.ndarray:
         if self.rate == 0.0:
-            self._mask = np.ones((1,) * x.ndim, dtype=x.dtype)
+            ctx.save(self, np.ones((1,) * x.ndim, dtype=x.dtype))
             return x
-        mask = self._sample_mask(x)
-        self._mask = mask / self.keep_prob
-        return x * self._mask
+        mask = self._sample_mask(x, ctx.rng(self))
+        scaled = mask / self.keep_prob
+        ctx.save(self, scaled)
+        return x * scaled
 
-    def backward(self, grad_output: np.ndarray) -> np.ndarray:
-        return grad_output * self._mask
+    def backward(
+        self, grad_output: np.ndarray, ctx: ForwardContext | None = None
+    ) -> np.ndarray:
+        return grad_output * self._ctx(ctx).saved(self)
 
     def describe(self) -> dict:
         info = super().describe()
@@ -92,11 +124,17 @@ class _DropoutBase(Layer):
 class Dropout(_DropoutBase):
     """Conventional dropout: active during training, identity at inference."""
 
-    def forward(self, x: np.ndarray, training: bool = False) -> np.ndarray:
+    def forward(
+        self,
+        x: np.ndarray,
+        training: bool = False,
+        ctx: ForwardContext | None = None,
+    ) -> np.ndarray:
+        ctx = self._ctx(ctx)
         if not training:
-            self._mask = np.ones((1,) * x.ndim, dtype=x.dtype)
+            ctx.save(self, np.ones((1,) * x.ndim, dtype=x.dtype))
             return x
-        return self._apply(x)
+        return self._apply(x, ctx)
 
 
 class MCDropout(_DropoutBase):
@@ -109,14 +147,21 @@ class MCDropout(_DropoutBase):
 
     stochastic = True
 
-    def forward(self, x: np.ndarray, training: bool = False) -> np.ndarray:
-        return self._apply(x)
+    def forward(
+        self,
+        x: np.ndarray,
+        training: bool = False,
+        ctx: ForwardContext | None = None,
+    ) -> np.ndarray:
+        return self._apply(x, self._ctx(ctx))
 
-    def deterministic_forward(self, x: np.ndarray) -> np.ndarray:
+    def deterministic_forward(
+        self, x: np.ndarray, ctx: ForwardContext | None = None
+    ) -> np.ndarray:
         """Forward pass with dropout disabled (expected-value approximation).
 
         Used when a single deterministic prediction is required, e.g. when
         comparing against the non-Bayesian baseline.
         """
-        self._mask = np.ones((1,) * x.ndim, dtype=x.dtype)
+        self._ctx(ctx).save(self, np.ones((1,) * x.ndim, dtype=x.dtype))
         return x

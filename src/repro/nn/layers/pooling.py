@@ -4,6 +4,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from ..context import ForwardContext
 from ..tensor import conv_output_size, im2col, col2im
 from .base import Layer
 
@@ -45,17 +46,24 @@ class _Pool2D(Layer):
 class MaxPool2D(_Pool2D):
     """Max pooling over non-overlapping (or strided) windows."""
 
-    def forward(self, x: np.ndarray, training: bool = False) -> np.ndarray:
+    def forward(
+        self,
+        x: np.ndarray,
+        training: bool = False,
+        ctx: ForwardContext | None = None,
+    ) -> np.ndarray:
         n, c, _, _ = x.shape
         _, out_h, out_w = self.output_shape
         cols = self._to_cols(x)
         argmax = cols.argmax(axis=2)
         out = cols.max(axis=2)
-        self._cache = (x.shape, argmax)
+        self._ctx(ctx).save(self, (x.shape, argmax))
         return out.reshape(n, out_h, out_w, c).transpose(0, 3, 1, 2)
 
-    def backward(self, grad_output: np.ndarray) -> np.ndarray:
-        x_shape, argmax = self._cache
+    def backward(
+        self, grad_output: np.ndarray, ctx: ForwardContext | None = None
+    ) -> np.ndarray:
+        x_shape, argmax = self._ctx(ctx).saved(self)
         n, c, _, _ = x_shape
         _, out_h, out_w = self.output_shape
         window = self.pool_size * self.pool_size
@@ -75,16 +83,23 @@ class MaxPool2D(_Pool2D):
 class AvgPool2D(_Pool2D):
     """Average pooling over spatial windows."""
 
-    def forward(self, x: np.ndarray, training: bool = False) -> np.ndarray:
+    def forward(
+        self,
+        x: np.ndarray,
+        training: bool = False,
+        ctx: ForwardContext | None = None,
+    ) -> np.ndarray:
         n, c, _, _ = x.shape
         _, out_h, out_w = self.output_shape
         cols = self._to_cols(x)
         out = cols.mean(axis=2)
-        self._cache = x.shape
+        self._ctx(ctx).save(self, x.shape)
         return out.reshape(n, out_h, out_w, c).transpose(0, 3, 1, 2)
 
-    def backward(self, grad_output: np.ndarray) -> np.ndarray:
-        x_shape = self._cache
+    def backward(
+        self, grad_output: np.ndarray, ctx: ForwardContext | None = None
+    ) -> np.ndarray:
+        x_shape = self._ctx(ctx).saved(self)
         n, c, _, _ = x_shape
         _, out_h, out_w = self.output_shape
         window = self.pool_size * self.pool_size
@@ -107,11 +122,18 @@ class GlobalAvgPool2D(Layer):
             )
         return (input_shape[0],)
 
-    def forward(self, x: np.ndarray, training: bool = False) -> np.ndarray:
-        self._cache = x.shape
+    def forward(
+        self,
+        x: np.ndarray,
+        training: bool = False,
+        ctx: ForwardContext | None = None,
+    ) -> np.ndarray:
+        self._ctx(ctx).save(self, x.shape)
         return x.mean(axis=(2, 3))
 
-    def backward(self, grad_output: np.ndarray) -> np.ndarray:
-        n, c, h, w = self._cache
+    def backward(
+        self, grad_output: np.ndarray, ctx: ForwardContext | None = None
+    ) -> np.ndarray:
+        n, c, h, w = self._ctx(ctx).saved(self)
         grad = grad_output[:, :, None, None] / (h * w)
         return np.broadcast_to(grad, (n, c, h, w)).copy()

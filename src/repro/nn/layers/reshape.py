@@ -4,6 +4,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from ..context import ForwardContext
 from .base import Layer
 
 __all__ = ["Flatten"]
@@ -15,9 +16,16 @@ class Flatten(Layer):
     def compute_output_shape(self, input_shape: tuple[int, ...]) -> tuple[int, ...]:
         return (int(np.prod(input_shape)),)
 
-    def forward(self, x: np.ndarray, training: bool = False) -> np.ndarray:
-        self._shape = x.shape
+    def forward(
+        self,
+        x: np.ndarray,
+        training: bool = False,
+        ctx: ForwardContext | None = None,
+    ) -> np.ndarray:
+        self._ctx(ctx).save(self, x.shape)
         return x.reshape(x.shape[0], -1)
 
-    def backward(self, grad_output: np.ndarray) -> np.ndarray:
-        return grad_output.reshape(self._shape)
+    def backward(
+        self, grad_output: np.ndarray, ctx: ForwardContext | None = None
+    ) -> np.ndarray:
+        return grad_output.reshape(self._ctx(ctx).saved(self))

@@ -12,6 +12,7 @@ from typing import Iterator
 
 import numpy as np
 
+from ..context import ForwardContext
 from .base import Layer, Parameter
 from .batchnorm import BatchNorm
 from .conv import Conv2D
@@ -121,43 +122,52 @@ class ResidualBlock(Layer):
             layer.zero_grad()
 
     # ------------------------------------------------------------------ #
-    def forward(self, x: np.ndarray, training: bool = False) -> np.ndarray:
-        out = self.conv1.forward(x, training)
+    def forward(
+        self,
+        x: np.ndarray,
+        training: bool = False,
+        ctx: ForwardContext | None = None,
+    ) -> np.ndarray:
+        ctx = self._ctx(ctx)
+        out = self.conv1.forward(x, training, ctx=ctx)
         if self.bn1 is not None:
-            out = self.bn1.forward(out, training)
-        out = self.relu1.forward(out, training)
-        out = self.conv2.forward(out, training)
+            out = self.bn1.forward(out, training, ctx=ctx)
+        out = self.relu1.forward(out, training, ctx=ctx)
+        out = self.conv2.forward(out, training, ctx=ctx)
         if self.bn2 is not None:
-            out = self.bn2.forward(out, training)
+            out = self.bn2.forward(out, training, ctx=ctx)
 
         if self.shortcut_conv is not None:
-            shortcut = self.shortcut_conv.forward(x, training)
+            shortcut = self.shortcut_conv.forward(x, training, ctx=ctx)
             if self.shortcut_bn is not None:
-                shortcut = self.shortcut_bn.forward(shortcut, training)
+                shortcut = self.shortcut_bn.forward(shortcut, training, ctx=ctx)
         else:
             shortcut = x
 
-        return self.relu2.forward(out + shortcut, training)
+        return self.relu2.forward(out + shortcut, training, ctx=ctx)
 
-    def backward(self, grad_output: np.ndarray) -> np.ndarray:
-        grad_sum = self.relu2.backward(grad_output)
+    def backward(
+        self, grad_output: np.ndarray, ctx: ForwardContext | None = None
+    ) -> np.ndarray:
+        ctx = self._ctx(ctx)
+        grad_sum = self.relu2.backward(grad_output, ctx=ctx)
 
         # main branch
         grad = grad_sum
         if self.bn2 is not None:
-            grad = self.bn2.backward(grad)
-        grad = self.conv2.backward(grad)
-        grad = self.relu1.backward(grad)
+            grad = self.bn2.backward(grad, ctx=ctx)
+        grad = self.conv2.backward(grad, ctx=ctx)
+        grad = self.relu1.backward(grad, ctx=ctx)
         if self.bn1 is not None:
-            grad = self.bn1.backward(grad)
-        grad_main = self.conv1.backward(grad)
+            grad = self.bn1.backward(grad, ctx=ctx)
+        grad_main = self.conv1.backward(grad, ctx=ctx)
 
         # shortcut branch
         if self.shortcut_conv is not None:
             grad_short = grad_sum
             if self.shortcut_bn is not None:
-                grad_short = self.shortcut_bn.backward(grad_short)
-            grad_short = self.shortcut_conv.backward(grad_short)
+                grad_short = self.shortcut_bn.backward(grad_short, ctx=ctx)
+            grad_short = self.shortcut_conv.backward(grad_short, ctx=ctx)
         else:
             grad_short = grad_sum
 

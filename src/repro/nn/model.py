@@ -10,6 +10,15 @@ rest of the repository relies on:
   analyzer and the FPGA hardware back-end;
 * **parameter snapshots** (``get_weights`` / ``set_weights``) used by the
   quantizer, the deep-ensemble baseline, and the tests.
+
+Per-call state (layer backward caches, dropout masks, RNG streams) lives in
+an explicit :class:`~repro.nn.context.ForwardContext` threaded through every
+``forward`` / ``backward`` entry point.  Passing a private context per
+logical caller makes the same ``Network`` object reentrant — several
+threads can run inference over shared :class:`Parameter` storage at once.
+With ``ctx=None`` the process-wide default context is used and behaviour
+(and single-threadedness) is exactly as before the context refactor; a
+``forward``/``backward`` pair must use the same context.
 """
 
 from __future__ import annotations
@@ -18,6 +27,7 @@ from typing import Iterator, Sequence
 
 import numpy as np
 
+from .context import ForwardContext, resolve_context
 from .layers.base import Layer, Parameter
 
 __all__ = ["Network"]
@@ -74,9 +84,14 @@ class Network:
     # ------------------------------------------------------------------ #
     # computation
     # ------------------------------------------------------------------ #
-    def forward(self, x: np.ndarray, training: bool = False) -> np.ndarray:
+    def forward(
+        self,
+        x: np.ndarray,
+        training: bool = False,
+        ctx: ForwardContext | None = None,
+    ) -> np.ndarray:
         """Run the full network."""
-        return self.forward_range(x, 0, len(self.layers), training=training)
+        return self.forward_range(x, 0, len(self.layers), training=training, ctx=ctx)
 
     def forward_range(
         self,
@@ -84,12 +99,15 @@ class Network:
         start: int,
         stop: int,
         training: bool = False,
+        ctx: ForwardContext | None = None,
     ) -> np.ndarray:
         """Run layers ``[start, stop)`` on ``x``.
 
         This is the primitive behind cached-backbone Monte-Carlo sampling:
         the deterministic prefix is evaluated once, and only the stochastic
-        suffix is re-evaluated per sample.
+        suffix is re-evaluated per sample.  ``ctx`` receives the per-layer
+        backward caches and supplies the dropout streams; concurrent callers
+        must each pass their own context.
         """
         if not self.built:
             raise RuntimeError("network must be built before calling forward")
@@ -97,30 +115,49 @@ class Network:
             raise IndexError(
                 f"invalid layer range [{start}, {stop}) for {len(self.layers)} layers"
             )
+        ctx = resolve_context(ctx)
         out = x
         for layer in self.layers[start:stop]:
-            out = layer.forward(out, training=training)
+            out = layer.forward(out, training=training, ctx=ctx)
         return out
 
-    def backward(self, grad_output: np.ndarray) -> np.ndarray:
+    def backward(
+        self, grad_output: np.ndarray, ctx: ForwardContext | None = None
+    ) -> np.ndarray:
         """Back-propagate through the full network (after a forward pass)."""
-        return self.backward_range(grad_output, 0, len(self.layers))
+        return self.backward_range(grad_output, 0, len(self.layers), ctx=ctx)
 
     def backward_range(
-        self, grad_output: np.ndarray, start: int, stop: int
+        self,
+        grad_output: np.ndarray,
+        start: int,
+        stop: int,
+        ctx: ForwardContext | None = None,
     ) -> np.ndarray:
-        """Back-propagate through layers ``[start, stop)`` in reverse order."""
+        """Back-propagate through layers ``[start, stop)`` in reverse order.
+
+        Must be called with the context of the matching forward pass (both
+        default to the process-wide one).
+        """
+        ctx = resolve_context(ctx)
         grad = grad_output
         for layer in reversed(self.layers[start:stop]):
-            grad = layer.backward(grad)
+            grad = layer.backward(grad, ctx=ctx)
         return grad
 
-    def predict(self, x: np.ndarray) -> np.ndarray:
+    def predict(
+        self, x: np.ndarray, ctx: ForwardContext | None = None
+    ) -> np.ndarray:
         """Inference-mode forward pass (no dropout except MC dropout)."""
-        return self.forward(x, training=False)
+        return self.forward(x, training=False, ctx=ctx)
 
-    def __call__(self, x: np.ndarray, training: bool = False) -> np.ndarray:
-        return self.forward(x, training=training)
+    def __call__(
+        self,
+        x: np.ndarray,
+        training: bool = False,
+        ctx: ForwardContext | None = None,
+    ) -> np.ndarray:
+        return self.forward(x, training=training, ctx=ctx)
 
     # ------------------------------------------------------------------ #
     # parameters

@@ -7,14 +7,19 @@ two with classic dynamic batching:
 
 * :class:`DynamicBatcher` — payload-agnostic microbatch assembly: dispatch
   when full (``max_batch_size``) or when the oldest queued request has
-  waited ``max_batch_latency`` seconds; bounded-queue backpressure that
-  either *awaits* capacity (default) or fails fast with
+  waited ``max_batch_latency`` seconds; earliest-deadline-first ordering of
+  the backlog for deadlined requests; up to ``max_concurrent_batches``
+  batches in flight with assembly pipelined against compute; bounded-queue
+  backpressure that either *awaits* capacity (default) or fails fast with
   :class:`ServerOverloaded`.
-* :class:`ServingEngine` — the facade: ``await submit(x)`` returns an
-  :class:`repro.uncertainty.UncertaintyResult` (probabilities, entropy,
-  mutual information, exit index, latency).  Batches run the folded
-  ``predict_mc`` hot path — or the active-set early-exit path — inside a
-  worker executor, so the event loop never blocks on NumPy.
+* :class:`ServingEngine` — the facade: ``await submit(x, deadline=…)``
+  returns an :class:`repro.uncertainty.UncertaintyResult` (probabilities,
+  entropy, mutual information, exit index, latency).  Batches run the
+  folded ``predict_mc`` hot path — or the active-set early-exit path — on
+  a pool of ``workers`` reentrant engine replicas (shared parameters,
+  private :class:`~repro.nn.ForwardContext` per replica plus a spawned
+  per-batch context), so the event loop never blocks on NumPy and
+  multi-core hosts compute batches genuinely in parallel.
 * :class:`ServingStats` / :class:`BatcherStats` — throughput, latency
   percentiles, batch-size and exit-distribution counters.
 

@@ -20,16 +20,34 @@ with the default ``reject_on_full=False`` an overloaded server makes
 is shed to the callers' own queues); with ``reject_on_full=True`` it fails
 fast with :class:`ServerOverloaded` so the caller can retry elsewhere.
 
+Two scheduling extensions sit on top of the queue:
+
+* **Earliest-deadline-first.** ``submit(payload, deadline=...)`` attaches a
+  per-request latency budget; requests waiting for assembly are ordered in
+  a heap keyed by their absolute deadline, so under backlog the tightest
+  budgets are served first (the paper's latency story, applied to serving).
+  Requests without a deadline keep strict arrival order behind every
+  deadlined request — with no deadlines at all, behaviour is plain FIFO,
+  identical to the historical batcher.
+* **Pipelined dispatch.** With ``max_concurrent_batches=K > 1``, up to
+  ``K`` batches run in flight at once and the collector keeps *assembling*
+  batch ``N+1`` while batch ``N`` computes — free throughput once the
+  engines are reentrant (one engine replica per worker).  The default of
+  1 keeps the historical strictly-serial behaviour: one batch at a time,
+  assembly starting only after the previous batch completed.
+
 The batcher is payload-agnostic: it moves opaque payloads to an async
 ``dispatch`` callable that maps a list of payloads to one result per
 payload.  :class:`repro.serving.ServingEngine` supplies the dispatch that
-stacks payloads into a NumPy batch and runs the folded engine in a worker
-executor.
+stacks payloads into a NumPy batch and runs a folded engine replica in a
+worker executor.
 """
 
 from __future__ import annotations
 
 import asyncio
+import heapq
+import math
 from dataclasses import dataclass
 from typing import Any, Awaitable, Callable, Sequence
 
@@ -77,10 +95,15 @@ class BatcherStats:
 
 
 class _Request:
-    __slots__ = ("payload", "future", "enqueued_at")
+    __slots__ = ("payload", "future", "enqueued_at", "deadline_at", "seq")
 
     def __init__(
-        self, payload: Any, future: asyncio.Future, enqueued_at: float
+        self,
+        payload: Any,
+        future: asyncio.Future,
+        enqueued_at: float,
+        deadline_at: float,
+        seq: int,
     ) -> None:
         self.payload = payload
         self.future = future
@@ -88,6 +111,15 @@ class _Request:
         #: deadline counts from here, so time spent queued behind an
         #: in-flight batch is not waited again during assembly
         self.enqueued_at = enqueued_at
+        #: absolute event-loop time the caller wants a response by
+        #: (``inf`` when no deadline was given) — the EDF heap key
+        self.deadline_at = deadline_at
+        #: submission counter; orders equal-deadline requests by arrival
+        self.seq = seq
+
+    @property
+    def heap_key(self) -> tuple[float, int]:
+        return (self.deadline_at, self.seq)
 
 
 class DynamicBatcher:
@@ -110,13 +142,19 @@ class DynamicBatcher:
     reject_on_full:
         ``False`` (default): ``submit`` awaits for queue capacity.
         ``True``: ``submit`` raises :class:`ServerOverloaded` immediately.
+    max_concurrent_batches:
+        How many dispatched batches may be in flight at once.  ``1``
+        (default) is the historical strictly-serial behaviour; ``K > 1``
+        pipelines assembly with compute and requires a ``dispatch`` that is
+        safe to run ``K``-way concurrently (e.g. one engine replica per
+        worker, as :class:`repro.serving.ServingEngine` arranges).
 
     Notes
     -----
-    Batches are dispatched one at a time: while a batch is being computed,
-    new requests accumulate in the queue and form the next batch — so batch
-    size adapts to load (single-request batches when idle, full batches
-    under bursts) without any explicit tuning.
+    While the in-flight limit is reached, new requests accumulate in the
+    queue and form the next batch — so batch size adapts to load
+    (single-request batches when idle, full batches under bursts) without
+    any explicit tuning.
     """
 
     def __init__(
@@ -126,6 +164,7 @@ class DynamicBatcher:
         max_batch_latency: float = 0.002,
         max_queue_size: int = 128,
         reject_on_full: bool = False,
+        max_concurrent_batches: int = 1,
     ) -> None:
         if max_batch_size <= 0:
             raise ValueError("max_batch_size must be positive")
@@ -133,14 +172,19 @@ class DynamicBatcher:
             raise ValueError("max_batch_latency must be positive")
         if max_queue_size <= 0:
             raise ValueError("max_queue_size must be positive")
+        if max_concurrent_batches <= 0:
+            raise ValueError("max_concurrent_batches must be positive")
         self._dispatch = dispatch
         self.max_batch_size = int(max_batch_size)
         self.max_batch_latency = float(max_batch_latency)
         self.max_queue_size = int(max_queue_size)
         self.reject_on_full = bool(reject_on_full)
+        self.max_concurrent_batches = int(max_concurrent_batches)
         self.stats = BatcherStats()
         self._queue: asyncio.Queue | None = None
         self._collector: asyncio.Task | None = None
+        self._inflight: set[asyncio.Task] = set()
+        self._seq = 0
 
     # ------------------------------------------------------------------ #
     # lifecycle
@@ -154,7 +198,9 @@ class DynamicBatcher:
         if self.running:
             return
         self._queue = asyncio.Queue(maxsize=self.max_queue_size)
-        self._collector = asyncio.ensure_future(self._collect())
+        # hand the queue over directly: a stop() racing the task's first step
+        # nulls self._queue before the collector ever reads it
+        self._collector = asyncio.ensure_future(self._collect(self._queue))
 
     async def stop(self, drain: bool = True) -> None:
         """Stop the collector.
@@ -176,6 +222,11 @@ class DynamicBatcher:
                 await collector
             except asyncio.CancelledError:
                 pass
+            # fail the batches that were computing when we were cancelled
+            for task in list(self._inflight):
+                task.cancel()
+            if self._inflight:
+                await asyncio.gather(*self._inflight, return_exceptions=True)
             # sweep until stable: each get_nowait may wake a submitter that
             # was parked in `await queue.put(...)` (backpressure), and its
             # request lands in the queue one loop step later — a single
@@ -202,8 +253,19 @@ class DynamicBatcher:
     # ------------------------------------------------------------------ #
     # submission
     # ------------------------------------------------------------------ #
-    async def submit(self, payload: Any) -> Any:
+    async def submit(self, payload: Any, deadline: float | None = None) -> Any:
         """Enqueue one payload and await its result.
+
+        Parameters
+        ----------
+        payload:
+            Opaque request payload, handed to ``dispatch`` as part of a batch.
+        deadline:
+            Optional latency budget in seconds from now.  Requests waiting
+            for batch assembly are scheduled earliest-deadline-first;
+            ``None`` (default) schedules in arrival order behind every
+            deadlined request.  The deadline orders work — it does not
+            cancel requests that miss it.
 
         Raises
         ------
@@ -212,11 +274,16 @@ class DynamicBatcher:
         ServerOverloaded
             If the queue is full and ``reject_on_full`` is set.
         """
+        if deadline is not None and deadline < 0:
+            raise ValueError("deadline must be non-negative seconds from now")
         queue = self._queue
         if queue is None or not self.running:
             raise RuntimeError("batcher is not running (call start() first)")
         loop = asyncio.get_running_loop()
-        req = _Request(payload, loop.create_future(), loop.time())
+        now = loop.time()
+        deadline_at = math.inf if deadline is None else now + deadline
+        self._seq += 1
+        req = _Request(payload, loop.create_future(), now, deadline_at, self._seq)
         if self.reject_on_full:
             try:
                 queue.put_nowait(req)
@@ -241,50 +308,91 @@ class DynamicBatcher:
     # ------------------------------------------------------------------ #
     # batch assembly / dispatch
     # ------------------------------------------------------------------ #
-    async def _collect(self) -> None:
+    async def _collect(self, queue: asyncio.Queue) -> None:
         loop = asyncio.get_running_loop()
-        queue = self._queue
-        assert queue is not None
+        # Requests move queue -> EDF heap -> batch.  The heap holds requests
+        # that have been taken off the queue but not yet dispatched; with no
+        # deadlines its (inf, seq) keys degrade to pure arrival order.
+        heap: list[tuple[tuple[float, int], _Request]] = []
         # One queue.get may be left in flight when a deadline fires; it is
         # carried over to the next round instead of being cancelled.  (A
         # plain asyncio.wait_for(queue.get(), ...) can lose a dequeued item
         # when the timeout and the item race on Python <= 3.11; awaiting a
         # persistent getter task through asyncio.wait cannot.)
         pending_get: asyncio.Future | None = None
+
+        def drain_queue_into_heap() -> bool:
+            """Move already-queued requests into the heap; True if sentinel seen."""
+            while True:
+                try:
+                    item = queue.get_nowait()
+                except asyncio.QueueEmpty:
+                    return False
+                if item is None:
+                    return True
+                heapq.heappush(heap, (item.heap_key, item))
+
+        # the batch currently being assembled/launched; visible to `finally`
+        # so a cancellation mid-launch cannot strand its requests
+        batch: list[_Request] = []
         try:
             draining = False
             while not draining:
-                if pending_get is None:
-                    pending_get = asyncio.ensure_future(queue.get())
-                first = await pending_get
-                pending_get = None
-                if first is None:
-                    return
-                batch = [] if first.future.done() else [first]
+                if not heap:
+                    if pending_get is None:
+                        pending_get = asyncio.ensure_future(queue.get())
+                    first = await pending_get
+                    pending_get = None
+                    if first is None:
+                        break  # sentinel with nothing pending: done
+                    heapq.heappush(heap, (first.heap_key, first))
+                draining = drain_queue_into_heap()
+
+                # assemble one batch, earliest deadline first
+                seed = heapq.heappop(heap)[1]
+                batch = [] if seed.future.done() else [seed]
                 # the latency budget counts from submission, so time already
                 # spent queued behind an in-flight batch is not re-waited
-                deadline = first.enqueued_at + self.max_batch_latency
+                flush_at = seed.enqueued_at + self.max_batch_latency
                 while len(batch) < self.max_batch_size:
-                    try:
-                        # fast path: drain an already-populated queue
-                        req = queue.get_nowait()
-                    except asyncio.QueueEmpty:
-                        remaining = deadline - loop.time()
-                        if remaining <= 0:
-                            break
-                        pending_get = asyncio.ensure_future(queue.get())
-                        done, _ = await asyncio.wait({pending_get}, timeout=remaining)
-                        if pending_get not in done:
-                            break  # deadline fired; the get stays in flight
-                        req = pending_get.result()
-                        pending_get = None
-                    if req is None:
-                        draining = True  # dispatch this last batch, then exit
+                    if heap:
+                        req = heapq.heappop(heap)[1]
+                        if not req.future.done():  # skip cancelled-in-queue
+                            batch.append(req)
+                        continue
+                    if draining:
+                        break  # sentinel seen: no further arrivals, flush now
+                    remaining = flush_at - loop.time()
+                    if remaining <= 0:
                         break
-                    if not req.future.done():  # skip requests cancelled in queue
+                    if pending_get is None:
+                        pending_get = asyncio.ensure_future(queue.get())
+                    done, _ = await asyncio.wait({pending_get}, timeout=remaining)
+                    if pending_get not in done:
+                        break  # deadline fired; the get stays in flight
+                    item = pending_get.result()
+                    pending_get = None
+                    if item is None:
+                        draining = True  # dispatch this last batch, then exit
+                        continue
+                    heapq.heappush(heap, (item.heap_key, item))
+                    draining = drain_queue_into_heap()
+                if batch:
+                    await self._launch_batch(batch)
+                    batch = []
+
+            # sentinel seen: flush whatever is still parked in the heap
+            while heap:
+                batch = []
+                while heap and len(batch) < self.max_batch_size:
+                    req = heapq.heappop(heap)[1]
+                    if not req.future.done():
                         batch.append(req)
                 if batch:
-                    await self._run_batch(batch)
+                    await self._launch_batch(batch)
+                    batch = []
+            if self._inflight:
+                await asyncio.gather(*list(self._inflight), return_exceptions=True)
         finally:
             if pending_get is not None:
                 if pending_get.done() and not pending_get.cancelled():
@@ -295,6 +403,27 @@ class DynamicBatcher:
                         req.future.cancel()
                 else:
                     pending_get.cancel()
+            # requests already moved off the queue die with the collector,
+            # including an assembled batch whose launch was cancelled
+            for req in batch:
+                if not req.future.done():
+                    req.future.cancel()
+            for _, req in heap:
+                if not req.future.done():
+                    req.future.cancel()
+
+    async def _launch_batch(self, batch: list[_Request]) -> None:
+        """Run a batch — inline when serial, as a bounded task when pipelined."""
+        if self.max_concurrent_batches == 1:
+            await self._run_batch(batch)
+            return
+        while len(self._inflight) >= self.max_concurrent_batches:
+            await asyncio.wait(
+                set(self._inflight), return_when=asyncio.FIRST_COMPLETED
+            )
+        task = asyncio.ensure_future(self._run_batch(batch))
+        self._inflight.add(task)
+        task.add_done_callback(self._inflight.discard)
 
     async def _run_batch(self, batch: list[_Request]) -> None:
         self.stats.batches += 1

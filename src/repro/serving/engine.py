@@ -5,16 +5,32 @@
 example at a time, a :class:`~repro.serving.batcher.DynamicBatcher`
 assembles concurrent requests into microbatches, and each microbatch runs
 through the folded Monte-Carlo hot path (or the active-set early-exit path)
-in a worker executor so the asyncio event loop never blocks on NumPy.
+on one of ``workers`` engine replicas in a thread-pool executor, so the
+asyncio event loop never blocks on NumPy.
 
 Request lifecycle::
 
-    submit(x) ──► bounded queue ──► DynamicBatcher ──► np.stack(batch)
-                  (backpressure)    (size/latency)          │
-                                                            ▼
+    submit(x) ──► bounded queue ──► DynamicBatcher ──► replica checkout
+                  (backpressure)    (size/latency/EDF)       │
+                                                             ▼
     UncertaintyResult ◄── per-example split ◄── folded predict_mc /
     (+ latency stamp)                           early_exit_predict
-                                                (worker executor)
+                                                (K-worker executor)
+
+Multi-worker serving (``workers=K``) exploits the reentrancy of the layer
+stack: each worker thread owns an engine *replica* — same ``Parameter``
+arrays (zero-copy), private :class:`~repro.nn.context.ForwardContext` and
+activation cache — and NumPy's GEMMs release the GIL, so batches genuinely
+overlap on multi-core hosts while the batcher pipelines assembly of the
+next batch.  Every batch additionally gets a *fresh context spawned from
+the layers' seeds and the batch's sequence number*, which makes a batch's
+results deterministic and independent of which worker thread computes it
+or what that worker served before.  Consequently a ``workers=1`` and a
+``workers=4`` server produce bit-identical responses whenever they form
+the same batches — e.g. under one-request-at-a-time submission; a
+concurrent flood may batch differently across worker counts (different
+batch boundaries ⇒ different spawned contexts), changing MC draws while
+keeping the distributional semantics.
 
 The response type is :class:`repro.uncertainty.UncertaintyResult` — mean
 probabilities plus calibrated uncertainty (predictive entropy, and mutual
@@ -35,6 +51,7 @@ import numpy as np
 
 from ..core.bayesnn import MultiExitBayesNet
 from ..inference.engine import InferenceEngine, NetworkEngine
+from ..nn.context import ForwardContext
 from ..nn.model import Network
 from ..uncertainty.metrics import (
     UncertaintyResult,
@@ -67,6 +84,8 @@ class ServingStats:
     exit_counts:
         In early-exit mode, completed requests per exit index; ``None``
         in MC-sampling mode.
+    workers:
+        Size of the engine-replica pool serving batches.
     """
 
     requests_completed: int
@@ -80,10 +99,11 @@ class ServingStats:
     latency_p95_s: float
     latency_max_s: float
     exit_counts: list[int] | None = None
+    workers: int = 1
 
 
 class ServingEngine:
-    """Asynchronous single-example serving over a folded inference engine.
+    """Asynchronous single-example serving over folded inference engines.
 
     Parameters
     ----------
@@ -107,18 +127,28 @@ class ServingEngine:
     max_batch_size / max_batch_latency / max_queue_size / reject_on_full:
         Dynamic-batching and backpressure knobs, passed to
         :class:`~repro.serving.batcher.DynamicBatcher`.
+    workers:
+        Engine replicas (and executor threads) serving batches
+        concurrently.  ``1`` (default) is the historical single-lane
+        server.  ``K > 1`` builds ``K - 1`` additional replicas via
+        ``engine.replicate()`` — same parameter arrays, private contexts
+        and caches — runs up to ``K`` batches in flight, and lets the
+        batcher pipeline assembly of the next batch meanwhile.  Per-batch
+        spawned RNG contexts make each batch's results independent of
+        worker scheduling, so servers that form the same batches respond
+        bit-identically regardless of worker count (see the module
+        docstring for the exact guarantee).
     executor:
-        Executor for the NumPy work.  Defaults to a private single-worker
-        thread pool: the engines keep per-layer RNG streams and caches that
-        are not thread-safe, so batches for one engine must never run
-        concurrently.  Pass a custom executor only if it serialises work per
-        engine.
+        Executor for the NumPy work.  Defaults to a private
+        ``workers``-thread pool.  A custom executor must provide at least
+        ``workers`` threads; replica checkout still guarantees no engine
+        runs two batches at once.
 
     Examples
     --------
     >>> # doctest: +SKIP
-    >>> async with model.serving_engine(num_samples=8) as server:
-    ...     result = await server.submit(example)
+    >>> async with model.serving_engine(num_samples=8, workers=4) as server:
+    ...     result = await server.submit(example, deadline=0.050)
     ...     print(result.label, result.confidence, result.latency_s)
     """
 
@@ -131,6 +161,7 @@ class ServingEngine:
         max_batch_latency: float = 0.002,
         max_queue_size: int = 128,
         reject_on_full: bool = False,
+        workers: int = 1,
         executor: Executor | None = None,
     ) -> None:
         if isinstance(model, MultiExitBayesNet):
@@ -154,14 +185,25 @@ class ServingEngine:
                 raise ValueError("early_exit_threshold must be in (0, 1)")
         if num_samples is not None and num_samples <= 0:
             raise ValueError("num_samples must be positive")
+        if workers <= 0:
+            raise ValueError("workers must be positive")
         self.num_samples = num_samples
         self.early_exit_threshold = early_exit_threshold
+        self.workers = int(workers)
+        # replica 0 is the caller's engine (shared activation cache);
+        # the rest share its parameters zero-copy but nothing per-call
+        self._engines: list[InferenceEngine | NetworkEngine] = [self.engine] + [
+            self.engine.replicate() for _ in range(self.workers - 1)
+        ]
+        self._replica_pool: asyncio.Queue | None = None
+        self._batch_seq = 0
         self._batcher = DynamicBatcher(
             self._dispatch,
             max_batch_size=max_batch_size,
             max_batch_latency=max_batch_latency,
             max_queue_size=max_queue_size,
             reject_on_full=reject_on_full,
+            max_concurrent_batches=self.workers,
         )
         self._executor = executor
         self._owns_executor = executor is None
@@ -195,13 +237,18 @@ class ServingEngine:
         """Start the batching loop and the worker executor (idempotent)."""
         if self._executor is None:
             self._executor = ThreadPoolExecutor(
-                max_workers=1, thread_name_prefix="repro-serving"
+                max_workers=self.workers, thread_name_prefix="repro-serving"
             )
+        if self._replica_pool is None:
+            self._replica_pool = asyncio.Queue()
+            for engine in self._engines:
+                self._replica_pool.put_nowait(engine)
         await self._batcher.start()
 
     async def stop(self, drain: bool = True) -> None:
         """Stop serving; with ``drain=True`` answer queued requests first."""
         await self._batcher.stop(drain=drain)
+        self._replica_pool = None
         if self._owns_executor and self._executor is not None:
             self._executor.shutdown(wait=True)
             self._executor = None
@@ -216,7 +263,9 @@ class ServingEngine:
     # ------------------------------------------------------------------ #
     # request path
     # ------------------------------------------------------------------ #
-    async def submit(self, x: np.ndarray) -> UncertaintyResult:
+    async def submit(
+        self, x: np.ndarray, deadline: float | None = None
+    ) -> UncertaintyResult:
         """Serve one example; awaits until its microbatch has been computed.
 
         Parameters
@@ -224,6 +273,12 @@ class ServingEngine:
         x:
             A single example of the model's per-sample input shape (no batch
             dimension), e.g. ``(C, H, W)``.
+        deadline:
+            Optional latency budget in seconds.  Requests waiting for batch
+            assembly are scheduled earliest-deadline-first under backlog;
+            without a deadline the request keeps arrival order behind every
+            deadlined one.  Ordering only — a missed deadline does not
+            cancel the request.
 
         Returns
         -------
@@ -248,7 +303,7 @@ class ServingEngine:
         t0 = time.perf_counter()
         if self._first_submit_at is None:
             self._first_submit_at = t0
-        result = await self._batcher.submit(x)
+        result = await self._batcher.submit(x, deadline=deadline)
         done = time.perf_counter()
         latency = done - t0
         self._last_done_at = done
@@ -271,16 +326,38 @@ class ServingEngine:
     # batch execution (runs on the event loop + worker executor)
     # ------------------------------------------------------------------ #
     async def _dispatch(self, payloads: list[np.ndarray]) -> Sequence[UncertaintyResult]:
-        loop = asyncio.get_running_loop()
-        return await loop.run_in_executor(self._executor, self._predict_batch, payloads)
+        # the sequence number is assigned here, on the event loop, in batch-
+        # assembly order — it seeds the batch's spawned RNG context, which is
+        # what makes responses independent of worker count and scheduling
+        seq = self._batch_seq
+        self._batch_seq += 1
+        assert self._replica_pool is not None
+        engine = await self._replica_pool.get()
+        try:
+            loop = asyncio.get_running_loop()
+            return await loop.run_in_executor(
+                self._executor, self._predict_batch, engine, seq, payloads
+            )
+        finally:
+            self._replica_pool.put_nowait(engine)
 
-    def _predict_batch(self, payloads: list[np.ndarray]) -> list[UncertaintyResult]:
+    def _predict_batch(
+        self,
+        engine: InferenceEngine | NetworkEngine,
+        seq: int,
+        payloads: list[np.ndarray],
+    ) -> list[UncertaintyResult]:
         # stacking happens here, on the worker thread: even the batch-assembly
         # copy must not run on the event loop
         batch = np.stack(payloads)
+        # fresh per-batch context: streams spawn from (layer seed, batch seq),
+        # so the result depends only on the batch's position in the request
+        # sequence — never on which replica/thread computes it or on what that
+        # replica served before
+        ctx = ForwardContext(spawn_key=seq)
         if self.early_exit_threshold is not None:
-            assert isinstance(self.engine, InferenceEngine)
-            res = self.engine.early_exit_predict(batch, self.early_exit_threshold)
+            assert isinstance(engine, InferenceEngine)
+            res = engine.early_exit_predict(batch, self.early_exit_threshold, ctx=ctx)
             entropy = predictive_entropy(res.probs)
             return [
                 UncertaintyResult(
@@ -292,10 +369,10 @@ class ServingEngine:
                 )
                 for i in range(batch.shape[0])
             ]
-        if isinstance(self.engine, InferenceEngine):
-            pred = self.engine.predict_mc(batch, self.num_samples)
+        if isinstance(engine, InferenceEngine):
+            pred = engine.predict_mc(batch, self.num_samples, ctx=ctx)
         else:
-            pred = self.engine.sample(batch, self.num_samples or 1)
+            pred = engine.sample(batch, self.num_samples or 1, ctx=ctx)
         return mc_uncertainty_results(pred.sample_probs)
 
     # ------------------------------------------------------------------ #
@@ -326,4 +403,5 @@ class ServingEngine:
             latency_p95_s=float(np.percentile(lat, 95)) if lat.size else 0.0,
             latency_max_s=float(lat.max()) if lat.size else 0.0,
             exit_counts=list(self._exit_counts) if self._exit_counts else None,
+            workers=self.workers,
         )

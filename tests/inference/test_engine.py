@@ -256,9 +256,9 @@ class TestActiveSetEarlyExit:
         seen_batches = []
         original = model.backbone.forward_range
 
-        def recording(inp, start, stop, training=False):
+        def recording(inp, start, stop, **kwargs):
             seen_batches.append(inp.shape[0])
-            return original(inp, start, stop, training=training)
+            return original(inp, start, stop, **kwargs)
 
         model.backbone.forward_range = recording
         result = model.early_exit_predict(x, threshold=0.25, use_ensemble=False)
