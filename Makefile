@@ -2,23 +2,29 @@
 
 PYTHON ?= python
 
-.PHONY: test bench parallel docs quickstart serve-demo all
+.PHONY: test bench parallel lint docs quickstart serve-demo all
 
 # Tier-1: full test suite (pytest config lives in pyproject.toml)
 test:
 	$(PYTHON) -m pytest -x -q
 
 # Paper-reproduction benchmarks only (tables/figures + perf gates);
-# also emits machine-readable metrics to BENCH_serving.json
+# also merges machine-readable metrics into BENCH_serving.json
 bench:
 	$(PYTHON) -m pytest benchmarks/ -q
 
-# Reentrancy/concurrency suite + the K=4 multi-worker throughput gate
-# (gate skips below 4 cores; BLAS pinned so workers scale, not libraries)
+# Reentrancy/shared-memory/concurrency suites + the K=4 scaling gates
+# (threads >= 1.8x, processes >= 2.5x; gates skip below 4 cores; BLAS
+# pinned so the workers scale, not the libraries)
 parallel:
 	OMP_NUM_THREADS=1 OPENBLAS_NUM_THREADS=1 MKL_NUM_THREADS=1 $(PYTHON) -m pytest -q -p no:randomly \
-		tests/nn/test_forward_context.py tests/serving/test_parallel_serving.py \
-		benchmarks/test_parallel_serving.py
+		tests/nn/test_forward_context.py tests/nn/test_shm_params.py \
+		tests/serving/test_parallel_serving.py tests/serving/test_procpool.py \
+		benchmarks/test_parallel_serving.py benchmarks/test_procpool_serving.py
+
+# Static checks (ruff config lives in pyproject.toml; same gate as CI)
+lint:
+	ruff check .
 
 # Documentation gate: relative links resolve, README/docs examples execute
 docs:

@@ -12,6 +12,9 @@ Run with::
 
 from __future__ import annotations
 
+import os
+from pathlib import Path
+
 import pytest
 
 from repro.analysis import Table1Settings, build_bayes_lenet_accelerator
@@ -20,10 +23,22 @@ from . import reporting
 
 
 def pytest_sessionfinish(session, exitstatus):
-    """Flush recorded benchmark metrics to BENCH_serving.json (see reporting)."""
+    """Flush recorded benchmark metrics to BENCH_serving.json (see reporting).
+
+    The flush merges suite-keyed sections into any existing file, so a CI
+    job running several benchmark subsets accumulates one combined
+    artifact.  On GitHub Actions the headline numbers are also appended to
+    the job's step summary, making the bench trajectory reviewable without
+    downloading artifacts.
+    """
     path = reporting.flush()
-    if path is not None:
-        print(f"\nbenchmark metrics written to {path}")
+    if path is None:
+        return
+    print(f"\nbenchmark metrics written to {path}")
+    step_summary = os.environ.get("GITHUB_STEP_SUMMARY")
+    if step_summary:
+        with Path(step_summary).open("a", encoding="utf-8") as handle:
+            handle.write(reporting.markdown_summary() + "\n")
 
 
 def benchmark_table1_settings() -> Table1Settings:

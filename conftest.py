@@ -1,0 +1,80 @@
+"""Repo-wide pytest configuration: hang protection for every test.
+
+CI installs ``pytest-timeout`` (pinned in the ``test`` extra) and the
+``timeout``/``timeout_method`` settings in ``pyproject.toml`` give every
+test a 120 s budget, so a deadlocked batcher or a wedged serving worker
+fails fast instead of hanging the runner until the job-level kill.
+
+Environments without the plugin (minimal dev boxes, hermetic images) get
+a *fallback* implemented here: the same ini options and the same
+``@pytest.mark.timeout(N)`` marker, enforced with a ``SIGALRM`` interval
+timer.  The fallback is weaker than the real plugin — it only fires on
+POSIX main-thread tests and cannot interrupt a test stuck inside a C
+extension — but it turns the common failure modes (asyncio deadlocks,
+worker channels waiting forever) into ordinary test failures.
+"""
+
+from __future__ import annotations
+
+import signal
+import threading
+
+import pytest
+
+try:
+    import pytest_timeout  # noqa: F401  (the real plugin takes over)
+
+    _HAVE_PYTEST_TIMEOUT = True
+except ImportError:
+    _HAVE_PYTEST_TIMEOUT = False
+
+
+if not _HAVE_PYTEST_TIMEOUT:
+
+    def pytest_addoption(parser):
+        # mirror the plugin's ini options so pyproject.toml parses cleanly
+        parser.addini("timeout", "default per-test timeout in seconds", default="0")
+        parser.addini("timeout_method", "ignored by the fallback", default="signal")
+
+    def pytest_configure(config):
+        config.addinivalue_line(
+            "markers",
+            "timeout(seconds): fail the test if it runs longer than this "
+            "(fallback implementation; install pytest-timeout for the real one)",
+        )
+
+    def _timeout_seconds(item) -> float:
+        marker = item.get_closest_marker("timeout")
+        if marker is not None and marker.args:
+            return float(marker.args[0])
+        if marker is not None and "timeout" in marker.kwargs:
+            return float(marker.kwargs["timeout"])
+        try:
+            return float(item.config.getini("timeout") or 0)
+        except (TypeError, ValueError):
+            return 0.0
+
+    @pytest.hookimpl(wrapper=True)
+    def pytest_runtest_call(item):
+        seconds = _timeout_seconds(item)
+        usable = (
+            seconds > 0
+            and hasattr(signal, "SIGALRM")
+            and threading.current_thread() is threading.main_thread()
+        )
+        if not usable:
+            return (yield)
+
+        def _on_alarm(signum, frame):
+            pytest.fail(
+                f"test exceeded the {seconds:g}s timeout (fallback enforcement)",
+                pytrace=False,
+            )
+
+        previous = signal.signal(signal.SIGALRM, _on_alarm)
+        signal.setitimer(signal.ITIMER_REAL, seconds)
+        try:
+            return (yield)
+        finally:
+            signal.setitimer(signal.ITIMER_REAL, 0)
+            signal.signal(signal.SIGALRM, previous)

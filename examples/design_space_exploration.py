@@ -15,7 +15,7 @@ Run with:  python examples/design_space_exploration.py
 
 from __future__ import annotations
 
-from repro.analysis import build_bayes_lenet_accelerator, format_rows, format_table, run_table2
+from repro.analysis import build_bayes_lenet_accelerator, format_rows, run_table2
 from repro.core import single_exit_bayesnet
 from repro.hw import (
     AcceleratorConfig,

@@ -14,7 +14,10 @@ engine directly:
    reports the exit distribution;
 5. multi-worker serving (``workers=K``): K engine replicas share the model's
    parameter arrays zero-copy and compute batches concurrently — and
-   per-request deadlines reorder a backlog earliest-deadline-first.
+   per-request deadlines reorder a backlog earliest-deadline-first;
+6. process-pool serving (``worker_backend="process"``): the same replicas
+   as true multi-core worker processes over a shared-memory parameter
+   arena, with shed-on-missed-deadline enabled (``admission_timeout``).
 
 Run with:  python examples/serving_demo.py
 """
@@ -156,6 +159,33 @@ async def main() -> None:
     print(
         "replicas share Parameter storage zero-copy; per-batch RNG contexts "
         "make every batch's result independent of worker scheduling"
+    )
+
+    # ------------------------------------------------------------------ #
+    # 5. process-pool serving: shared-memory replicas past the GIL
+    # ------------------------------------------------------------------ #
+    async with model.serving_engine(
+        num_samples=MC_SAMPLES,
+        workers=2,
+        worker_backend="process",
+        max_batch_size=8,
+        max_batch_latency=0.002,
+        admission_timeout=5.0,  # opt-in: shed requests that miss deadlines
+    ) as server:
+        results = []
+        await asyncio.gather(*(client(server, ex, results) for ex in examples))
+        stats = server.stats()
+
+    print(f"\n--- process-pool serving (workers={stats.workers}) ---")
+    print(
+        f"served {stats.requests_completed} requests in {stats.num_batches} "
+        f"batches at {stats.throughput_rps:.0f} req/s "
+        f"({stats.worker_crashes} crashes, {stats.requests_shed} shed)"
+    )
+    print(
+        "worker processes rebuilt zero-copy engine replicas from the "
+        "shared-memory arena; weight updates would propagate through the "
+        "segment under the weights_version token"
     )
 
 

@@ -17,8 +17,7 @@ import numpy as np
 
 from ..core.bayesnn import MultiExitBayesNet, MultiExitConfig, single_exit_bayesnet
 from ..core.flops import network_flops, reduction_rate
-from ..core.multi_exit import CONFIDENCE_THRESHOLDS
-from ..datasets.synthetic import SyntheticImageDataset, cifar100_like, mnist_like
+from ..datasets.synthetic import SyntheticImageDataset, cifar100_like
 from ..hw.accelerator import AcceleratorConfig, AcceleratorModel
 from ..hw.baselines import PUBLISHED_BASELINES
 from ..hw.hls.report import SynthesisReport

@@ -55,7 +55,7 @@ def single_exit_bayesnet(
     """
     from .mcd import insert_mcd_into_head
 
-    layers = list(spec.backbone.layers) + list(spec.final_head_factory())
+    layers = list(spec.backbone.layers) + list(spec._require_factory()())
     layers = insert_mcd_into_head(
         layers,
         num_mcd_layers=num_mcd_layers,
@@ -163,7 +163,7 @@ class MultiExitBayesNet:
                 filter_wise=config.filter_wise_dropout,
             )
             custom = (
-                spec.final_head_factory()
+                spec._require_factory()()
                 if (is_final and config.use_original_final_head)
                 else None
             )
@@ -177,6 +177,19 @@ class MultiExitBayesNet:
             head = Network(layers, name=f"{spec.name}_exit{i}")
             head.build(feature_shape, seed=config.seed + 17 * (i + 1))
             self.exits.append(head)
+
+    # ------------------------------------------------------------------ #
+    # pickling
+    # ------------------------------------------------------------------ #
+    def __getstate__(self) -> dict:
+        # the lazily-built engine holds per-process state (forward context,
+        # weak-keyed activation cache) — receivers rebuild their own lazily
+        state = self.__dict__.copy()
+        state["_engine"] = None
+        return state
+
+    def __setstate__(self, state: dict) -> None:
+        self.__dict__.update(state)
 
     # ------------------------------------------------------------------ #
     # structure

@@ -16,7 +16,6 @@ from typing import Sequence
 import numpy as np
 
 from ..nn.layers import Conv2D, Dense, Flatten, GlobalAvgPool2D, Layer, ReLU
-from ..nn.model import Network
 from .mcd import insert_mcd_into_head
 
 __all__ = [

@@ -126,15 +126,15 @@ class LatencyModel:
         """Latency in cycles of a chain of layers."""
         if not latencies:
             return 0
-        return sum(l.total_cycles for l in latencies)
+        return sum(lat.total_cycles for lat in latencies)
 
     def chain_interval_cycles(self, latencies: list[LayerLatency]) -> int:
         """Throughput interval (cycles between consecutive inputs)."""
         if not latencies:
             return 0
         if self.dataflow:
-            return max(l.cycles for l in latencies)
-        return sum(l.total_cycles for l in latencies)
+            return max(lat.cycles for lat in latencies)
+        return sum(lat.total_cycles for lat in latencies)
 
     def cycles_to_ms(self, cycles: int) -> float:
         return cycles * self.cycle_time_us / 1000.0

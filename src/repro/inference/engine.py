@@ -88,6 +88,28 @@ class _ActivationCache:
         self._entries = []
 
 
+def _engine_getstate(engine) -> dict:
+    """Shared pickling rule of both engines: per-process state stays home.
+
+    The private :class:`ForwardContext` and the weak-keyed activation cache
+    are process-local by design; what crosses the boundary is the model
+    (pickle-light when its parameters are shared-memory backed — see
+    :class:`repro.nn.shm.SharedParameterArena`) plus the engine's
+    configuration.  Unpickling therefore *is* ``replicate()`` across a
+    process boundary: same parameter storage, fresh context and cache.
+    """
+    state = engine.__dict__.copy()
+    del state["ctx"]
+    state["_cache"] = engine._cache.maxsize
+    return state
+
+
+def _engine_setstate(engine, state: dict) -> None:
+    engine.__dict__.update(state)
+    engine._cache = _ActivationCache(state["_cache"])
+    engine.ctx = ForwardContext()
+
+
 class NetworkEngine:
     """Folded Monte-Carlo inference over a flat network with MCD layers.
 
@@ -162,8 +184,18 @@ class NetworkEngine:
             self.network, exact=self.exact, cache_size=self._cache.maxsize
         )
 
+    def __getstate__(self) -> dict:
+        return _engine_getstate(self)
+
+    def __setstate__(self, state: dict) -> None:
+        _engine_setstate(self, state)
+
     def invalidate_cache(self) -> None:
         self._cache.clear()
+
+    def weights_token(self) -> int:
+        """Current weights-version token the activation cache is keyed on."""
+        return self.network.weights_version
 
     @property
     def split_index(self) -> int:
@@ -331,12 +363,22 @@ class InferenceEngine:
             self.model, exact=self.exact, cache_size=self._cache.maxsize
         )
 
+    def __getstate__(self) -> dict:
+        return _engine_getstate(self)
+
+    def __setstate__(self, state: dict) -> None:
+        _engine_setstate(self, state)
+
     def invalidate_cache(self) -> None:
         """Drop cached backbone activations (call after mutating weights)."""
         self._cache.clear()
 
-    def _weights_token(self) -> object:
+    def weights_token(self) -> int:
+        """Current weights-version token the activation cache is keyed on."""
         return self.model.backbone.weights_version
+
+    def _weights_token(self) -> object:
+        return self.weights_token()
 
     def backbone_activations(
         self, x: np.ndarray, ctx: ForwardContext | None = None

@@ -84,6 +84,30 @@ class BackboneSpec:
         """Number of semantic blocks (= maximum number of exits)."""
         return len(self.exit_points)
 
+    # ------------------------------------------------------------------ #
+    # pickling
+    # ------------------------------------------------------------------ #
+    def __getstate__(self) -> dict:
+        # The head factory is a construction-time closure (not picklable and
+        # not needed after exits are built).  Dropping it keeps whole models
+        # picklable, which is how the process-pool serving workers receive
+        # their engine replicas.
+        state = self.__dict__.copy()
+        state["final_head_factory"] = None
+        return state
+
+    def __setstate__(self, state: dict) -> None:
+        self.__dict__.update(state)
+
+    def _require_factory(self) -> Callable[[], list[Layer]]:
+        if self.final_head_factory is None:
+            raise RuntimeError(
+                f"spec {self.name!r} lost its final_head_factory in pickling; "
+                "rebuild the spec (e.g. lenet5_spec(...)) to construct new "
+                "models from it"
+            )
+        return self.final_head_factory
+
     def single_exit_network(self, seed: int = 0, name: str | None = None) -> Network:
         """Compose backbone + original classifier into a built single-exit network.
 
@@ -94,7 +118,7 @@ class BackboneSpec:
         net = Network(name=name or f"{self.name}_se")
         for layer in self.backbone.layers:
             net.add(layer)
-        for layer in self.final_head_factory():
+        for layer in self._require_factory()():
             net.add(layer)
         net.build(self.input_shape, seed=seed)
         return net

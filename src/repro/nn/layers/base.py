@@ -38,6 +38,17 @@ class Parameter:
     Code that writes ``param.value[...]`` directly must call
     :meth:`bump_version` afterwards; a raw in-place write is invisible to
     NumPy and therefore to every cache.
+
+    A parameter's storage can be moved into a shared-memory segment
+    (:meth:`share_memory_`, orchestrated by
+    :class:`repro.nn.shm.SharedParameterArena`) so worker processes serve
+    over the very same bytes the owner mutates.  While shared, pickling is
+    *light*: the value serializes as a ``(segment, offset, shape)``
+    descriptor and unpickling re-attaches to the live segment — the two
+    ends then **alias** one storage, which is exactly what the process-pool
+    serving tier wants.  Call :meth:`unshare_` (or
+    ``SharedParameterArena.release``) to return to private storage before
+    pickling for durable snapshots.
     """
 
     def __init__(self, value: np.ndarray, name: str = "param") -> None:
@@ -46,6 +57,57 @@ class Parameter:
         self.grad = np.zeros_like(self.value)
         #: mutation counter; monotonically increasing, never reset.
         self.version = 0
+        #: ``(segment_name, byte_offset, shape)`` while shared, else None
+        self._shm_spec: tuple[str, int, tuple[int, ...]] | None = None
+
+    @property
+    def is_shared(self) -> bool:
+        """Whether :attr:`value` currently lives in a shared-memory segment."""
+        return self._shm_spec is not None
+
+    def share_memory_(
+        self, view: np.ndarray, spec: tuple[str, int, tuple[int, ...]]
+    ) -> None:
+        """Rebind :attr:`value` to a shared-memory view (same contents).
+
+        ``view`` must be a float64 ndarray over the segment described by
+        ``spec``.  The current values are copied in, so observable state is
+        unchanged — but the *storage* moves: later in-place writes through
+        ``self.value`` land in shared memory.  Gradients stay private.
+        """
+        if view.shape != self.value.shape:
+            raise ValueError(
+                f"shared view shape {view.shape} != parameter shape "
+                f"{self.value.shape}"
+            )
+        view[...] = self.value
+        self.value = view
+        self._shm_spec = spec
+
+    def unshare_(self) -> None:
+        """Copy the value back into private memory (no-op when not shared)."""
+        if self._shm_spec is None:
+            return
+        self.value = np.array(self.value, dtype=np.float64, copy=True)
+        self._shm_spec = None
+
+    def __getstate__(self) -> dict:
+        state = self.__dict__.copy()
+        # gradients are transient scratch state — never ship them
+        state["grad"] = None
+        if self._shm_spec is not None:
+            # pickle-light: descriptor instead of data; __setstate__
+            # re-attaches to the live segment
+            state["value"] = None
+        return state
+
+    def __setstate__(self, state: dict) -> None:
+        self.__dict__.update(state)
+        if self.value is None:
+            from ..shm import attach_view  # deferred: avoids an import cycle
+
+            self.value = attach_view(self._shm_spec)
+        self.grad = np.zeros_like(self.value)
 
     @property
     def shape(self) -> tuple[int, ...]:

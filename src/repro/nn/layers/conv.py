@@ -5,7 +5,7 @@ from __future__ import annotations
 import numpy as np
 
 from ..context import ForwardContext
-from ..initializers import HeNormal, Initializer, Zeros, get_initializer
+from ..initializers import Initializer, Zeros, get_initializer
 from ..tensor import col2im, conv_output_size, im2col
 from .base import Layer
 

@@ -1,0 +1,233 @@
+"""Shared-memory parameter storage for multi-process serving.
+
+A :class:`SharedParameterArena` places the values of a set of
+:class:`~repro.nn.layers.base.Parameter` objects into **one**
+:mod:`multiprocessing.shared_memory` segment so that worker *processes* can
+run inference over the exact same storage the parent trains and serves —
+zero-copy, no per-request weight shipping.
+
+Segment layout (all offsets in bytes, 8-byte aligned)::
+
+    ┌──────────────────────────┬──────────────┬──────────────┬───────┐
+    │ versions: (n,) int64     │ param 0 data │ param 1 data │  ...  │
+    │ one slot per parameter   │   float64    │   float64    │       │
+    └──────────────────────────┴──────────────┴──────────────┴───────┘
+
+* **Parameter data** — ``Parameter.value`` is *rebound* to an ndarray view
+  of the segment (:meth:`Parameter.share_memory_`), so every subsequent
+  in-place mutation — optimizer steps, :meth:`Parameter.assign`,
+  quantization — writes straight into memory every attached process maps.
+  Gradients stay process-private: workers never train.
+* **Version slots** — a copy of each :attr:`Parameter.version` mutation
+  counter, written by :meth:`publish` in the owning process and read back
+  by :meth:`refresh` in workers.  The serving tier sends the current
+  :attr:`~repro.nn.model.Network.weights_version` token with every batch;
+  a worker that sees a token it has not seen before refreshes its local
+  ``Parameter.version`` counters from the slots and drops its activation
+  caches — the same staleness rule (and the same tokens) that keep the
+  in-process caches honest.
+
+The arena is created (and eventually unlinked) by exactly one *owner*
+process; children attach via pickling — a shared :class:`Parameter`
+serializes as a ``(segment, offset, shape)`` descriptor instead of its
+data, so sending a whole model to a spawned worker costs kilobytes, not
+megabytes (see :meth:`Parameter.__getstate__`).  Attached processes must
+call :func:`attach_view` (done by ``Parameter.__setstate__``); the segment
+handle is cached per process so one worker opens each segment exactly
+once.  Workers must be spawned ``multiprocessing`` children of the owner —
+they then share the owner's resource-tracker process, which keeps
+"attach" registrations idempotent and leaves unlinking to the owner (see
+``_open_attached`` for the tracker subtleties; CPython gh-82300 describes
+what goes wrong with *independent* attachers).
+"""
+
+from __future__ import annotations
+
+import weakref
+from dataclasses import dataclass
+from multiprocessing import shared_memory
+from typing import TYPE_CHECKING, Sequence
+
+import numpy as np
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from .layers.base import Parameter
+
+__all__ = ["SharedParameterArena", "ArenaManifest", "attach_view"]
+
+_VERSION_DTYPE = np.int64
+_VALUE_DTYPE = np.float64
+
+#: per-process cache of attached (non-owned) segments, keyed by name.  One
+#: worker attaches dozens of parameter views into the same segment; the
+#: handle must outlive all of them and must be opened exactly once.
+_ATTACHED_SEGMENTS: dict[str, shared_memory.SharedMemory] = {}
+
+
+def _open_attached(name: str) -> shared_memory.SharedMemory:
+    seg = _ATTACHED_SEGMENTS.get(name)
+    if seg is None:
+        # NOTE on the resource tracker: attaching registers the name with
+        # the tracker on CPython <= 3.12, but our workers are spawned
+        # multiprocessing children and therefore *share* the owner's
+        # tracker process (its fd rides along in the spawn preparation
+        # data), where registration is an idempotent set-add.  Do NOT
+        # "helpfully" unregister here — the shared cache holds one entry
+        # per name, so unregistering from a worker would erase the owner's
+        # registration and later make the owner's unlink double-unregister.
+        seg = shared_memory.SharedMemory(name=name)
+        _ATTACHED_SEGMENTS[name] = seg
+    return seg
+
+
+def attach_view(spec: tuple[str, int, tuple[int, ...]]) -> np.ndarray:
+    """Return the float64 ndarray view described by a shared-value spec.
+
+    ``spec`` is the ``(segment_name, byte_offset, shape)`` descriptor a
+    shared :class:`Parameter` pickles in place of its data.  Raises
+    ``FileNotFoundError`` when the segment no longer exists (the owner
+    released the arena).
+    """
+    name, offset, shape = spec
+    seg = _open_attached(name)
+    return np.ndarray(tuple(shape), dtype=_VALUE_DTYPE, buffer=seg.buf, offset=offset)
+
+
+@dataclass(frozen=True)
+class ArenaManifest:
+    """Picklable description of an arena, sent to workers once at startup."""
+
+    segment_name: str
+    num_parameters: int
+    size_bytes: int
+
+
+class SharedParameterArena:
+    """Owns one shared-memory segment holding many parameters' storage.
+
+    Create with :meth:`create` in the owner process (rebinds every
+    ``Parameter.value`` into the segment), hand the :attr:`manifest` plus
+    the (now pickle-light) parameters to workers, and call :meth:`release`
+    when serving stops — it copies values back into process-private arrays
+    and unlinks the segment.  Workers wrap the same parameters with
+    :meth:`attached` to get :meth:`refresh`.
+    """
+
+    def __init__(
+        self,
+        segment: shared_memory.SharedMemory,
+        params: Sequence["Parameter"],
+        owner: bool,
+    ) -> None:
+        self._segment = segment
+        self._params = list(params)
+        self._owner = owner
+        self._released = False
+        self._versions = np.ndarray(
+            (len(self._params),), dtype=_VERSION_DTYPE, buffer=segment.buf
+        )
+        if owner:
+            # last-resort cleanup: destroy the segment if release() is never
+            # called, so crashed tests don't leak /dev/shm segments.  The
+            # mapping itself stays valid for any live views.
+            self._finalizer = weakref.finalize(self, _destroy_segment, segment)
+
+    # ------------------------------------------------------------------ #
+    # construction
+    # ------------------------------------------------------------------ #
+    @classmethod
+    def create(cls, params: Sequence["Parameter"]) -> "SharedParameterArena":
+        """Allocate a segment and move every parameter's storage into it."""
+        params = list(params)
+        if not params:
+            raise ValueError("cannot build an arena over zero parameters")
+        header = len(params) * _VERSION_DTYPE().itemsize
+        offsets: list[int] = []
+        cursor = header
+        for p in params:
+            offsets.append(cursor)
+            cursor += p.value.nbytes
+        segment = shared_memory.SharedMemory(create=True, size=max(cursor, 1))
+        arena = cls(segment, params, owner=True)
+        for p, offset in zip(params, offsets):
+            view = np.ndarray(
+                p.value.shape, dtype=_VALUE_DTYPE, buffer=segment.buf, offset=offset
+            )
+            p.share_memory_(view, (segment.name, offset, p.value.shape))
+        arena.publish()
+        return arena
+
+    @classmethod
+    def attached(
+        cls, manifest: ArenaManifest, params: Sequence["Parameter"]
+    ) -> "SharedParameterArena":
+        """Wrap already-attached parameters (worker side) for :meth:`refresh`."""
+        params = list(params)
+        if len(params) != manifest.num_parameters:
+            raise ValueError(
+                f"manifest describes {manifest.num_parameters} parameters, "
+                f"got {len(params)}"
+            )
+        return cls(_open_attached(manifest.segment_name), params, owner=False)
+
+    @property
+    def manifest(self) -> ArenaManifest:
+        return ArenaManifest(
+            segment_name=self._segment.name,
+            num_parameters=len(self._params),
+            size_bytes=self._segment.size,
+        )
+
+    # ------------------------------------------------------------------ #
+    # version propagation
+    # ------------------------------------------------------------------ #
+    def publish(self) -> None:
+        """Owner: copy every ``Parameter.version`` into its segment slot."""
+        for i, p in enumerate(self._params):
+            self._versions[i] = p.version
+
+    def refresh(self) -> bool:
+        """Worker: pull segment version slots into the local parameters.
+
+        Returns ``True`` when any counter changed — the caller must then
+        drop every activation cache keyed on the derived
+        ``weights_version`` token.
+        """
+        changed = False
+        for i, p in enumerate(self._params):
+            v = int(self._versions[i])
+            if p.version != v:
+                p.version = v
+                changed = True
+        return changed
+
+    # ------------------------------------------------------------------ #
+    # teardown
+    # ------------------------------------------------------------------ #
+    def release(self) -> None:
+        """Owner: detach every parameter and destroy the segment.
+
+        Values are copied back into ordinary process-private arrays first,
+        so the model remains fully usable (training included) after the
+        serving tier shuts down.  Idempotent.
+        """
+        if self._released:
+            return
+        self._released = True
+        if not self._owner:
+            return
+        for p in self._params:
+            p.unshare_()
+        self._versions = None  # drop our own view of the buffer
+        self._finalizer()  # close + unlink, exactly once
+
+
+def _destroy_segment(segment: shared_memory.SharedMemory) -> None:
+    try:
+        segment.close()
+    except BufferError:  # pragma: no cover - a stray view still exports
+        pass
+    try:
+        segment.unlink()  # also unregisters from the resource tracker
+    except FileNotFoundError:  # pragma: no cover - raced another unlink
+        pass

@@ -238,7 +238,7 @@ class DistillationTrainer:
         self.model.backward_exits(grads)
         self.optimizer.step()
 
-        ensemble = np.mean([softmax(l, axis=-1) for l in exit_logits], axis=0)
+        ensemble = np.mean([softmax(lg, axis=-1) for lg in exit_logits], axis=0)
         accuracy = float((ensemble.argmax(axis=1) == y).mean())
         return total_loss / len(exit_logits), accuracy
 

@@ -20,20 +20,29 @@ two with classic dynamic batching:
   private :class:`~repro.nn.ForwardContext` per replica plus a spawned
   per-batch context), so the event loop never blocks on NumPy and
   multi-core hosts compute batches genuinely in parallel.
+* :mod:`repro.serving.workers` — the two batch-execution backends behind
+  ``ServingEngine(worker_backend=...)``: K reentrant engine replicas on a
+  thread pool, or K worker *processes* over a shared-memory parameter
+  arena (:class:`~repro.nn.shm.SharedParameterArena`) with crash retry.
 * :class:`ServingStats` / :class:`BatcherStats` — throughput, latency
-  percentiles, batch-size and exit-distribution counters.
+  percentiles, batch-size, exit-distribution, shed and crash counters.
 
 See ``docs/architecture.md`` for the request dataflow and
 ``examples/serving_demo.py`` for an end-to-end run.
 """
 
-from .batcher import BatcherStats, DynamicBatcher, ServerOverloaded
+from .batcher import BatcherStats, DeadlineExceeded, DynamicBatcher, ServerOverloaded
 from .engine import ServingEngine, ServingStats
+from .workers import ProcessWorkerPool, ThreadWorkerPool, WorkerCrashed
 
 __all__ = [
     "DynamicBatcher",
     "BatcherStats",
     "ServerOverloaded",
+    "DeadlineExceeded",
     "ServingEngine",
     "ServingStats",
+    "ThreadWorkerPool",
+    "ProcessWorkerPool",
+    "WorkerCrashed",
 ]

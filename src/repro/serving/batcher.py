@@ -29,6 +29,15 @@ Two scheduling extensions sit on top of the queue:
   Requests without a deadline keep strict arrival order behind every
   deadlined request — with no deadlines at all, behaviour is plain FIFO,
   identical to the historical batcher.
+* **Shed-on-missed-deadline** (opt-in via ``admission_timeout``).  EDF
+  alone only *orders* the backlog: a request that already missed its
+  deadline still occupies a batch slot computing an answer nobody can use.
+  With ``admission_timeout=T``, a request is dropped at batch-assembly
+  time — failing fast with :class:`DeadlineExceeded` — once it has waited
+  past ``min(deadline, T)``; deadline-less requests shed after ``T``.
+  This closes the SLO loop: under sustained overload the server spends its
+  cycles exclusively on requests that can still meet their budgets, and
+  shed callers learn immediately instead of after a useless wait.
 * **Pipelined dispatch.** With ``max_concurrent_batches=K > 1``, up to
   ``K`` batches run in flight at once and the collector keeps *assembling*
   batch ``N+1`` while batch ``N`` computes — free throughput once the
@@ -51,11 +60,21 @@ import math
 from dataclasses import dataclass
 from typing import Any, Awaitable, Callable, Sequence
 
-__all__ = ["DynamicBatcher", "BatcherStats", "ServerOverloaded"]
+__all__ = ["DynamicBatcher", "BatcherStats", "ServerOverloaded", "DeadlineExceeded"]
 
 
 class ServerOverloaded(RuntimeError):
     """Raised by ``submit`` when the queue is full and rejection is enabled."""
+
+
+class DeadlineExceeded(RuntimeError):
+    """A request expired before dispatch under the shed policy.
+
+    Raised to the submitting caller when ``admission_timeout`` is
+    configured and the request's shed deadline (its explicit ``deadline``,
+    capped by the admission timeout) passed while it waited for batch
+    assembly.  The request never reached the dispatch callable.
+    """
 
 
 @dataclass
@@ -72,6 +91,9 @@ class BatcherStats:
         Requests refused with :class:`ServerOverloaded` (never enqueued).
     cancelled:
         Requests whose future was cancelled before a result was delivered.
+    shed:
+        Requests failed with :class:`DeadlineExceeded` because they
+        expired before dispatch (only with ``admission_timeout`` set).
     batches:
         Batches dispatched (including partial and single-request batches).
     batched_requests:
@@ -84,6 +106,7 @@ class BatcherStats:
     completed: int = 0
     rejected: int = 0
     cancelled: int = 0
+    shed: int = 0
     batches: int = 0
     batched_requests: int = 0
     queue_peak: int = 0
@@ -95,7 +118,7 @@ class BatcherStats:
 
 
 class _Request:
-    __slots__ = ("payload", "future", "enqueued_at", "deadline_at", "seq")
+    __slots__ = ("payload", "future", "enqueued_at", "deadline_at", "shed_at", "seq")
 
     def __init__(
         self,
@@ -103,6 +126,7 @@ class _Request:
         future: asyncio.Future,
         enqueued_at: float,
         deadline_at: float,
+        shed_at: float,
         seq: int,
     ) -> None:
         self.payload = payload
@@ -114,6 +138,9 @@ class _Request:
         #: absolute event-loop time the caller wants a response by
         #: (``inf`` when no deadline was given) — the EDF heap key
         self.deadline_at = deadline_at
+        #: absolute event-loop time after which the shed policy fails the
+        #: request instead of batching it (``inf`` when shedding is off)
+        self.shed_at = shed_at
         #: submission counter; orders equal-deadline requests by arrival
         self.seq = seq
 
@@ -142,6 +169,12 @@ class DynamicBatcher:
     reject_on_full:
         ``False`` (default): ``submit`` awaits for queue capacity.
         ``True``: ``submit`` raises :class:`ServerOverloaded` immediately.
+    admission_timeout:
+        ``None`` (default): deadlines only *order* the backlog — the
+        historical behaviour.  A positive number of seconds opts into the
+        shed policy: at batch-assembly time a request that has waited past
+        ``min(its deadline, admission_timeout)`` fails with
+        :class:`DeadlineExceeded` instead of occupying a batch slot.
     max_concurrent_batches:
         How many dispatched batches may be in flight at once.  ``1``
         (default) is the historical strictly-serial behaviour; ``K > 1``
@@ -164,6 +197,7 @@ class DynamicBatcher:
         max_batch_latency: float = 0.002,
         max_queue_size: int = 128,
         reject_on_full: bool = False,
+        admission_timeout: float | None = None,
         max_concurrent_batches: int = 1,
     ) -> None:
         if max_batch_size <= 0:
@@ -174,11 +208,16 @@ class DynamicBatcher:
             raise ValueError("max_queue_size must be positive")
         if max_concurrent_batches <= 0:
             raise ValueError("max_concurrent_batches must be positive")
+        if admission_timeout is not None and admission_timeout <= 0:
+            raise ValueError("admission_timeout must be positive seconds")
         self._dispatch = dispatch
         self.max_batch_size = int(max_batch_size)
         self.max_batch_latency = float(max_batch_latency)
         self.max_queue_size = int(max_queue_size)
         self.reject_on_full = bool(reject_on_full)
+        self.admission_timeout = (
+            float(admission_timeout) if admission_timeout is not None else None
+        )
         self.max_concurrent_batches = int(max_concurrent_batches)
         self.stats = BatcherStats()
         self._queue: asyncio.Queue | None = None
@@ -264,8 +303,9 @@ class DynamicBatcher:
             Optional latency budget in seconds from now.  Requests waiting
             for batch assembly are scheduled earliest-deadline-first;
             ``None`` (default) schedules in arrival order behind every
-            deadlined request.  The deadline orders work — it does not
-            cancel requests that miss it.
+            deadlined request.  Without ``admission_timeout`` the deadline
+            only orders work; with it, a request that misses its deadline
+            before dispatch is shed (see below).
 
         Raises
         ------
@@ -273,6 +313,10 @@ class DynamicBatcher:
             If the batcher is not running.
         ServerOverloaded
             If the queue is full and ``reject_on_full`` is set.
+        DeadlineExceeded
+            If ``admission_timeout`` is configured and the request waited
+            past ``min(deadline, admission_timeout)`` before it could be
+            batched (shed-on-missed-deadline policy).
         """
         if deadline is not None and deadline < 0:
             raise ValueError("deadline must be non-negative seconds from now")
@@ -282,8 +326,14 @@ class DynamicBatcher:
         loop = asyncio.get_running_loop()
         now = loop.time()
         deadline_at = math.inf if deadline is None else now + deadline
+        if self.admission_timeout is None:
+            shed_at = math.inf
+        else:
+            shed_at = min(deadline_at, now + self.admission_timeout)
         self._seq += 1
-        req = _Request(payload, loop.create_future(), now, deadline_at, self._seq)
+        req = _Request(
+            payload, loop.create_future(), now, deadline_at, shed_at, self._seq
+        )
         if self.reject_on_full:
             try:
                 queue.put_nowait(req)
@@ -308,6 +358,27 @@ class DynamicBatcher:
     # ------------------------------------------------------------------ #
     # batch assembly / dispatch
     # ------------------------------------------------------------------ #
+    def _admit(self, req: _Request, loop) -> bool:
+        """Whether a heap-popped request may join the batch being assembled.
+
+        Cancelled requests are skipped silently (historical behaviour);
+        expired ones — under the opt-in shed policy — fail fast with
+        :class:`DeadlineExceeded` and are counted in ``stats.shed``.
+        """
+        if req.future.done():
+            return False
+        now = loop.time()
+        if req.shed_at < now:
+            self.stats.shed += 1
+            req.future.set_exception(
+                DeadlineExceeded(
+                    f"request shed after waiting {now - req.enqueued_at:.3f}s "
+                    "(missed its deadline before dispatch)"
+                )
+            )
+            return False
+        return True
+
     async def _collect(self, queue: asyncio.Queue) -> None:
         loop = asyncio.get_running_loop()
         # Requests move queue -> EDF heap -> batch.  The heap holds requests
@@ -350,14 +421,14 @@ class DynamicBatcher:
 
                 # assemble one batch, earliest deadline first
                 seed = heapq.heappop(heap)[1]
-                batch = [] if seed.future.done() else [seed]
+                batch = [seed] if self._admit(seed, loop) else []
                 # the latency budget counts from submission, so time already
                 # spent queued behind an in-flight batch is not re-waited
                 flush_at = seed.enqueued_at + self.max_batch_latency
                 while len(batch) < self.max_batch_size:
                     if heap:
                         req = heapq.heappop(heap)[1]
-                        if not req.future.done():  # skip cancelled-in-queue
+                        if self._admit(req, loop):  # skip cancelled/expired
                             batch.append(req)
                         continue
                     if draining:
@@ -386,7 +457,7 @@ class DynamicBatcher:
                 batch = []
                 while heap and len(batch) < self.max_batch_size:
                     req = heapq.heappop(heap)[1]
-                    if not req.future.done():
+                    if self._admit(req, loop):
                         batch.append(req)
                 if batch:
                     await self._launch_batch(batch)

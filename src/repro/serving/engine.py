@@ -18,17 +18,22 @@ Request lifecycle::
                                                 (K-worker executor)
 
 Multi-worker serving (``workers=K``) exploits the reentrancy of the layer
-stack: each worker thread owns an engine *replica* — same ``Parameter``
-arrays (zero-copy), private :class:`~repro.nn.context.ForwardContext` and
-activation cache — and NumPy's GEMMs release the GIL, so batches genuinely
-overlap on multi-core hosts while the batcher pipelines assembly of the
-next batch.  Every batch additionally gets a *fresh context spawned from
-the layers' seeds and the batch's sequence number*, which makes a batch's
-results deterministic and independent of which worker thread computes it
-or what that worker served before.  Consequently a ``workers=1`` and a
-``workers=4`` server produce bit-identical responses whenever they form
-the same batches — e.g. under one-request-at-a-time submission; a
-concurrent flood may batch differently across worker counts (different
+stack: each worker owns an engine *replica* — same ``Parameter`` storage
+(zero-copy), private :class:`~repro.nn.context.ForwardContext` and
+activation cache.  Two interchangeable backends execute the batches
+(see :mod:`repro.serving.workers`): ``worker_backend="thread"`` runs
+replicas on a thread pool (NumPy's GEMMs release the GIL, so GEMM-heavy
+batches overlap on multi-core hosts), while ``worker_backend="process"``
+spawns K worker *processes* over a shared-memory parameter arena — lifting
+the GIL ceiling entirely for small, glue-bound models, with crash
+isolation and weight updates propagated through the shared segment.
+Every batch gets a *fresh context spawned from the layers' seeds and the
+batch's sequence number*, which makes a batch's results deterministic and
+independent of which worker computes it, which backend runs it, or what
+that worker served before.  Consequently ``workers=1`` and ``workers=4``
+servers — thread or process — produce bit-identical responses whenever
+they form the same batches, e.g. under one-request-at-a-time submission;
+a concurrent flood may batch differently across worker counts (different
 batch boundaries ⇒ different spawned contexts), changing MC draws while
 keeping the distributional semantics.
 
@@ -51,16 +56,14 @@ import numpy as np
 
 from ..core.bayesnn import MultiExitBayesNet
 from ..inference.engine import InferenceEngine, NetworkEngine
-from ..nn.context import ForwardContext
 from ..nn.model import Network
-from ..uncertainty.metrics import (
-    UncertaintyResult,
-    mc_uncertainty_results,
-    predictive_entropy,
-)
+from ..uncertainty.metrics import UncertaintyResult
 from .batcher import BatcherStats, DynamicBatcher
+from .workers import ProcessWorkerPool, ThreadWorkerPool
 
 __all__ = ["ServingEngine", "ServingStats"]
+
+_POOL_BACKENDS = {"thread": ThreadWorkerPool, "process": ProcessWorkerPool}
 
 
 @dataclass
@@ -84,8 +87,15 @@ class ServingStats:
     exit_counts:
         In early-exit mode, completed requests per exit index; ``None``
         in MC-sampling mode.
-    workers:
-        Size of the engine-replica pool serving batches.
+    workers / worker_backend:
+        Size and kind (``"thread"``/``"process"``) of the replica pool
+        serving batches.
+    worker_crashes:
+        Worker processes that died mid-service; their in-flight batches
+        were retried on live siblings (always 0 for the thread backend).
+    requests_shed:
+        Requests rejected with ``DeadlineExceeded`` by the opt-in
+        shed-on-missed-deadline policy (``admission_timeout``).
     """
 
     requests_completed: int
@@ -100,6 +110,13 @@ class ServingStats:
     latency_max_s: float
     exit_counts: list[int] | None = None
     workers: int = 1
+    #: ``"thread"`` or ``"process"`` — where batches execute
+    worker_backend: str = "thread"
+    #: worker processes that died and were replaced-by-retry (process backend)
+    worker_crashes: int = 0
+    #: requests rejected by the shed-on-missed-deadline policy (see
+    #: :class:`~repro.serving.batcher.DynamicBatcher` ``admission_timeout``)
+    requests_shed: int = 0
 
 
 class ServingEngine:
@@ -124,25 +141,39 @@ class ServingEngine:
         benefits direct engine callers re-submitting the same array — a
         served microbatch is a freshly stacked array and always takes the
         cold active-set path.
-    max_batch_size / max_batch_latency / max_queue_size / reject_on_full:
-        Dynamic-batching and backpressure knobs, passed to
-        :class:`~repro.serving.batcher.DynamicBatcher`.
+    max_batch_size / max_batch_latency / max_queue_size / reject_on_full /
+    admission_timeout:
+        Dynamic-batching, backpressure and deadline-shedding knobs, passed
+        to :class:`~repro.serving.batcher.DynamicBatcher`.  With
+        ``admission_timeout`` set, requests that miss their deadline (or
+        wait longer than the timeout) before dispatch fail fast with
+        :class:`~repro.serving.batcher.DeadlineExceeded` instead of
+        consuming a batch slot.
     workers:
-        Engine replicas (and executor threads) serving batches
-        concurrently.  ``1`` (default) is the historical single-lane
-        server.  ``K > 1`` builds ``K - 1`` additional replicas via
-        ``engine.replicate()`` — same parameter arrays, private contexts
-        and caches — runs up to ``K`` batches in flight, and lets the
-        batcher pipeline assembly of the next batch meanwhile.  Per-batch
-        spawned RNG contexts make each batch's results independent of
-        worker scheduling, so servers that form the same batches respond
-        bit-identically regardless of worker count (see the module
-        docstring for the exact guarantee).
+        Engine replicas serving batches concurrently.  ``1`` (default) is
+        the historical single-lane server; ``K > 1`` runs up to ``K``
+        batches in flight while the batcher pipelines assembly of the
+        next.  Per-batch spawned RNG contexts make each batch's results
+        independent of worker scheduling, so servers that form the same
+        batches respond bit-identically regardless of worker count (see
+        the module docstring for the exact guarantee).
+    worker_backend:
+        ``"thread"`` (default): ``K - 1`` additional replicas via
+        ``engine.replicate()`` share parameters zero-copy in-process;
+        scales while the GIL-released GEMMs dominate.  ``"process"``: K
+        spawned worker processes reconstruct replicas over a
+        shared-memory parameter arena
+        (:class:`~repro.nn.shm.SharedParameterArena`) — true multi-core
+        scaling even for glue-bound small models, crash isolation
+        included.  Semantics are identical: same responses, bit for bit,
+        under identical batch formation; weight updates propagate through
+        the shared storage and the ``weights_version`` token.
     executor:
-        Executor for the NumPy work.  Defaults to a private
-        ``workers``-thread pool.  A custom executor must provide at least
-        ``workers`` threads; replica checkout still guarantees no engine
-        runs two batches at once.
+        Executor for the parent-side work (NumPy for threads, channel I/O
+        for processes).  Defaults to a private ``workers``-thread pool.
+        A custom executor must provide at least ``workers`` threads;
+        worker checkout still guarantees no replica runs two batches at
+        once.
 
     Examples
     --------
@@ -161,7 +192,9 @@ class ServingEngine:
         max_batch_latency: float = 0.002,
         max_queue_size: int = 128,
         reject_on_full: bool = False,
+        admission_timeout: float | None = None,
         workers: int = 1,
+        worker_backend: str = "thread",
         executor: Executor | None = None,
     ) -> None:
         if isinstance(model, MultiExitBayesNet):
@@ -187,15 +220,21 @@ class ServingEngine:
             raise ValueError("num_samples must be positive")
         if workers <= 0:
             raise ValueError("workers must be positive")
+        if worker_backend not in _POOL_BACKENDS:
+            raise ValueError(
+                f"worker_backend must be one of {sorted(_POOL_BACKENDS)}, "
+                f"got {worker_backend!r}"
+            )
         self.num_samples = num_samples
         self.early_exit_threshold = early_exit_threshold
         self.workers = int(workers)
-        # replica 0 is the caller's engine (shared activation cache);
-        # the rest share its parameters zero-copy but nothing per-call
-        self._engines: list[InferenceEngine | NetworkEngine] = [self.engine] + [
-            self.engine.replicate() for _ in range(self.workers - 1)
-        ]
-        self._replica_pool: asyncio.Queue | None = None
+        self.worker_backend = worker_backend
+        self._pool = _POOL_BACKENDS[worker_backend](
+            self.engine,
+            workers=self.workers,
+            num_samples=num_samples,
+            early_exit_threshold=early_exit_threshold,
+        )
         self._batch_seq = 0
         self._batcher = DynamicBatcher(
             self._dispatch,
@@ -203,6 +242,7 @@ class ServingEngine:
             max_batch_latency=max_batch_latency,
             max_queue_size=max_queue_size,
             reject_on_full=reject_on_full,
+            admission_timeout=admission_timeout,
             max_concurrent_batches=self.workers,
         )
         self._executor = executor
@@ -234,21 +274,29 @@ class ServingEngine:
         return self._batcher.running
 
     async def start(self) -> None:
-        """Start the batching loop and the worker executor (idempotent)."""
+        """Start the worker pool and the batching loop (idempotent).
+
+        With ``worker_backend="process"`` this is where the shared-memory
+        arena is built and the K worker processes spawn — expect a startup
+        cost of an interpreter + imports per worker.
+        """
         if self._executor is None:
             self._executor = ThreadPoolExecutor(
                 max_workers=self.workers, thread_name_prefix="repro-serving"
             )
-        if self._replica_pool is None:
-            self._replica_pool = asyncio.Queue()
-            for engine in self._engines:
-                self._replica_pool.put_nowait(engine)
+        await self._pool.start(self._executor)
         await self._batcher.start()
 
     async def stop(self, drain: bool = True) -> None:
-        """Stop serving; with ``drain=True`` answer queued requests first."""
+        """Stop serving; with ``drain=True`` answer queued requests first.
+
+        The worker pool is torn down after the batcher drains: process
+        workers exit, and the shared-memory arena (if any) is released —
+        parameters return to private storage and the model remains fully
+        usable, training included.
+        """
         await self._batcher.stop(drain=drain)
-        self._replica_pool = None
+        await self._pool.stop()
         if self._owns_executor and self._executor is not None:
             self._executor.shutdown(wait=True)
             self._executor = None
@@ -277,8 +325,10 @@ class ServingEngine:
             Optional latency budget in seconds.  Requests waiting for batch
             assembly are scheduled earliest-deadline-first under backlog;
             without a deadline the request keeps arrival order behind every
-            deadlined one.  Ordering only — a missed deadline does not
-            cancel the request.
+            deadlined one.  Ordering only by default — with
+            ``admission_timeout`` configured, a request that misses its
+            deadline before dispatch is shed with
+            :class:`~repro.serving.batcher.DeadlineExceeded` instead.
 
         Returns
         -------
@@ -291,6 +341,12 @@ class ServingEngine:
         ServerOverloaded
             Queue full and ``reject_on_full`` is set.  With the default
             awaiting policy, overload instead slows submitters down.
+        DeadlineExceeded
+            The request expired before dispatch and ``admission_timeout``
+            is configured (shed-on-missed-deadline policy).
+        WorkerCrashed
+            Process backend only: every worker process died.  Individual
+            crashes are retried transparently and only counted in stats.
         """
         x = np.asarray(x, dtype=np.float64)
         expected = self.input_shape
@@ -328,52 +384,11 @@ class ServingEngine:
     async def _dispatch(self, payloads: list[np.ndarray]) -> Sequence[UncertaintyResult]:
         # the sequence number is assigned here, on the event loop, in batch-
         # assembly order — it seeds the batch's spawned RNG context, which is
-        # what makes responses independent of worker count and scheduling
+        # what makes responses independent of worker count, backend and
+        # scheduling (see repro.serving.workers.base.compute_batch)
         seq = self._batch_seq
         self._batch_seq += 1
-        assert self._replica_pool is not None
-        engine = await self._replica_pool.get()
-        try:
-            loop = asyncio.get_running_loop()
-            return await loop.run_in_executor(
-                self._executor, self._predict_batch, engine, seq, payloads
-            )
-        finally:
-            self._replica_pool.put_nowait(engine)
-
-    def _predict_batch(
-        self,
-        engine: InferenceEngine | NetworkEngine,
-        seq: int,
-        payloads: list[np.ndarray],
-    ) -> list[UncertaintyResult]:
-        # stacking happens here, on the worker thread: even the batch-assembly
-        # copy must not run on the event loop
-        batch = np.stack(payloads)
-        # fresh per-batch context: streams spawn from (layer seed, batch seq),
-        # so the result depends only on the batch's position in the request
-        # sequence — never on which replica/thread computes it or on what that
-        # replica served before
-        ctx = ForwardContext(spawn_key=seq)
-        if self.early_exit_threshold is not None:
-            assert isinstance(engine, InferenceEngine)
-            res = engine.early_exit_predict(batch, self.early_exit_threshold, ctx=ctx)
-            entropy = predictive_entropy(res.probs)
-            return [
-                UncertaintyResult(
-                    probs=res.probs[i],
-                    label=int(res.probs[i].argmax()),
-                    confidence=float(res.probs[i].max()),
-                    entropy=float(entropy[i]),
-                    exit_index=int(res.exit_indices[i]),
-                )
-                for i in range(batch.shape[0])
-            ]
-        if isinstance(engine, InferenceEngine):
-            pred = engine.predict_mc(batch, self.num_samples, ctx=ctx)
-        else:
-            pred = engine.sample(batch, self.num_samples or 1, ctx=ctx)
-        return mc_uncertainty_results(pred.sample_probs)
+        return await self._pool.run(seq, payloads)
 
     # ------------------------------------------------------------------ #
     # stats
@@ -404,4 +419,7 @@ class ServingEngine:
             latency_max_s=float(lat.max()) if lat.size else 0.0,
             exit_counts=list(self._exit_counts) if self._exit_counts else None,
             workers=self.workers,
+            worker_backend=self.worker_backend,
+            worker_crashes=self._pool.worker_crashes,
+            requests_shed=b.shed,
         )

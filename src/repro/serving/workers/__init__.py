@@ -1,0 +1,30 @@
+"""Worker backends for the serving tier.
+
+Two interchangeable :class:`~repro.serving.workers.base.WorkerPool`
+implementations execute the batches a
+:class:`~repro.serving.engine.ServingEngine` assembles:
+
+* :class:`ThreadWorkerPool` — K reentrant engine replicas on a thread-pool
+  executor (in-process; scales while the GIL-released GEMMs dominate).
+* :class:`ProcessWorkerPool` — K spawned worker processes over one
+  shared-memory parameter arena (true multi-core scaling even when the
+  Python glue dominates; survives individual worker crashes).
+
+Both run the same compute path (:func:`~repro.serving.workers.base
+.compute_batch` under a per-batch spawned context), so responses are
+bit-identical across backends and worker counts for identical batch
+formation.  Select with ``ServingEngine(worker_backend="thread"|"process")``.
+"""
+
+from .base import WorkerCrashed, WorkerPool, assemble_results, compute_batch
+from .procpool import ProcessWorkerPool
+from .threads import ThreadWorkerPool
+
+__all__ = [
+    "WorkerCrashed",
+    "WorkerPool",
+    "ThreadWorkerPool",
+    "ProcessWorkerPool",
+    "assemble_results",
+    "compute_batch",
+]

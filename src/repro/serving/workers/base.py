@@ -1,0 +1,161 @@
+"""Worker-pool abstraction shared by the thread and process backends.
+
+The serving tier separates *what a batch computes* from *where it runs*:
+
+* :func:`compute_batch` — stacks a batch's payloads and runs the folded MC
+  hot path (or the active-set early-exit path) on one engine under a fresh
+  :class:`~repro.nn.context.ForwardContext` spawned from the batch sequence
+  number.  It returns plain arrays (:class:`BatchOutput`), so the result
+  can cross a process boundary as a cheap pickle.
+* :func:`assemble_results` — turns those arrays into the per-request
+  :class:`~repro.uncertainty.metrics.UncertaintyResult` objects.
+
+Both backends run the *same two functions* — the thread pool calls them
+back-to-back on a worker thread, the process pool calls the first in a
+worker process and the second on the receiving thread.  Responses are
+therefore **bit-identical across backends** (and across worker counts,
+by the spawn-key rule) whenever batch formation is identical.
+
+:class:`WorkerPool` is the small lifecycle contract
+:class:`~repro.serving.engine.ServingEngine` drives: ``start`` /
+``run(seq, payloads)`` / ``stop``, plus a crash counter.  Pools own their
+engine replicas; the serving engine owns batch formation and sequencing.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, Sequence
+
+import numpy as np
+
+from ...inference.engine import InferenceEngine, NetworkEngine
+from ...nn.context import ForwardContext
+from ...nn.layers.base import Parameter
+from ...uncertainty.metrics import (
+    UncertaintyResult,
+    mc_uncertainty_results,
+    predictive_entropy,
+)
+
+__all__ = [
+    "BatchOutput",
+    "WorkerCrashed",
+    "WorkerPool",
+    "assemble_results",
+    "compute_batch",
+    "engine_parameters",
+]
+
+Engine = InferenceEngine | NetworkEngine
+
+
+class WorkerCrashed(RuntimeError):
+    """No live worker is left to serve a batch (process backend only).
+
+    Individual worker deaths are absorbed: the dead worker's in-flight
+    batch is retried on a live sibling and the death is surfaced in
+    ``ServingStats.worker_crashes``.  This error reaches callers only when
+    *every* worker of the pool has died.
+    """
+
+
+@dataclass
+class BatchOutput:
+    """Raw per-batch arrays, cheap to pickle across a process boundary.
+
+    Exactly one of the two forms is populated: ``sample_probs`` of shape
+    ``(S, N, classes)`` in MC-sampling mode, or ``probs`` ``(N, classes)``
+    plus ``exit_indices`` ``(N,)`` in early-exit mode.
+    """
+
+    sample_probs: np.ndarray | None = None
+    probs: np.ndarray | None = None
+    exit_indices: np.ndarray | None = None
+
+
+def engine_parameters(engine: Engine) -> Iterator[Parameter]:
+    """The engine's parameters in the deterministic model order."""
+    if isinstance(engine, InferenceEngine):
+        return engine.model.parameters()
+    return engine.network.parameters()
+
+
+def compute_batch(
+    engine: Engine,
+    seq: int,
+    payloads: Sequence[np.ndarray],
+    num_samples: int | None,
+    early_exit_threshold: float | None,
+) -> BatchOutput:
+    """Run one batch on one engine; returns raw arrays only.
+
+    Stacking happens here, off the event loop.  The fresh per-batch
+    context spawns every dropout stream from ``(layer seed, seq)``, so the
+    output depends only on the batch's position in the request sequence —
+    never on which worker (thread *or* process) computes it or on what
+    that worker served before.
+    """
+    batch = np.stack(payloads)
+    ctx = ForwardContext(spawn_key=seq)
+    if early_exit_threshold is not None:
+        assert isinstance(engine, InferenceEngine)
+        res = engine.early_exit_predict(batch, early_exit_threshold, ctx=ctx)
+        return BatchOutput(probs=res.probs, exit_indices=res.exit_indices)
+    if isinstance(engine, InferenceEngine):
+        pred = engine.predict_mc(batch, num_samples, ctx=ctx)
+    else:
+        pred = engine.sample(batch, num_samples or 1, ctx=ctx)
+    return BatchOutput(sample_probs=pred.sample_probs)
+
+
+def assemble_results(out: BatchOutput) -> list[UncertaintyResult]:
+    """Split a batch's raw arrays into one ``UncertaintyResult`` per request."""
+    if out.sample_probs is not None:
+        return mc_uncertainty_results(out.sample_probs)
+    entropy = predictive_entropy(out.probs)
+    return [
+        UncertaintyResult(
+            probs=out.probs[i],
+            label=int(out.probs[i].argmax()),
+            confidence=float(out.probs[i].max()),
+            entropy=float(entropy[i]),
+            exit_index=int(out.exit_indices[i]),
+        )
+        for i in range(out.probs.shape[0])
+    ]
+
+
+class WorkerPool:
+    """Lifecycle contract between :class:`ServingEngine` and its workers.
+
+    Subclasses own ``workers`` engine replicas and guarantee that
+    :meth:`run` never executes two batches on the same replica at once.
+    ``start``/``stop`` bracket the serving engine's lifecycle; ``stop``
+    must be idempotent and leave the wrapped engine fully usable.
+    """
+
+    #: dead workers observed so far (process backend; threads cannot die)
+    worker_crashes: int = 0
+
+    def __init__(
+        self,
+        engine: Engine,
+        workers: int,
+        num_samples: int | None,
+        early_exit_threshold: float | None,
+    ) -> None:
+        self.engine = engine
+        self.workers = int(workers)
+        self.num_samples = num_samples
+        self.early_exit_threshold = early_exit_threshold
+
+    async def start(self, executor) -> None:
+        raise NotImplementedError
+
+    async def stop(self) -> None:
+        raise NotImplementedError
+
+    async def run(self, seq: int, payloads: list) -> list[UncertaintyResult]:
+        """Serve one assembled batch; safe to call ``workers``-way concurrently."""
+        raise NotImplementedError

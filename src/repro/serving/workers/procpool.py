@@ -1,0 +1,336 @@
+"""Process-backed worker pool: true multi-core serving over shared weights.
+
+Thread replicas (PR 4) only scale while NumPy holds the GIL-released GEMMs
+long enough to hide the Python glue around them; on small models the glue
+dominates and K threads flatline near 1x.  This backend runs each replica
+in its **own process**:
+
+* At ``start`` the pool moves every ``Parameter`` value into one
+  :class:`~repro.nn.shm.SharedParameterArena` segment and spawns K workers.
+  Each worker receives a pickled engine whose shared parameters serialize
+  as ``(segment, offset, shape)`` descriptors — kilobytes, not weights —
+  and reconstructs a zero-copy replica over the very same storage
+  (unpickling an engine *is* ``replicate()`` across the process boundary).
+* Per batch, the parent sends ``(seq, weights_token, payloads)`` down a
+  pipe and receives raw result arrays
+  (:class:`~repro.serving.workers.base.BatchOutput`) back — the channel
+  carries inputs and probabilities only, never model state.
+* **Staleness:** weight mutations in the parent (optimizer steps,
+  ``assign``, quantization) write straight into the shared segment, so
+  workers always *read* current bytes; the ``weights_token`` riding on
+  each request tells a worker when the weights changed so it re-syncs its
+  local version counters from the arena and drops its activation caches —
+  the same ``weights_version`` rule that keeps in-process caches honest.
+  Updates are not transactional against in-flight batches: quiesce
+  submissions around an update if a batch must never mix old and new
+  weights.
+* **Crashes:** a worker that dies (OOM killer, segfault, ``kill -9``)
+  fails pipe I/O in the parent; its in-flight batch is retried on a live
+  sibling and the death is surfaced via ``worker_crashes`` (the
+  ``WorkerCrashed`` error reaches callers only when no worker is left).
+
+Workers are spawned (not forked): forking a process that already runs an
+asyncio loop plus BLAS threads is unsound, and spawn keeps the backend
+portable.  Startup therefore costs a Python interpreter + import per
+worker — amortised over a serving lifetime, irrelevant per request.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import multiprocessing
+import os
+import threading
+import time
+from dataclasses import dataclass
+
+from ...nn.shm import ArenaManifest, SharedParameterArena
+from ...uncertainty.metrics import UncertaintyResult
+from .base import (
+    WorkerCrashed,
+    WorkerPool,
+    assemble_results,
+    compute_batch,
+    engine_parameters,
+)
+
+__all__ = ["ProcessWorkerPool"]
+
+#: how often a parent thread waiting on a worker re-checks its liveness
+_POLL_INTERVAL_S = 0.2
+
+
+class _WorkerDied(Exception):
+    """Internal: the worker process behind a handle is gone."""
+
+
+@dataclass
+class _WorkerConfig:
+    """Everything a worker needs, pickled once at spawn."""
+
+    engine: object  # InferenceEngine | NetworkEngine, shm-backed parameters
+    num_samples: int | None
+    early_exit_threshold: float | None
+    manifest: ArenaManifest
+
+
+def _worker_main(conn, config: _WorkerConfig) -> None:
+    """Worker process entry point: serve batches until told to stop."""
+    engine = config.engine
+    arena = SharedParameterArena.attached(
+        config.manifest, list(engine_parameters(engine))
+    )
+    arena.refresh()
+    seen_token = None
+    try:
+        conn.send(("ready", os.getpid()))
+        while True:
+            msg = conn.recv()
+            if msg[0] == "stop":
+                break
+            _, seq, token, payloads = msg
+            try:
+                if token != seen_token:
+                    # weights changed in the parent: sync version counters
+                    # from the arena and drop activation caches keyed on
+                    # the stale token (the shared bytes are already current)
+                    arena.refresh()
+                    engine.invalidate_cache()
+                    seen_token = token
+                out = compute_batch(
+                    engine,
+                    seq,
+                    payloads,
+                    config.num_samples,
+                    config.early_exit_threshold,
+                )
+            except Exception as exc:  # compute failed; the worker lives on
+                conn.send(("error", f"{type(exc).__name__}: {exc}"))
+            else:
+                conn.send(("ok", out))
+    except (EOFError, OSError, KeyboardInterrupt):
+        pass  # parent went away (or interactive interrupt): just exit
+    finally:
+        try:
+            conn.close()
+        except OSError:  # pragma: no cover
+            pass
+
+
+class _WorkerHandle:
+    """Parent-side endpoint of one worker process."""
+
+    def __init__(self, index: int, process, conn) -> None:
+        self.index = index
+        self.process = process
+        self.conn = conn
+        self.alive = True
+        # execute() is called from pool-executor threads; the lock keeps a
+        # send/recv exchange atomic per worker even if a cancelled batch's
+        # thread is still draining its response
+        self._lock = threading.Lock()
+
+    def execute(self, seq: int, token: int, payloads: list) -> list[UncertaintyResult]:
+        """Blocking request/response exchange; runs on an executor thread."""
+        with self._lock:
+            try:
+                self.conn.send(("predict", seq, token, payloads))
+                while not self.conn.poll(_POLL_INTERVAL_S):
+                    if not self.process.is_alive():
+                        raise _WorkerDied(
+                            f"worker {self.index} died "
+                            f"(exitcode {self.process.exitcode})"
+                        )
+                status, value = self.conn.recv()
+            except (OSError, EOFError) as exc:
+                # OSError covers BrokenPipeError/ConnectionResetError and
+                # also "handle is closed": teardown may close the pipe while
+                # a cancelled batch's executor thread still drains it here
+                raise _WorkerDied(f"worker {self.index}: {exc!r}") from None
+        if status == "error":
+            raise RuntimeError(f"serving worker {self.index} failed: {value}")
+        return assemble_results(value)
+
+    def reap(self) -> None:
+        """Mark dead and reclaim OS resources (idempotent)."""
+        self.alive = False
+        try:
+            self.conn.close()
+        except OSError:  # pragma: no cover
+            pass
+        if self.process.is_alive():
+            self.process.terminate()
+        self.process.join(timeout=5.0)
+
+    def shutdown(self, timeout: float = 5.0) -> None:
+        """Ask the worker to exit, escalating to terminate."""
+        if not self.alive:
+            return
+        self.alive = False
+        # serialize the stop frame with any executor thread still inside
+        # execute() (a cancelled batch's thread keeps draining the pipe) —
+        # two concurrent send()s would interleave bytes on the channel.
+        # Bounded wait: a wedged exchange falls through to terminate below.
+        locked = self._lock.acquire(timeout=timeout)
+        try:
+            if locked and self.process.is_alive():
+                try:
+                    self.conn.send(("stop",))
+                except OSError:
+                    pass
+        finally:
+            if locked:
+                self._lock.release()
+        self.process.join(timeout)
+        if self.process.is_alive():  # pragma: no cover - stuck worker
+            self.process.terminate()
+            self.process.join(timeout)
+        try:
+            self.conn.close()
+        except OSError:  # pragma: no cover
+            pass
+
+
+class ProcessWorkerPool(WorkerPool):
+    """K spawned worker processes over one shared-memory parameter arena."""
+
+    def __init__(
+        self,
+        engine,
+        workers,
+        num_samples,
+        early_exit_threshold,
+        mp_context: str = "spawn",
+        start_timeout: float = 120.0,
+    ) -> None:
+        super().__init__(engine, workers, num_samples, early_exit_threshold)
+        self._mp_context = mp_context
+        self._start_timeout = start_timeout
+        self._arena: SharedParameterArena | None = None
+        self._handles: list[_WorkerHandle] = []
+        self._checkout: asyncio.Queue | None = None
+        self._executor = None
+        self._published_token: int | None = None
+
+    # ------------------------------------------------------------------ #
+    # lifecycle
+    # ------------------------------------------------------------------ #
+    async def start(self, executor) -> None:
+        if self._checkout is not None:
+            return
+        self._executor = executor
+        loop = asyncio.get_running_loop()
+        # spawning + the ready handshake block on process startup; keep the
+        # event loop responsive meanwhile
+        await loop.run_in_executor(executor, self._start_sync)
+        self._checkout = asyncio.Queue()
+        for handle in self._handles:
+            self._checkout.put_nowait(handle)
+
+    def _start_sync(self) -> None:
+        params = list(engine_parameters(self.engine))
+        arena = SharedParameterArena.create(params)
+        ctx = multiprocessing.get_context(self._mp_context)
+        config = _WorkerConfig(
+            engine=self.engine,
+            num_samples=self.num_samples,
+            early_exit_threshold=self.early_exit_threshold,
+            manifest=arena.manifest,
+        )
+        handles: list[_WorkerHandle] = []
+        try:
+            for i in range(self.workers):
+                parent_conn, child_conn = ctx.Pipe()
+                process = ctx.Process(
+                    target=_worker_main,
+                    args=(child_conn, config),
+                    daemon=True,
+                    name=f"repro-serving-worker-{i}",
+                )
+                process.start()
+                child_conn.close()
+                handles.append(_WorkerHandle(i, process, parent_conn))
+            deadline = time.monotonic() + self._start_timeout
+            for handle in handles:
+                remaining = deadline - time.monotonic()
+                if remaining <= 0 or not handle.conn.poll(remaining):
+                    raise RuntimeError(
+                        f"serving worker {handle.index} did not become ready "
+                        f"within {self._start_timeout}s"
+                    )
+                msg = handle.conn.recv()  # EOFError if it died during import
+                if msg[0] != "ready":  # pragma: no cover - protocol violation
+                    raise RuntimeError(f"unexpected handshake from worker: {msg!r}")
+        except BaseException:
+            for handle in handles:
+                handle.shutdown(timeout=1.0)
+            arena.release()
+            raise
+        self._arena = arena
+        self._published_token = self.engine.weights_token()
+        self._handles = handles
+
+    async def stop(self) -> None:
+        if self._checkout is None and not self._handles:
+            return
+        self._checkout = None
+        loop = asyncio.get_running_loop()
+        executor, self._executor = self._executor, None
+        await loop.run_in_executor(executor, self._stop_sync)
+
+    def _stop_sync(self) -> None:
+        for handle in self._handles:
+            handle.shutdown()
+        self._handles = []
+        if self._arena is not None:
+            # detaches the parent's parameters back into private arrays and
+            # unlinks the segment — the model stays fully usable afterwards
+            self._arena.release()
+            self._arena = None
+
+    # ------------------------------------------------------------------ #
+    # serving
+    # ------------------------------------------------------------------ #
+    async def run(self, seq: int, payloads: list) -> list[UncertaintyResult]:
+        assert self._checkout is not None, "pool is not started"
+        loop = asyncio.get_running_loop()
+        token = self.engine.weights_token()
+        if token != self._published_token:
+            self._arena.publish()
+            self._published_token = token
+        while True:
+            # fail fast once the whole pool is gone — without this check a
+            # batch would park on the (then permanently empty) checkout
+            # queue forever, wedging drain-on-stop along with it
+            if not any(h.alive for h in self._handles):
+                raise WorkerCrashed(
+                    f"all {self.workers} serving worker processes have died"
+                )
+            handle = await self._checkout.get()
+            if not handle.alive:
+                # a poison token from a total-pool death: pass the wake-up
+                # on to any other parked waiter, then raise at the loop top
+                self._checkout.put_nowait(handle)
+                continue
+            try:
+                result = await loop.run_in_executor(
+                    self._executor, handle.execute, seq, token, payloads
+                )
+            except _WorkerDied as exc:
+                self.worker_crashes += 1
+                # reap blocks (terminate + join); keep it off the event loop
+                await loop.run_in_executor(self._executor, handle.reap)
+                if not any(h.alive for h in self._handles):
+                    # poison the queue so waiters parked in get() wake up
+                    # and observe the total death instead of hanging
+                    self._checkout.put_nowait(handle)
+                    raise WorkerCrashed(
+                        f"all {self.workers} serving worker processes have "
+                        f"died (last: {exc})"
+                    ) from exc
+                continue  # retry the batch on a live sibling
+            except BaseException:
+                self._checkout.put_nowait(handle)
+                raise
+            self._checkout.put_nowait(handle)
+            return result

@@ -1,0 +1,64 @@
+"""Thread-backed worker pool: K engine replicas on a thread-pool executor.
+
+This is the historical (PR 4) multi-worker mode, repackaged behind the
+:class:`~repro.serving.workers.base.WorkerPool` contract: replica 0 is the
+caller's engine (so its activation cache stays shared with batch callers),
+replicas 1..K-1 come from ``engine.replicate()`` — same ``Parameter``
+arrays zero-copy, private context and cache each.  NumPy's GEMMs release
+the GIL, so batches genuinely overlap on multi-core hosts; the Python glue
+between the GEMMs does not, which is what the process backend
+(:mod:`repro.serving.workers.procpool`) exists to lift.
+"""
+
+from __future__ import annotations
+
+import asyncio
+
+from ...uncertainty.metrics import UncertaintyResult
+from .base import WorkerPool, assemble_results, compute_batch
+
+__all__ = ["ThreadWorkerPool"]
+
+
+class ThreadWorkerPool(WorkerPool):
+    """Check batches out to K reentrant engine replicas in worker threads."""
+
+    def __init__(self, engine, workers, num_samples, early_exit_threshold) -> None:
+        super().__init__(engine, workers, num_samples, early_exit_threshold)
+        # replica 0 is the caller's engine (shared activation cache);
+        # the rest share its parameters zero-copy but nothing per-call
+        self._engines = [engine] + [engine.replicate() for _ in range(workers - 1)]
+        self._checkout: asyncio.Queue | None = None
+        self._executor = None
+
+    async def start(self, executor) -> None:
+        if self._checkout is not None:
+            # idempotent, like ServingEngine.start(): rebuilding the queue
+            # here would re-enqueue replicas that are currently checked out
+            return
+        self._executor = executor
+        self._checkout = asyncio.Queue()
+        for replica in self._engines:
+            self._checkout.put_nowait(replica)
+
+    async def stop(self) -> None:
+        self._checkout = None
+        self._executor = None
+
+    async def run(self, seq: int, payloads: list) -> list[UncertaintyResult]:
+        assert self._checkout is not None, "pool is not started"
+        engine = await self._checkout.get()
+        try:
+            loop = asyncio.get_running_loop()
+            return await loop.run_in_executor(
+                self._executor, self._serve, engine, seq, payloads
+            )
+        finally:
+            self._checkout.put_nowait(engine)
+
+    def _serve(self, engine, seq: int, payloads: list) -> list[UncertaintyResult]:
+        return assemble_results(
+            compute_batch(
+                engine, seq, payloads, self.num_samples, self.early_exit_threshold
+            )
+        )

@@ -1,6 +1,5 @@
 """Tests for the table formatter and the experiment runners."""
 
-import numpy as np
 import pytest
 
 from repro.analysis import (

@@ -44,18 +44,18 @@ class TestStructure:
 
     def test_final_exit_uses_original_head(self, multi_exit_model):
         final_head = multi_exit_model.exits[-1]
-        assert any("classifier" in l.name for l in final_head.layers)
+        assert any("classifier" in layer.name for layer in final_head.layers)
 
     def test_mcd_layers_present_in_every_exit(self, multi_exit_model):
         for head in multi_exit_model.exits:
-            assert any(isinstance(l, MCDropout) for l in head.layers)
+            assert any(isinstance(layer, MCDropout) for layer in head.layers)
 
     def test_non_bayesian_has_no_mcd(self):
         model = MultiExitBayesNet(
             small_lenet_spec(), MultiExitConfig(num_exits=2, mcd_layers_per_exit=0)
         )
         for head in model.exits:
-            assert not any(isinstance(l, MCDropout) for l in head.layers)
+            assert not any(isinstance(layer, MCDropout) for layer in head.layers)
 
     def test_parameters_include_backbone_and_exits(self, multi_exit_model):
         n_backbone = sum(p.size for p in multi_exit_model.backbone.parameters())
@@ -73,12 +73,12 @@ class TestForwardBackward:
         x = rng.normal(size=(3, 1, 12, 12))
         logits = multi_exit_model.forward_exits(x, training=True)
         assert len(logits) == 2
-        assert all(l.shape == (3, 5) for l in logits)
+        assert all(lg.shape == (3, 5) for lg in logits)
 
     def test_backward_exits_returns_input_gradient(self, multi_exit_model, rng):
         x = rng.normal(size=(2, 1, 12, 12))
         logits = multi_exit_model.forward_exits(x, training=True)
-        grads = [np.ones_like(l) for l in logits]
+        grads = [np.ones_like(lg) for lg in logits]
         grad_in = multi_exit_model.backward_exits(grads)
         assert grad_in.shape == x.shape
 
@@ -92,7 +92,7 @@ class TestForwardBackward:
         x = rng.normal(size=(2, 1, 12, 12))
         multi_exit_model.zero_grad()
         logits = multi_exit_model.forward_exits(x, training=True)
-        multi_exit_model.backward_exits([np.ones_like(l) for l in logits])
+        multi_exit_model.backward_exits([np.ones_like(lg) for lg in logits])
         first_conv = multi_exit_model.backbone.layers[0]
         assert np.any(next(first_conv.parameters()).grad != 0)
 
@@ -107,7 +107,7 @@ class TestForwardBackward:
 
         def objective() -> float:
             logits = model.forward_exits(x, training=False)
-            return float(sum(np.sum(p * l) for p, l in zip(proj, logits)))
+            return float(sum(np.sum(p * lg) for p, lg in zip(proj, logits)))
 
         model.zero_grad()
         logits = model.forward_exits(x, training=False)
@@ -199,7 +199,7 @@ class TestFlops:
 class TestSingleExitBayesNet:
     def test_mcd_count(self):
         net = single_exit_bayesnet(small_lenet_spec(), num_mcd_layers=3)
-        assert sum(isinstance(l, MCDropout) for l in net.layers) == 3
+        assert sum(isinstance(layer, MCDropout) for layer in net.layers) == 3
 
     def test_prediction_shape(self, rng):
         net = single_exit_bayesnet(small_lenet_spec(), num_mcd_layers=1)

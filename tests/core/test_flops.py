@@ -67,7 +67,7 @@ class TestNetworkFlops:
     def test_sum_of_layers(self):
         net = Network([Conv2D(4, 3, padding=1), ReLU(), MaxPool2D(2), Flatten(), Dense(5)])
         net.build((1, 8, 8))
-        assert network_flops(net) == sum(layer_flops(l) for l in net.layers)
+        assert network_flops(net) == sum(layer_flops(layer) for layer in net.layers)
 
     def test_unbuilt_network_raises(self):
         with pytest.raises(ValueError):

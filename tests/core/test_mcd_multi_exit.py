@@ -13,7 +13,7 @@ from repro.core.multi_exit import (
     cumulative_exit_ensembles,
     exit_ensemble,
 )
-from repro.nn.layers import Conv2D, Dense, Flatten, GlobalAvgPool2D, MCDropout, ReLU
+from repro.nn.layers import Conv2D, Dense, Flatten, MCDropout, ReLU
 from repro.nn.model import Network
 
 
@@ -27,21 +27,21 @@ class TestInsertMCD:
 
     def test_one_mcd_before_last_dense(self):
         out = insert_mcd_into_head(self._head(), 1, 0.5)
-        types = [type(l).__name__ for l in out]
+        types = [type(layer).__name__ for layer in out]
         assert types == ["Flatten", "Dense", "ReLU", "MCDropout", "Dense"]
 
     def test_two_mcd_layers(self):
         out = insert_mcd_into_head(self._head(), 2, 0.5)
-        types = [type(l).__name__ for l in out]
+        types = [type(layer).__name__ for layer in out]
         assert types == ["Flatten", "MCDropout", "Dense", "ReLU", "MCDropout", "Dense"]
 
     def test_more_than_parameterised_caps(self):
         out = insert_mcd_into_head(self._head(), 10, 0.5)
-        assert sum(isinstance(l, MCDropout) for l in out) == 2
+        assert sum(isinstance(layer, MCDropout) for layer in out) == 2
 
     def test_rate_propagated(self):
         out = insert_mcd_into_head(self._head(), 1, 0.375)
-        mcd = [l for l in out if isinstance(l, MCDropout)][0]
+        mcd = [layer for layer in out if isinstance(layer, MCDropout)][0]
         assert mcd.rate == 0.375
 
     def test_no_parameterised_layers_raises(self):
@@ -106,7 +106,7 @@ class TestMCSampler:
 
         net2 = self._bayes_net(rate=0.25)
         net2.set_weights(net.get_weights())
-        mcd = [l for l in net2.layers if isinstance(l, MCDropout)][0]
+        mcd = [layer for layer in net2.layers if isinstance(layer, MCDropout)][0]
         mcd.reseed(9)
         from repro.nn.layers.activations import softmax
 
@@ -134,7 +134,7 @@ class TestExitHeads:
     def test_conv_feature_head(self):
         cfg = ExitHeadConfig(num_classes=7, mcd_layers=1, dropout_rate=0.25)
         layers = build_exit_head(cfg, (16, 8, 8), name="e0")
-        types = [type(l).__name__ for l in layers]
+        types = [type(layer).__name__ for layer in layers]
         assert "GlobalAvgPool2D" in types and "Dense" in types and "MCDropout" in types
 
     def test_flat_feature_head(self):
@@ -145,13 +145,13 @@ class TestExitHeads:
     def test_conv_channels_option(self):
         cfg = ExitHeadConfig(num_classes=3, conv_channels=8, mcd_layers=0)
         layers = build_exit_head(cfg, (16, 4, 4), name="e2")
-        assert any(isinstance(l, Conv2D) for l in layers)
+        assert any(isinstance(layer, Conv2D) for layer in layers)
 
     def test_custom_layers_get_mcd(self):
         cfg = ExitHeadConfig(num_classes=3, mcd_layers=1, dropout_rate=0.5)
         custom = [Flatten(), Dense(10), ReLU(), Dense(3)]
         layers = build_exit_head(cfg, (4, 4, 4), name="e3", custom_layers=custom)
-        assert sum(isinstance(l, MCDropout) for l in layers) == 1
+        assert sum(isinstance(layer, MCDropout) for layer in layers) == 1
 
     def test_unsupported_shape(self):
         with pytest.raises(ValueError):

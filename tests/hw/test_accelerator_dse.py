@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.core import MultiExitBayesNet, MultiExitConfig, single_exit_bayesnet
+from repro.core import single_exit_bayesnet
 from repro.hw import (
     AcceleratorConfig,
     AcceleratorModel,
@@ -16,7 +16,6 @@ from repro.hw import (
     spatial_mapping,
     temporal_mapping,
 )
-from repro.hw.dse import EvaluatedDesignPoint
 
 from ..conftest import small_lenet_spec
 

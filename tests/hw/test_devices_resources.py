@@ -7,7 +7,6 @@ from hypothesis import strategies as st
 
 from repro.hw import (
     DEVICES,
-    FPGADevice,
     ResourceUsage,
     XCKU115,
     estimate_layer_resources,

@@ -44,13 +44,13 @@ class TestLatencyModel:
         model = LatencyModel(clock_mhz=100)
         descs = [desc(Conv2D(4, 3, padding=1), (2, 6, 6)), desc(MCDropout(0.5), (4, 6, 6))]
         lats = [estimate_layer_cycles(d) for d in descs]
-        assert model.chain_cycles(lats) == sum(l.total_cycles for l in lats)
+        assert model.chain_cycles(lats) == sum(lat.total_cycles for lat in lats)
 
     def test_interval_dataflow_is_max(self):
         model = LatencyModel(clock_mhz=100, dataflow=True)
         descs = [desc(Conv2D(4, 3, padding=1), (2, 6, 6)), desc(MCDropout(0.5), (4, 6, 6))]
         lats = [estimate_layer_cycles(d) for d in descs]
-        assert model.chain_interval_cycles(lats) == max(l.cycles for l in lats)
+        assert model.chain_interval_cycles(lats) == max(lat.cycles for lat in lats)
 
     def test_cycles_to_ms(self):
         model = LatencyModel(clock_mhz=200)

@@ -189,7 +189,7 @@ class TestInferenceEngine:
         before = engine.predict_proba(x, 4)
         # a training step changes weights; forward_exits must drop the cache
         logits = model.forward_exits(x, training=True)
-        model.backward_exits([np.ones_like(l) for l in logits])
+        model.backward_exits([np.ones_like(lg) for lg in logits])
         for p in model.parameters():
             p.value -= 0.05 * p.grad
         after = engine.predict_proba(x, 4)

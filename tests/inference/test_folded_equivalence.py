@@ -119,8 +119,8 @@ def test_exit_mc_probabilities_match_pass_accumulation(lenet_spec_small):
     legacy = [acc / passes for acc in accumulated]
 
     assert len(folded) == len(legacy) == 2
-    for f, l in zip(folded, legacy):
-        np.testing.assert_allclose(f, l, atol=1e-15)
+    for fold, ref in zip(folded, legacy):
+        np.testing.assert_allclose(fold, ref, atol=1e-15)
 
 
 def test_non_bayesian_predict_mc_matches_legacy(lenet_spec_small):

@@ -24,8 +24,6 @@ from repro.uncertainty import (
     DeepEnsemble,
     accuracy,
     evaluate_predictions,
-    expected_calibration_error,
-    predictive_entropy,
 )
 
 from ..conftest import small_lenet_spec

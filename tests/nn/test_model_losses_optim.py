@@ -127,8 +127,8 @@ class TestLosses:
         logits = rng.normal(size=(3, 5))
         labels = np.array([0, 2, 4])
 
-        def f(l):
-            return CrossEntropyLoss()(l, labels)
+        def f(lg):
+            return CrossEntropyLoss()(lg, labels)
 
         loss(logits, labels)
         np.testing.assert_allclose(
@@ -149,8 +149,8 @@ class TestLosses:
         logits = rng.normal(size=(3, 4))
         loss = DistillationLoss(temperature=2.0)
 
-        def f(l):
-            return DistillationLoss(temperature=2.0)(l, teacher)
+        def f(lg):
+            return DistillationLoss(temperature=2.0)(lg, teacher)
 
         loss(logits, teacher)
         np.testing.assert_allclose(

@@ -136,7 +136,7 @@ class TestArchitectures:
 
     def test_vgg19_conv_count(self):
         spec = vgg19_spec(input_shape=(3, 32, 32), use_batchnorm=False)
-        convs = [l for l in spec.backbone.layers if isinstance(l, Conv2D)]
+        convs = [layer for layer in spec.backbone.layers if isinstance(layer, Conv2D)]
         assert len(convs) == 16
 
     def test_vgg_truncated_for_small_inputs(self):
@@ -149,7 +149,7 @@ class TestArchitectures:
 
     def test_resnet18_block_count(self):
         spec = resnet18_spec(input_shape=(3, 32, 32))
-        blocks = [l for l in spec.backbone.layers if isinstance(l, ResidualBlock)]
+        blocks = [layer for layer in spec.backbone.layers if isinstance(layer, ResidualBlock)]
         assert len(blocks) == 8
         assert spec.num_blocks == 4
 

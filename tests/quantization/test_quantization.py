@@ -135,7 +135,7 @@ class TestQuantizeNetwork:
     def test_activation_formats_calibration(self, rng):
         net = self._net()
         formats = activation_formats(net, rng.normal(size=(8, 1, 6, 6)), activation_bits=8)
-        assert set(formats) == {l.name for l in net.layers}
+        assert set(formats) == {layer.name for layer in net.layers}
         assert all(f.total_bits == 8 for f in formats.values())
 
     def test_activation_formats_requires_built_network(self, rng):

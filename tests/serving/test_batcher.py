@@ -13,7 +13,7 @@ import asyncio
 
 import pytest
 
-from repro.serving import DynamicBatcher, ServerOverloaded
+from repro.serving import DeadlineExceeded, DynamicBatcher, ServerOverloaded
 
 
 async def _echo_dispatch(payloads):
@@ -264,3 +264,119 @@ def test_invalid_configuration_rejected():
     ):
         with pytest.raises(ValueError):
             DynamicBatcher(_echo_dispatch, **kwargs)
+
+
+# --------------------------------------------------------------------------- #
+# shed-on-missed-deadline (opt-in admission_timeout policy)
+# --------------------------------------------------------------------------- #
+def test_expired_deadline_is_shed_with_typed_error():
+    """A request that missed its deadline behind a slow batch is rejected."""
+    release = None
+    dispatched: list[list[str]] = []
+
+    async def blocked_dispatch(payloads):
+        dispatched.append(list(payloads))
+        await release.wait()
+        return payloads
+
+    async def main():
+        nonlocal release
+        release = asyncio.Event()
+        async with DynamicBatcher(
+            blocked_dispatch, max_batch_size=1, max_batch_latency=0.001,
+            max_queue_size=8, admission_timeout=10.0,
+        ) as batcher:
+            first = asyncio.ensure_future(batcher.submit("first"))
+            await asyncio.sleep(0.02)  # "first" is in flight (blocked)
+            doomed = asyncio.ensure_future(batcher.submit("doomed", deadline=0.01))
+            keeper = asyncio.ensure_future(batcher.submit("keeper", deadline=30.0))
+            await asyncio.sleep(0.05)  # doomed's deadline passes while queued
+            release.set()
+            await first
+            with pytest.raises(DeadlineExceeded, match="shed after waiting"):
+                await doomed
+            await keeper
+        assert batcher.stats.shed == 1
+        assert batcher.stats.completed == 2
+        assert ["doomed"] not in dispatched  # never reached dispatch
+
+    asyncio.run(main())
+
+
+def test_admission_timeout_bounds_queue_wait_of_deadline_less_requests():
+    """Without explicit deadlines, requests shed after admission_timeout."""
+    release = None
+
+    async def blocked_dispatch(payloads):
+        await release.wait()
+        return payloads
+
+    async def main():
+        nonlocal release
+        release = asyncio.Event()
+        async with DynamicBatcher(
+            blocked_dispatch, max_batch_size=1, max_batch_latency=0.001,
+            max_queue_size=8, admission_timeout=0.02,
+        ) as batcher:
+            first = asyncio.ensure_future(batcher.submit("first"))
+            await asyncio.sleep(0.01)
+            stale = asyncio.ensure_future(batcher.submit("stale"))
+            await asyncio.sleep(0.05)  # exceeds the admission timeout
+            release.set()
+            await first
+            with pytest.raises(DeadlineExceeded):
+                await stale
+        assert batcher.stats.shed == 1
+
+    asyncio.run(main())
+
+
+def test_no_admission_timeout_keeps_missed_deadlines_served():
+    """Historical default: deadlines order the backlog but never shed."""
+    release = None
+
+    async def blocked_dispatch(payloads):
+        await release.wait()
+        return payloads
+
+    async def main():
+        nonlocal release
+        release = asyncio.Event()
+        async with DynamicBatcher(
+            blocked_dispatch, max_batch_size=1, max_batch_latency=0.001,
+            max_queue_size=8,
+        ) as batcher:
+            first = asyncio.ensure_future(batcher.submit("first"))
+            await asyncio.sleep(0.01)
+            late = asyncio.ensure_future(batcher.submit("late", deadline=0.005))
+            await asyncio.sleep(0.05)  # deadline long gone
+            release.set()
+            assert await first == "first"
+            assert await late == "late"  # still served, just EDF-ordered
+        assert batcher.stats.shed == 0
+        assert batcher.stats.completed == 2
+
+    asyncio.run(main())
+
+
+def test_fresh_requests_are_not_shed():
+    """Requests within budget flow through a shedding batcher untouched."""
+    async def main():
+        async with DynamicBatcher(
+            _echo_dispatch, max_batch_size=4, max_batch_latency=0.005,
+            admission_timeout=5.0,
+        ) as batcher:
+            results = await asyncio.gather(
+                *(batcher.submit(i, deadline=10.0) for i in range(8))
+            )
+        assert results == [i * 10 for i in range(8)]
+        assert batcher.stats.shed == 0
+
+    asyncio.run(main())
+
+
+def test_admission_timeout_validated():
+    with pytest.raises(ValueError, match="admission_timeout"):
+        DynamicBatcher(_echo_dispatch, admission_timeout=0.0)
+    with pytest.raises(ValueError, match="admission_timeout"):
+        DynamicBatcher(_echo_dispatch, admission_timeout=-1.0)

@@ -348,3 +348,38 @@ def test_workers_validated():
         ServingEngine(model, workers=0)
     with pytest.raises(ValueError, match="max_concurrent_batches"):
         DynamicBatcher(lambda p: p, max_concurrent_batches=0)
+
+
+def test_start_is_idempotent_while_serving():
+    """A second start() must not re-enqueue replicas already checked out.
+
+    Rebuilding the worker checkout queue on a redundant start() would let
+    two batches run concurrently on one non-reentrant replica; instead the
+    pool keeps its state and the server serves exactly as before.
+    """
+    model = _model(mcd=1)
+
+    async def main():
+        server = ServingEngine(model, num_samples=NUM_SAMPLES, workers=2)
+        await server.start()
+        first = asyncio.ensure_future(server.submit(X[0]))
+        await asyncio.sleep(0)  # the first batch is in flight
+        await server.start()  # documented idempotent: must be a no-op
+        await first
+        results = await server.submit_many(X)
+        stats = server.stats()
+        # the invariant the no-op protects: with every batch done, the
+        # checkout queue holds each replica exactly once — a rebuilt queue
+        # would have re-enqueued the replica that was checked out above
+        queue = server._pool._checkout
+        assert queue.qsize() == 2
+        replicas = [queue.get_nowait() for _ in range(queue.qsize())]
+        assert len({id(r) for r in replicas}) == 2
+        for r in replicas:
+            queue.put_nowait(r)
+        await server.stop()
+        return results, stats
+
+    results, stats = asyncio.run(main())
+    assert len(results) == len(X)
+    assert stats.requests_completed == len(X) + 1
