@@ -25,6 +25,7 @@ parallel:
 # Static checks (ruff config lives in pyproject.toml; same gate as CI)
 lint:
 	ruff check .
+	ruff format --check .
 
 # Documentation gate: relative links resolve, README/docs examples execute
 docs:

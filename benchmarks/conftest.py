@@ -60,8 +60,13 @@ def benchmark_table1_settings() -> Table1Settings:
 def paper_accelerator():
     """The Table II / Table III accelerator: Bayes-LeNet5, XCKU115, 3 MC samples."""
     return build_bayes_lenet_accelerator(
-        num_mc_samples=3, num_mcd_layers=1, bitwidth=8, reuse_factor=64,
-        device="XCKU115", clock_mhz=181.0, use_spatial_mapping=True,
+        num_mc_samples=3,
+        num_mcd_layers=1,
+        bitwidth=8,
+        reuse_factor=64,
+        device="XCKU115",
+        clock_mhz=181.0,
+        use_spatial_mapping=True,
     )
 
 

@@ -81,7 +81,8 @@ def flush(directory: str | os.PathLike | None = None) -> Path | None:
     if not _RESULTS:
         return None
     path = Path(directory or ".") / RESULTS_FILENAME
-    with open(path.with_name(path.name + ".lock"), "w") as lock_handle:
+    lock_path = path.with_name(path.name + ".lock")
+    with open(lock_path, "w") as lock_handle:
         _lock_exclusive(lock_handle)
         payload = _load_existing(path)
         payload["_meta"] = {
@@ -109,8 +110,15 @@ def flush(directory: str | os.PathLike | None = None) -> Path | None:
             except OSError:
                 pass
             raise
-        # the lock releases with the handle; the empty .lock file stays,
-        # which is what makes the lock reusable across processes
+    # the lock released with the handle above; removing the now-unheld
+    # lockfile keeps the workspace clean without weakening the lock —
+    # flock follows the inode, so a concurrent flusher that already opened
+    # the old file still serializes against holders of that inode, and
+    # later flushers simply recreate the file
+    try:
+        os.unlink(lock_path)
+    except OSError:
+        pass
     return path
 
 

@@ -44,8 +44,12 @@ def test_ablation_mcd_depth(benchmark):
         for n_mcd in (1, 2, 3, 4):
             accel = AcceleratorModel(
                 _bayes_lenet(n_mcd),
-                AcceleratorConfig(weight_bitwidth=8, reuse_factor=64, num_mc_samples=3,
-                                  mapping=temporal_mapping(3)),
+                AcceleratorConfig(
+                    weight_bitwidth=8,
+                    reuse_factor=64,
+                    num_mc_samples=3,
+                    mapping=temporal_mapping(3),
+                ),
             )
             rows.append(
                 {
@@ -59,8 +63,13 @@ def test_ablation_mcd_depth(benchmark):
 
     rows = once(benchmark, sweep)
     print()
-    print(format_rows(rows, ["mcd_layers", "engine_lut", "engine_cycles", "total_latency_ms"],
-                      title="Ablation: MCD placement depth"))
+    print(
+        format_rows(
+            rows,
+            ["mcd_layers", "engine_lut", "engine_cycles", "total_latency_ms"],
+            title="Ablation: MCD placement depth",
+        )
+    )
     lut = [r["engine_lut"] for r in rows]
     cycles = [r["engine_cycles"] for r in rows]
     assert lut == sorted(lut) and lut[-1] > lut[0]
@@ -81,8 +90,12 @@ def test_ablation_mapping_mix(benchmark):
         ):
             accel = AcceleratorModel(
                 net,
-                AcceleratorConfig(weight_bitwidth=8, reuse_factor=64, num_mc_samples=6,
-                                  mapping=mapping),
+                AcceleratorConfig(
+                    weight_bitwidth=8,
+                    reuse_factor=64,
+                    num_mc_samples=6,
+                    mapping=mapping,
+                ),
             )
             rows.append(
                 {
@@ -97,8 +110,13 @@ def test_ablation_mapping_mix(benchmark):
 
     rows = once(benchmark, sweep)
     print()
-    print(format_rows(rows, ["mapping", "engines", "latency_ms", "lut", "power_w"],
-                      title="Ablation: spatial vs temporal MC-engine mapping"))
+    print(
+        format_rows(
+            rows,
+            ["mapping", "engines", "latency_ms", "lut", "power_w"],
+            title="Ablation: spatial vs temporal MC-engine mapping",
+        )
+    )
 
     latency = [r["latency_ms"] for r in rows]
     lut = [r["lut"] for r in rows]
@@ -109,10 +127,18 @@ def test_ablation_mapping_mix(benchmark):
     # the mapping optimizer picks the most parallel plan that fits a large device
     net = _bayes_lenet(2)
     probe = AcceleratorModel(
-        net, AcceleratorConfig(weight_bitwidth=8, reuse_factor=64, num_mc_samples=6,
-                               mapping=temporal_mapping(6)))
-    plan = optimize_mapping(6, probe.mc_engine_resources(),
-                            probe.deterministic_resources(), get_device("XCKU115"))
+        net, AcceleratorConfig(
+            weight_bitwidth=8,
+            reuse_factor=64,
+            num_mc_samples=6,
+            mapping=temporal_mapping(6),
+        ))
+    plan = optimize_mapping(
+        6,
+        probe.mc_engine_resources(),
+        probe.deterministic_resources(),
+        get_device("XCKU115"),
+    )
     assert plan.strategy == "spatial"
 
 
@@ -124,8 +150,10 @@ def test_ablation_co_exploration(benchmark):
             lambda width: _bayes_lenet(1, width), device="XCKU115", num_mc_samples=3
         )
         best, points = explorer.run(
-            objective="energy", bitwidths=(4, 8, 16),
-            channel_multipliers=(1.0, 0.5, 0.25), reuse_factors=(16, 64),
+            objective="energy",
+            bitwidths=(4, 8, 16),
+            channel_multipliers=(1.0, 0.5, 0.25),
+            reuse_factors=(16, 64),
         )
         return best, points
 
@@ -143,14 +171,25 @@ def test_ablation_co_exploration(benchmark):
         for p in front
     ]
     print()
-    print(format_rows(rows, ["bitwidth", "channels", "reuse", "latency_ms", "energy_j", "fits"],
-                      title="Ablation: co-exploration Pareto front (latency vs energy)"))
+    print(
+        format_rows(
+            rows,
+            ["bitwidth", "channels", "reuse", "latency_ms", "energy_j", "fits"],
+            title="Ablation: co-exploration Pareto front (latency vs energy)",
+        )
+    )
 
     assert best.fits
-    assert best.energy_per_image_j == min(p.energy_per_image_j for p in points if p.fits)
+    assert best.energy_per_image_j == min(
+        p.energy_per_image_j for p in points if p.fits
+    )
     assert 1 <= len(front) <= len(points)
     # the full-precision, full-width design never beats the best on energy
-    full = [p for p in points
-            if p.point.bitwidth == 16 and p.point.channel_multiplier == 1.0
-            and p.point.reuse_factor == 16][0]
+    full = [
+        p
+        for p in points
+        if p.point.bitwidth == 16
+        and p.point.channel_multiplier == 1.0
+        and p.point.reuse_factor == 16
+    ][0]
     assert best.energy_per_image_j <= full.energy_per_image_j

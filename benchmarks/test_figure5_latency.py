@@ -26,16 +26,21 @@ def test_figure5_latency_vs_mc_samples(benchmark):
     rows = once(
         benchmark,
         lambda: run_figure5_latency(
-            mc_sample_counts=SAMPLE_COUNTS, models=MODELS, bitwidth=8, reuse_factor=64,
+            mc_sample_counts=SAMPLE_COUNTS,
+            models=MODELS,
+            bitwidth=8,
+            reuse_factor=64,
         ),
     )
 
     print()
-    print(format_rows(
-        rows,
-        ["model", "mapping", "num_mc_samples", "latency_ms"],
-        title="Figure 5 right (reproduced): latency vs number of MC samples",
-    ))
+    print(
+        format_rows(
+            rows,
+            ["model", "mapping", "num_mc_samples", "latency_ms"],
+            title="Figure 5 right (reproduced): latency vs number of MC samples",
+        )
+    )
 
     series: dict[tuple[str, str], list[tuple[int, float]]] = defaultdict(list)
     for row in rows:

@@ -25,16 +25,21 @@ def test_figure5_resources_vs_mcd_layers(benchmark):
     rows = once(
         benchmark,
         lambda: run_figure5_resources(
-            mcd_layer_counts=MCD_COUNTS, models=MODELS, bitwidth=8, reuse_factor=64,
+            mcd_layer_counts=MCD_COUNTS,
+            models=MODELS,
+            bitwidth=8,
+            reuse_factor=64,
         ),
     )
 
     print()
-    print(format_rows(
-        rows,
-        ["model", "num_mcd_layers", "bram_18k", "dsp", "ff", "lut"],
-        title="Figure 5 left (reproduced): resources vs number of MCD layers",
-    ))
+    print(
+        format_rows(
+            rows,
+            ["model", "num_mcd_layers", "bram_18k", "dsp", "ff", "lut"],
+            title="Figure 5 left (reproduced): resources vs number of MCD layers",
+        )
+    )
 
     by_model: dict[str, list[dict]] = defaultdict(list)
     for row in rows:

@@ -1,0 +1,115 @@
+"""Glue-time breakdown: where a served batch's non-compute time goes.
+
+A served request's latency is compute plus *glue*: assembling payloads
+into a batch, moving the batch to a worker, and fanning the output back
+out into per-request results.  This microbenchmark times each stage in
+isolation, for both the legacy mechanisms (``np.stack`` assembly, pickle
+pipe transport) and the zero-copy replacements this PR introduces
+(:class:`~repro.serving.batcher.BatchStager` pinned staging,
+:class:`~repro.serving.workers.ring.BatchRing` shm slots), so
+``BENCH_serving.json`` documents what the hot-path rework actually buys
+stage by stage.  No gate: per-stage microseconds are host-dependent; the
+end-to-end gates live in ``test_procpool_serving.py``.
+"""
+
+from __future__ import annotations
+
+import multiprocessing as mp
+import time
+
+import numpy as np
+
+from repro.core import MultiExitBayesNet, MultiExitConfig
+from repro.nn.architectures import lenet5_spec
+from repro.serving.batcher import BatchStager
+from repro.serving.workers.base import assemble_results, compute_batch_array
+from repro.serving.workers.ring import BatchRing
+
+from . import reporting
+
+BATCH = 32
+SHAPE = (1, 12, 12)
+NUM_SAMPLES = 8
+LOOPS = 200
+
+
+def _best_seconds_per_call(fn, loops=LOOPS, repeats=5):
+    fn()  # warmup
+    times = []
+    for _ in range(repeats):
+        start = time.perf_counter()
+        for _ in range(loops):
+            fn()
+        times.append((time.perf_counter() - start) / loops)
+    return float(min(times))
+
+
+def test_glue_breakdown_records_per_stage_times():
+    payloads = list(np.random.default_rng(0).normal(size=(BATCH,) + SHAPE))
+    batch = np.stack(payloads)
+
+    # -- assemble: per-batch np.stack allocation vs pinned staging buffer --
+    stager = BatchStager(BATCH, SHAPE)
+    t_stack = _best_seconds_per_call(lambda: np.stack(payloads))
+    t_stage = _best_seconds_per_call(lambda: stager.stage(payloads))
+
+    # -- transport: pickle pipe roundtrip vs ring slot stage + view ------- #
+    # batch is 32 * 144 * 8 B = 36 KiB, inside the 64 KiB pipe buffer, so
+    # the in-process send/recv below cannot deadlock
+    parent_conn, child_conn = mp.Pipe()
+
+    def _pipe_roundtrip():
+        parent_conn.send(batch)
+        return child_conn.recv()
+
+    ring = BatchRing.create(slots=1, request_bytes=batch.nbytes, response_bytes=4096)
+
+    def _ring_roundtrip():
+        dest = ring.stage_request(0, batch.shape)
+        for i, payload in enumerate(payloads):
+            dest[i] = payload
+        return ring.read_request(0)
+
+    try:
+        t_pipe = _best_seconds_per_call(_pipe_roundtrip)
+        t_ring = _best_seconds_per_call(_ring_roundtrip)
+    finally:
+        parent_conn.close()
+        child_conn.close()
+        ring.release()
+
+    # -- compute + disassemble: shared by every transport ----------------- #
+    model = MultiExitBayesNet(
+        lenet5_spec(input_shape=SHAPE, num_classes=10, width_multiplier=0.5),
+        MultiExitConfig(num_exits=2, mcd_layers_per_exit=1, seed=0),
+    )
+    out = compute_batch_array(model.engine, 0, batch, NUM_SAMPLES, None)
+    t_compute = _best_seconds_per_call(
+        lambda: compute_batch_array(model.engine, 0, batch, NUM_SAMPLES, None),
+        loops=5,
+    )
+    t_disassemble = _best_seconds_per_call(lambda: assemble_results(out), loops=50)
+
+    glue_legacy = t_stack + t_pipe
+    glue_ring = t_stage + t_ring
+    print(
+        f"\nglue breakdown (batch={BATCH}x{SHAPE}, S={NUM_SAMPLES}): "
+        f"assemble stack {t_stack * 1e6:.1f} us vs stage {t_stage * 1e6:.1f} us; "
+        f"transport pipe {t_pipe * 1e6:.1f} us vs ring {t_ring * 1e6:.1f} us; "
+        f"compute {t_compute * 1e3:.2f} ms; "
+        f"disassemble {t_disassemble * 1e6:.1f} us; "
+        f"glue legacy {glue_legacy * 1e6:.1f} us vs ring {glue_ring * 1e6:.1f} us"
+    )
+    reporting.record(
+        "serving_glue_breakdown",
+        batch=BATCH,
+        num_samples=NUM_SAMPLES,
+        assemble_stack_us=t_stack * 1e6,
+        assemble_staged_us=t_stage * 1e6,
+        transport_pipe_us=t_pipe * 1e6,
+        transport_ring_us=t_ring * 1e6,
+        compute_ms=t_compute * 1e3,
+        disassemble_us=t_disassemble * 1e6,
+        glue_speedup_ring_vs_legacy=glue_legacy / glue_ring,
+    )
+    assert stager.stage(payloads) is not None  # staging actually engaged

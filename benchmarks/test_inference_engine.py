@@ -22,7 +22,12 @@ import time
 
 import numpy as np
 
-from repro.core import MCSampler, MultiExitBayesNet, MultiExitConfig, single_exit_bayesnet
+from repro.core import (
+    MCSampler,
+    MultiExitBayesNet,
+    MultiExitConfig,
+    single_exit_bayesnet,
+)
 from repro.inference import looped_predict_mc
 from repro.inference.engine import InferenceEngine
 from repro.nn.architectures import lenet5_spec
@@ -66,7 +71,10 @@ def test_folded_sampler_3x_faster_than_per_sample_forward_passes():
 
     def per_sample_loop():
         return np.stack(
-            [softmax(net.forward(x, training=False), axis=-1) for _ in range(NUM_SAMPLES)]
+            [
+                softmax(net.forward(x, training=False), axis=-1)
+                for _ in range(NUM_SAMPLES)
+            ]
         )
 
     t_folded = _median_seconds(lambda: sampler.sample(x, NUM_SAMPLES))
@@ -81,8 +89,11 @@ def test_folded_sampler_3x_faster_than_per_sample_forward_passes():
 def test_folded_predict_mc_3x_faster_than_per_pass_reruns():
     """Multi-exit gate: folded engine vs re-running backbone+heads every pass."""
     config = dict(
-        num_exits=2, mcd_layers_per_exit=1, dropout_rate=0.25,
-        default_mc_samples=NUM_SAMPLES, seed=0,
+        num_exits=2,
+        mcd_layers_per_exit=1,
+        dropout_rate=0.25,
+        default_mc_samples=NUM_SAMPLES,
+        seed=0,
     )
     model = MultiExitBayesNet(_small_lenet_spec(), MultiExitConfig(**config))
     engine = InferenceEngine(model, cache_size=0)  # cold backbone every call
@@ -114,8 +125,11 @@ def test_folded_head_sampling_beats_looped_heads_on_shared_activations():
     ratio.  The legacy loop here is the pre-refactor ``predict_mc`` body.
     """
     config = dict(
-        num_exits=2, mcd_layers_per_exit=1, dropout_rate=0.25,
-        default_mc_samples=NUM_SAMPLES, seed=0,
+        num_exits=2,
+        mcd_layers_per_exit=1,
+        dropout_rate=0.25,
+        default_mc_samples=NUM_SAMPLES,
+        seed=0,
     )
     model = MultiExitBayesNet(_small_lenet_spec(), MultiExitConfig(**config))
     engine = InferenceEngine(model, cache_size=0)
@@ -152,8 +166,11 @@ def test_engine_no_regression_vs_legacy_cached_loop():
     not the fold, so it is not gated here.)
     """
     config = dict(
-        num_exits=2, mcd_layers_per_exit=1, dropout_rate=0.25,
-        default_mc_samples=NUM_SAMPLES, seed=0,
+        num_exits=2,
+        mcd_layers_per_exit=1,
+        dropout_rate=0.25,
+        default_mc_samples=NUM_SAMPLES,
+        seed=0,
     )
     folded_model = MultiExitBayesNet(_small_lenet_spec(), MultiExitConfig(**config))
     looped_model = MultiExitBayesNet(_small_lenet_spec(), MultiExitConfig(**config))
@@ -168,7 +185,9 @@ def test_engine_no_regression_vs_legacy_cached_loop():
 
     t_folded = _median_seconds(lambda: engine.predict_mc(x, NUM_SAMPLES))
     t_loop = _median_seconds(lambda: looped_predict_mc(looped_model, x, NUM_SAMPLES))
-    speedup = _report("multi-exit: legacy cached loop vs folded (cold)", t_loop, t_folded)
+    speedup = _report(
+        "multi-exit: legacy cached loop vs folded (cold)", t_loop, t_folded
+    )
     assert speedup >= 0.85, (
         f"folded engine regressed vs the legacy cached loop: {speedup:.2f}x"
     )

@@ -50,18 +50,33 @@ def test_table1_multi_exit_bayesnns(benchmark):
     results = once(benchmark, lambda: run_table1(settings))
 
     print()
-    print(format_rows(
-        _rows(results),
-        ["architecture", "variant", "objective", "config", "accuracy", "ece", "relative_flops"],
-        title="Table I (reproduced): SE vs MCD vs ME vs MCD+ME",
-    ))
+    print(
+        format_rows(
+            _rows(results),
+            [
+                "architecture",
+                "variant",
+                "objective",
+                "config",
+                "accuracy",
+                "ece",
+                "relative_flops",
+            ],
+            title="Table I (reproduced): SE vs MCD vs ME vs MCD+ME",
+        )
+    )
 
     for arch, variants in results.items():
         if arch == "_meta":
             continue
-        acc = {v: variants[v]["acc_opt"]["accuracy"] for v in ("SE", "MCD", "ME", "MCD+ME")}
+        acc = {
+            v: variants[v]["acc_opt"]["accuracy"] for v in ("SE", "MCD", "ME", "MCD+ME")
+        }
         ece = {v: variants[v]["ece_opt"]["ece"] for v in ("SE", "MCD", "ME", "MCD+ME")}
-        flops = {v: variants[v]["acc_opt"]["relative_flops"] for v in ("SE", "MCD", "ME", "MCD+ME")}
+        flops = {
+            v: variants[v]["acc_opt"]["relative_flops"]
+            for v in ("SE", "MCD", "ME", "MCD+ME")
+        }
 
         # multi-exit variants stay accuracy-competitive with single-exit models
         assert max(acc["ME"], acc["MCD+ME"]) >= max(acc["SE"], acc["MCD"]) - 0.10, arch

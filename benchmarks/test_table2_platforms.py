@@ -21,12 +21,21 @@ def test_table2_platform_comparison(benchmark, paper_accelerator):
     rows = once(benchmark, lambda: run_table2(paper_accelerator))
 
     print()
-    print(format_rows(
-        rows,
-        ["name", "platform", "frequency_mhz", "technology_nm", "power_w",
-         "latency_ms", "energy_per_image_j"],
-        title="Table II (reproduced): platform comparison, Bayes-LeNet5, 3 MC samples",
-    ))
+    print(
+        format_rows(
+            rows,
+            [
+                "name",
+                "platform",
+                "frequency_mhz",
+                "technology_nm",
+                "power_w",
+                "latency_ms",
+                "energy_per_image_j",
+            ],
+            title="Table II (reproduced): platform comparison, Bayes-LeNet5, 3 MC samples",
+        )
+    )
 
     by_name = {r["name"]: r for r in rows}
     ours = by_name["Our Work"]

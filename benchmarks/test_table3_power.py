@@ -20,13 +20,17 @@ def test_table3_power_breakdown(benchmark, paper_accelerator):
     watts = result["watts"]
     pct = result["percentages"]
     print()
-    print(format_table(
-        ["component", "power_w", "percentage"],
-        [[k, round(watts[k], 3), f"{pct[k]:.1%}"] for k in
-         ("clocking", "logic_signal", "bram", "io", "dsp", "static")]
-        + [["total", round(watts["total"], 3), "100%"]],
-        title="Table III (reproduced): power breakdown",
-    ))
+    print(
+        format_table(
+            ["component", "power_w", "percentage"],
+            [
+                [k, round(watts[k], 3), f"{pct[k]:.1%}"]
+                for k in ("clocking", "logic_signal", "bram", "io", "dsp", "static")
+            ]
+            + [["total", round(watts["total"], 3), "100%"]],
+            title="Table III (reproduced): power breakdown",
+        )
+    )
 
     # percentages are a proper decomposition
     assert abs(sum(pct.values()) - 1.0) < 1e-9
@@ -37,7 +41,9 @@ def test_table3_power_breakdown(benchmark, paper_accelerator):
     assert dynamic_fraction > 0.55
 
     # logic&signal and IO are the two largest dynamic components
-    dynamic_parts = {k: pct[k] for k in ("clocking", "logic_signal", "bram", "io", "dsp")}
+    dynamic_parts = {
+        k: pct[k] for k in ("clocking", "logic_signal", "bram", "io", "dsp")
+    }
     top_two = sorted(dynamic_parts, key=dynamic_parts.get, reverse=True)[:2]
     assert set(top_two) == {"logic_signal", "io"}
 

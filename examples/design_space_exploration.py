@@ -36,22 +36,34 @@ def mapping_sweep() -> None:
         mapping = MappingPlan(num_samples=num_samples, num_engines=engines)
         accel = AcceleratorModel(
             net,
-            AcceleratorConfig(device="XCKU115", weight_bitwidth=8, reuse_factor=64,
-                              num_mc_samples=num_samples, mapping=mapping),
+            AcceleratorConfig(
+                device="XCKU115",
+                weight_bitwidth=8,
+                reuse_factor=64,
+                num_mc_samples=num_samples,
+                mapping=mapping,
+            ),
         )
         power = accel.power()
-        rows.append({
-            "engines": engines,
-            "strategy": mapping.strategy,
-            "latency_ms": round(accel.latency_ms(), 4),
-            "lut": round(accel.resources().lut),
-            "power_w": round(power.total, 2),
-            "energy_mj": round(power.energy_per_image_j(accel.latency_ms()) * 1000, 3),
-        })
-    print(format_rows(
-        rows, ["engines", "strategy", "latency_ms", "lut", "power_w", "energy_mj"],
-        title="MC-engine mapping sweep (Bayes-LeNet5, 6 MC samples)",
-    ))
+        rows.append(
+            {
+                "engines": engines,
+                "strategy": mapping.strategy,
+                "latency_ms": round(accel.latency_ms(), 4),
+                "lut": round(accel.resources().lut),
+                "power_w": round(power.total, 2),
+                "energy_mj": round(
+                    power.energy_per_image_j(accel.latency_ms()) * 1000, 3
+                ),
+            }
+        )
+    print(
+        format_rows(
+            rows,
+            ["engines", "strategy", "latency_ms", "lut", "power_w", "energy_mj"],
+            title="MC-engine mapping sweep (Bayes-LeNet5, 6 MC samples)",
+        )
+    )
     print()
 
 
@@ -84,34 +96,57 @@ def co_exploration() -> None:
         }
         for p in front
     ]
-    print(format_rows(
-        rows,
-        ["bitwidth", "channels", "reuse", "mapping", "latency_ms", "energy_mj", "max_util"],
-        title="Phase 3 co-exploration: latency-energy Pareto front",
-    ))
-    print(f"\nselected (energy priority): {best.point.bitwidth}-bit, "
-          f"channel multiplier {best.point.channel_multiplier}, "
-          f"reuse {best.point.reuse_factor} -> "
-          f"{best.energy_per_image_j * 1000:.3f} mJ/image\n")
+    print(
+        format_rows(
+            rows,
+            [
+                "bitwidth",
+                "channels",
+                "reuse",
+                "mapping",
+                "latency_ms",
+                "energy_mj",
+                "max_util",
+            ],
+            title="Phase 3 co-exploration: latency-energy Pareto front",
+        )
+    )
+    print(
+        f"\nselected (energy priority): {best.point.bitwidth}-bit, "
+        f"channel multiplier {best.point.channel_multiplier}, "
+        f"reuse {best.point.reuse_factor} -> "
+        f"{best.energy_per_image_j * 1000:.3f} mJ/image\n"
+    )
 
 
 def platform_comparison() -> None:
     """Table II: our design vs the published CPU / GPU / FPGA numbers."""
     accel = build_bayes_lenet_accelerator()
     rows = run_table2(accel)
-    print(format_rows(
-        rows,
-        ["name", "platform", "frequency_mhz", "power_w", "latency_ms", "energy_per_image_j"],
-        title="Platform comparison (Table II, Bayes-LeNet5, 3 MC samples)",
-    ))
+    print(
+        format_rows(
+            rows,
+            [
+                "name",
+                "platform",
+                "frequency_mhz",
+                "power_w",
+                "latency_ms",
+                "energy_per_image_j",
+            ],
+            title="Platform comparison (Table II, Bayes-LeNet5, 3 MC samples)",
+        )
+    )
     ours = [r for r in rows if r["name"] == "Our Work"][0]
     best_prior = min(
         (r for r in rows if r["name"] != "Our Work"),
         key=lambda r: r["energy_per_image_j"],
     )
-    print(f"\nenergy-efficiency advantage over the best prior design "
-          f"({best_prior['name']}): "
-          f"{best_prior['energy_per_image_j'] / ours['energy_per_image_j']:.1f}x")
+    print(
+        f"\nenergy-efficiency advantage over the best prior design "
+        f"({best_prior['name']}): "
+        f"{best_prior['energy_per_image_j'] / ours['energy_per_image_j']:.1f}x"
+    )
 
 
 def main() -> None:

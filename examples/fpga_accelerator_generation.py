@@ -55,9 +55,15 @@ def main() -> None:
     # a compact Phase-1 grid keeps the example quick; omit `candidates`
     # entirely to search the full default grid of Figure 3
     candidates = [
-        CandidateConfig(num_exits=1, dropout_rate=0.25, mcd_layers_per_exit=1, num_mc_samples=3),
-        CandidateConfig(num_exits=2, dropout_rate=0.25, mcd_layers_per_exit=1, num_mc_samples=3),
-        CandidateConfig(num_exits=2, dropout_rate=0.5, mcd_layers_per_exit=1, num_mc_samples=3),
+        CandidateConfig(
+            num_exits=1, dropout_rate=0.25, mcd_layers_per_exit=1, num_mc_samples=3
+        ),
+        CandidateConfig(
+            num_exits=2, dropout_rate=0.25, mcd_layers_per_exit=1, num_mc_samples=3
+        ),
+        CandidateConfig(
+            num_exits=2, dropout_rate=0.5, mcd_layers_per_exit=1, num_mc_samples=3
+        ),
     ]
     design = framework.run(candidates=candidates)
 
@@ -65,28 +71,41 @@ def main() -> None:
     # Phase 1 outcome
     # ------------------------------------------------------------------ #
     rows = [
-        [d.config.num_exits, d.config.dropout_rate, f"{d.accuracy:.3f}",
-         f"{d.ece:.3f}", f"{d.relative_flops:.3f}"]
+        [
+            d.config.num_exits,
+            d.config.dropout_rate,
+            f"{d.accuracy:.3f}",
+            f"{d.ece:.3f}",
+            f"{d.relative_flops:.3f}",
+        ]
         for d in design.phase1_all_designs
     ]
-    print(format_table(
-        ["exits", "dropout", "accuracy", "ECE", "relative FLOPs"],
-        rows, title="Phase 1: evaluated multi-exit candidates",
-    ))
+    print(
+        format_table(
+            ["exits", "dropout", "accuracy", "ECE", "relative FLOPs"],
+            rows,
+            title="Phase 1: evaluated multi-exit candidates",
+        )
+    )
     chosen = design.phase1_design
-    print(f"\nselected: {chosen.config.num_exits} exits, dropout {chosen.config.dropout_rate} "
-          f"(accuracy {chosen.accuracy:.3f}, ECE {chosen.ece:.3f})")
+    print(
+        f"\nselected: {chosen.config.num_exits} exits, "
+        f"dropout {chosen.config.dropout_rate} "
+        f"(accuracy {chosen.accuracy:.3f}, ECE {chosen.ece:.3f})"
+    )
 
     # ------------------------------------------------------------------ #
     # Phases 2-3 outcome
     # ------------------------------------------------------------------ #
     print(f"\nPhase 2 mapping   : {design.mapping.describe()}")
     point = design.phase3_point
-    print(f"Phase 3 selection : {point.point.bitwidth}-bit weights, "
-          f"channel multiplier {point.point.channel_multiplier}, "
-          f"reuse factor {point.point.reuse_factor} "
-          f"(latency {point.latency_ms:.3f} ms, "
-          f"energy {point.energy_per_image_j * 1000:.3f} mJ/image)")
+    print(
+        f"Phase 3 selection : {point.point.bitwidth}-bit weights, "
+        f"channel multiplier {point.point.channel_multiplier}, "
+        f"reuse factor {point.point.reuse_factor} "
+        f"(latency {point.latency_ms:.3f} ms, "
+        f"energy {point.energy_per_image_j * 1000:.3f} mJ/image)"
+    )
 
     # ------------------------------------------------------------------ #
     # Phase 4: HLS project + synthesis report
@@ -95,8 +114,10 @@ def main() -> None:
     output_dir.mkdir(exist_ok=True)
     for filename, content in design.hls_files.items():
         (output_dir / filename).write_text(content)
-    print(f"\nHLS project written to {output_dir} "
-          f"({', '.join(sorted(design.hls_files))})")
+    print(
+        f"\nHLS project written to {output_dir} "
+        f"({', '.join(sorted(design.hls_files))})"
+    )
 
     print()
     print(design.report.to_text())

@@ -30,8 +30,9 @@ from repro.nn.architectures import vgg_spec
 from repro.uncertainty import accuracy, mutual_information, predictive_entropy
 
 
-def selective_accuracy(probs: np.ndarray, labels: np.ndarray,
-                       uncertainty: np.ndarray, coverage: float) -> float:
+def selective_accuracy(
+    probs: np.ndarray, labels: np.ndarray, uncertainty: np.ndarray, coverage: float
+) -> float:
     """Accuracy on the ``coverage`` fraction of cases with lowest uncertainty."""
     n_keep = max(1, int(round(coverage * len(labels))))
     keep = np.argsort(uncertainty)[:n_keep]
@@ -41,21 +42,39 @@ def selective_accuracy(probs: np.ndarray, labels: np.ndarray,
 def main() -> None:
     # a 4-class "imaging" task: e.g. {normal, benign, suspicious, malignant}
     dataset = SyntheticImageDataset(
-        "synthetic_imaging", input_shape=(1, 16, 16), num_classes=4,
-        train_size=320, test_size=200, noise_level=0.9, seed=7,
+        "synthetic_imaging",
+        input_shape=(1, 16, 16),
+        num_classes=4,
+        train_size=320,
+        test_size=200,
+        noise_level=0.9,
+        seed=7,
     )
 
-    spec = vgg_spec("vgg11", input_shape=dataset.input_shape,
-                    num_classes=dataset.num_classes, width_multiplier=0.25,
-                    max_stages=3)
+    spec = vgg_spec(
+        "vgg11",
+        input_shape=dataset.input_shape,
+        num_classes=dataset.num_classes,
+        width_multiplier=0.25,
+        max_stages=3,
+    )
     model = MultiExitBayesNet(
         spec,
-        MultiExitConfig(num_exits=3, mcd_layers_per_exit=1, dropout_rate=0.25,
-                        default_mc_samples=6, exit_conv_channels=8, seed=0),
+        MultiExitConfig(
+            num_exits=3,
+            mcd_layers_per_exit=1,
+            dropout_rate=0.25,
+            default_mc_samples=6,
+            exit_conv_channels=8,
+            seed=0,
+        ),
     )
     trainer = DistillationTrainer(
-        model, SGD(model.parameters(), lr=0.05, momentum=0.9, weight_decay=5e-4),
-        distill_weight=0.5, batch_size=32, seed=0,
+        model,
+        SGD(model.parameters(), lr=0.05, momentum=0.9, weight_decay=5e-4),
+        distill_weight=0.5,
+        batch_size=32,
+        seed=0,
     )
     trainer.fit(dataset.train.x, dataset.train.y, epochs=4)
 
@@ -71,18 +90,25 @@ def main() -> None:
     overall = accuracy(probs, labels)
     rows = []
     for coverage in (1.0, 0.9, 0.75, 0.5):
-        rows.append([
-            f"{coverage:.0%}",
-            f"{selective_accuracy(probs, labels, entropy, coverage):.3f}",
-            f"{selective_accuracy(probs, labels, epistemic, coverage):.3f}",
-        ])
+        rows.append(
+            [
+                f"{coverage:.0%}",
+                f"{selective_accuracy(probs, labels, entropy, coverage):.3f}",
+                f"{selective_accuracy(probs, labels, epistemic, coverage):.3f}",
+            ]
+        )
     print(f"overall accuracy: {overall:.3f}")
-    print(format_table(
-        ["coverage (auto-handled)", "accuracy (rank by entropy)",
-         "accuracy (rank by mutual information)"],
-        rows,
-        title="Selective prediction: refer the most uncertain cases to a clinician",
-    ))
+    print(
+        format_table(
+            [
+                "coverage (auto-handled)",
+                "accuracy (rank by entropy)",
+                "accuracy (rank by mutual information)",
+            ],
+            rows,
+            title="Selective prediction: refer the most uncertain cases to a clinician",
+        )
+    )
 
     full_cov = selective_accuracy(probs, labels, entropy, 1.0)
     half_cov = selective_accuracy(probs, labels, entropy, 0.5)
@@ -98,12 +124,16 @@ def main() -> None:
     shifted_mi = float(mutual_information(shifted_pred.sample_probs).mean())
 
     print()
-    print(format_table(
-        ["cohort", "accuracy", "mean epistemic uncertainty (MI)"],
-        [["in-distribution", f"{overall:.3f}", f"{clean_mi:.4f}"],
-         ["shifted scanner", f"{shifted_acc:.3f}", f"{shifted_mi:.4f}"]],
-        title="Distribution shift: accuracy collapses, uncertainty should not stay silent",
-    ))
+    print(
+        format_table(
+            ["cohort", "accuracy", "mean epistemic uncertainty (MI)"],
+            [
+                ["in-distribution", f"{overall:.3f}", f"{clean_mi:.4f}"],
+                ["shifted scanner", f"{shifted_acc:.3f}", f"{shifted_mi:.4f}"],
+            ],
+            title="Distribution shift: accuracy collapses, uncertainty should not stay silent",
+        )
+    )
     print(
         "\nAccuracy drops by "
         f"{overall - shifted_acc:.3f} under the shift; monitoring the epistemic "

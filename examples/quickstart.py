@@ -56,8 +56,10 @@ def main() -> None:
             seed=0,
         ),
     )
-    print(f"model: {model.name} with {model.num_parameters} parameters, "
-          f"{model.num_exits} exits")
+    print(
+        f"model: {model.name} with {model.num_parameters} parameters, "
+        f"{model.num_exits} exits"
+    )
 
     # ------------------------------------------------------------------ #
     # 3. training with exit-ensemble distillation
@@ -70,8 +72,10 @@ def main() -> None:
         seed=0,
     )
     history = trainer.fit(dataset.train.x, dataset.train.y, epochs=4)
-    print(f"training: loss {history.loss[0]:.3f} -> {history.loss[-1]:.3f}, "
-          f"train accuracy {history.accuracy[-1]:.3f}")
+    print(
+        f"training: loss {history.loss[0]:.3f} -> {history.loss[-1]:.3f}, "
+        f"train accuracy {history.accuracy[-1]:.3f}"
+    )
 
     # ------------------------------------------------------------------ #
     # 4. calibrated Monte-Carlo predictions with a cached backbone
@@ -85,28 +89,46 @@ def main() -> None:
         print(f"  {key:<26}: {value:.4f}")
 
     breakdown = model.flop_breakdown()
-    se_flops = network_flops(lenet5_spec(
-        input_shape=dataset.input_shape, num_classes=dataset.num_classes
-    ).single_exit_network())
+    se_flops = network_flops(
+        lenet5_spec(
+            input_shape=dataset.input_shape, num_classes=dataset.num_classes
+        ).single_exit_network()
+    )
     rows = []
     for samples in (1, 2, 4, 8):
         naive = samples * se_flops
         ours = breakdown.mc_sampling_flops(samples)
-        rows.append([samples, f"{naive:,.0f}", f"{ours:,.0f}", f"{naive / ours:.2f}x",
-                     f"{reduction_rate(breakdown.alpha, samples, model.num_exits):.2f}x"])
+        rows.append(
+            [
+                samples,
+                f"{naive:,.0f}",
+                f"{ours:,.0f}",
+                f"{naive / ours:.2f}x",
+                f"{reduction_rate(breakdown.alpha, samples, model.num_exits):.2f}x",
+            ]
+        )
     print()
-    print(format_table(
-        ["MC samples", "single-exit FLOPs (Eq.1)", "multi-exit FLOPs (Eq.2)",
-         "measured reduction", "Eq.3 reduction"],
-        rows,
-        title="Cost of Monte-Carlo sampling (Figure 1 / Equations 1-3)",
-    ))
+    print(
+        format_table(
+            [
+                "MC samples",
+                "single-exit FLOPs (Eq.1)",
+                "multi-exit FLOPs (Eq.2)",
+                "measured reduction",
+                "Eq.3 reduction",
+            ],
+            rows,
+            title="Cost of Monte-Carlo sampling (Figure 1 / Equations 1-3)",
+        )
+    )
 
     # uncertainty-aware behaviour: one stochastic pass vs the MC ensemble
     single_pass = model.exit_probabilities(dataset.test.x)[-1]
     print(f"\nmax confidence single pass : {single_pass.max(axis=1).mean():.3f}")
-    print(f"max confidence MC ensemble : {prediction.mean_probs.max(axis=1).mean():.3f} "
-          "(ensembling tempers overconfidence)")
+    print(
+        f"max confidence MC ensemble : {prediction.mean_probs.max(axis=1).mean():.3f} "
+        "(ensembling tempers overconfidence)"
+    )
 
     # ------------------------------------------------------------------ #
     # 5. lower to an FPGA accelerator and print the synthesis-style report

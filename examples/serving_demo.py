@@ -124,8 +124,10 @@ async def main() -> None:
         stats = server.stats()
 
     print("\n--- early-exit serving (threshold 0.6) ---")
-    print(f"exit distribution over {stats.requests_completed} requests: "
-          f"{stats.exit_counts}")
+    print(
+        f"exit distribution over {stats.requests_completed} requests: "
+        f"{stats.exit_counts}"
+    )
     r = results[0]
     print(
         f"first response: label {r.label}, exit {r.exit_index}, "

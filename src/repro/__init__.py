@@ -33,7 +33,17 @@ Subpackages
     Experiment runners reproducing every table and figure of the paper.
 """
 
-from . import analysis, core, datasets, hw, inference, nn, quantization, serving, uncertainty
+from . import (
+    analysis,
+    core,
+    datasets,
+    hw,
+    inference,
+    nn,
+    quantization,
+    serving,
+    uncertainty,
+)
 
 __version__ = "1.2.0"
 

@@ -50,7 +50,9 @@ __all__ = [
 def default_small_architectures() -> dict[str, Callable[..., BackboneSpec]]:
     """Scaled-down ResNet-18 / VGG-19 factories used by the Table I study."""
 
-    def resnet18_small(width_multiplier: float = 1.0, num_classes: int = 10) -> BackboneSpec:
+    def resnet18_small(
+        width_multiplier: float = 1.0, num_classes: int = 10
+    ) -> BackboneSpec:
         return resnet_spec(
             "resnet18",
             input_shape=(3, 16, 16),
@@ -59,7 +61,9 @@ def default_small_architectures() -> dict[str, Callable[..., BackboneSpec]]:
             max_stages=3,
         )
 
-    def vgg19_small(width_multiplier: float = 1.0, num_classes: int = 10) -> BackboneSpec:
+    def vgg19_small(
+        width_multiplier: float = 1.0, num_classes: int = 10
+    ) -> BackboneSpec:
         return vgg_spec(
             "vgg19",
             input_shape=(3, 16, 16),
@@ -96,8 +100,9 @@ class Table1Settings:
     )
 
 
-def _metric_entry(config: str, probs: np.ndarray, labels: np.ndarray,
-                  relative_flops: float) -> dict:
+def _metric_entry(
+    config: str, probs: np.ndarray, labels: np.ndarray, relative_flops: float
+) -> dict:
     return {
         "config": config,
         "accuracy": accuracy_metric(probs, labels),
@@ -113,12 +118,19 @@ def _best_entries(entries: list[dict]) -> dict:
     return {"acc_opt": acc_opt, "ece_opt": ece_opt, "all": entries}
 
 
-def _train_multi_exit(model: MultiExitBayesNet, dataset: SyntheticImageDataset,
-                      settings: Table1Settings, distill_weight: float = 0.5) -> None:
+def _train_multi_exit(
+    model: MultiExitBayesNet,
+    dataset: SyntheticImageDataset,
+    settings: Table1Settings,
+    distill_weight: float = 0.5,
+) -> None:
     optimizer = SGD(model.parameters(), lr=settings.lr, momentum=0.9, weight_decay=5e-4)
     trainer = DistillationTrainer(
-        model, optimizer, distill_weight=distill_weight,
-        batch_size=settings.batch_size, seed=settings.seed,
+        model,
+        optimizer,
+        distill_weight=distill_weight,
+        batch_size=settings.batch_size,
+        seed=settings.seed,
     )
     trainer.fit(dataset.train.x, dataset.train.y, epochs=settings.epochs)
 
@@ -139,12 +151,17 @@ def run_table1(settings: Table1Settings | None = None) -> dict:
         seed=settings.seed,
     )
     labels = dataset.test.y
-    results: dict = {"_meta": {"dataset": dataset.describe(), "settings": {
-        "epochs": settings.epochs,
-        "num_mc_samples": settings.num_mc_samples,
-        "dropout_rates": list(settings.dropout_rates),
-        "confidence_thresholds": list(settings.confidence_thresholds),
-    }}}
+    results: dict = {
+        "_meta": {
+            "dataset": dataset.describe(),
+            "settings": {
+                "epochs": settings.epochs,
+                "num_mc_samples": settings.num_mc_samples,
+                "dropout_rates": list(settings.dropout_rates),
+                "confidence_thresholds": list(settings.confidence_thresholds),
+            },
+        }
+    }
 
     for arch_name, factory in settings.architectures.items():
 
@@ -172,7 +189,9 @@ def run_table1(settings: Table1Settings | None = None) -> dict:
         )
         trainer.fit(dataset.train.x, dataset.train.y, epochs=settings.epochs)
         se_probs = NetworkEngine(se_net).predict_proba(dataset.test.x)
-        arch_results["SE"] = _best_entries([_metric_entry("single-exit", se_probs, labels, 1.0)])
+        arch_results["SE"] = _best_entries(
+            [_metric_entry("single-exit", se_probs, labels, 1.0)]
+        )
 
         # ---------------- MCD: single exit with MC dropout ----------------- #
         mcd_entries = []
@@ -180,8 +199,11 @@ def run_table1(settings: Table1Settings | None = None) -> dict:
             model = MultiExitBayesNet(
                 spec_factory(),
                 MultiExitConfig(
-                    num_exits=1, mcd_layers_per_exit=1, dropout_rate=rate,
-                    default_mc_samples=settings.num_mc_samples, seed=settings.seed,
+                    num_exits=1,
+                    mcd_layers_per_exit=1,
+                    dropout_rate=rate,
+                    default_mc_samples=settings.num_mc_samples,
+                    seed=settings.seed,
                 ),
             )
             _train_multi_exit(model, dataset, settings, distill_weight=0.0)
@@ -196,15 +218,19 @@ def run_table1(settings: Table1Settings | None = None) -> dict:
         me_model = MultiExitBayesNet(
             me_spec,
             MultiExitConfig(
-                num_exits=me_spec.num_blocks, mcd_layers_per_exit=0,
-                dropout_rate=0.0, default_mc_samples=settings.num_mc_samples,
+                num_exits=me_spec.num_blocks,
+                mcd_layers_per_exit=0,
+                dropout_rate=0.0,
+                default_mc_samples=settings.num_mc_samples,
                 exit_conv_channels=settings.exit_conv_channels,
                 seed=settings.seed,
             ),
         )
         _train_multi_exit(me_model, dataset, settings)
         me_entries.extend(
-            _evaluate_exit_configurations(me_model, dataset, se_flops, settings, prefix="me")
+            _evaluate_exit_configurations(
+                me_model, dataset, se_flops, settings, prefix="me"
+            )
         )
         arch_results["ME"] = _best_entries(me_entries)
 
@@ -215,8 +241,10 @@ def run_table1(settings: Table1Settings | None = None) -> dict:
             ours = MultiExitBayesNet(
                 ours_spec,
                 MultiExitConfig(
-                    num_exits=ours_spec.num_blocks, mcd_layers_per_exit=1,
-                    dropout_rate=rate, default_mc_samples=settings.num_mc_samples,
+                    num_exits=ours_spec.num_blocks,
+                    mcd_layers_per_exit=1,
+                    dropout_rate=rate,
+                    default_mc_samples=settings.num_mc_samples,
                     exit_conv_channels=settings.exit_conv_channels,
                     seed=settings.seed,
                 ),
@@ -224,7 +252,11 @@ def run_table1(settings: Table1Settings | None = None) -> dict:
             _train_multi_exit(ours, dataset, settings)
             ours_entries.extend(
                 _evaluate_exit_configurations(
-                    ours, dataset, se_flops, settings, prefix=f"mcd+me p={rate}",
+                    ours,
+                    dataset,
+                    se_flops,
+                    settings,
+                    prefix=f"mcd+me p={rate}",
                     mc_samples=settings.num_mc_samples,
                 )
             )
@@ -367,11 +399,15 @@ def run_table3(accelerator: AcceleratorModel | None = None) -> dict:
 # --------------------------------------------------------------------------- #
 # Figure 5 — cost of being Bayesian
 # --------------------------------------------------------------------------- #
-def _figure5_model_specs(width_multiplier: float) -> dict[str, Callable[[], BackboneSpec]]:
+def _figure5_model_specs(
+    width_multiplier: float,
+) -> dict[str, Callable[[], BackboneSpec]]:
     return {
         "bayes_lenet5": lambda: lenet5_spec(width_multiplier=1.0),
         "bayes_resnet18": lambda: resnet_spec(
-            "resnet18", input_shape=(3, 32, 32), width_multiplier=0.25 * width_multiplier
+            "resnet18",
+            input_shape=(3, 32, 32),
+            width_multiplier=0.25 * width_multiplier,
         ),
         "bayes_vgg11": lambda: vgg_spec(
             "vgg11", input_shape=(3, 32, 32), width_multiplier=0.25 * width_multiplier
@@ -447,7 +483,9 @@ def run_figure5_latency(
     for model_name in models:
         if model_name not in spec_factories:
             raise KeyError(f"unknown Figure 5 model {model_name!r}")
-        net = single_exit_bayesnet(spec_factories[model_name](), num_mcd_layers=1, seed=seed)
+        net = single_exit_bayesnet(
+            spec_factories[model_name](), num_mcd_layers=1, seed=seed
+        )
         for num_samples in mc_sample_counts:
             for strategy, mapping in (
                 ("unoptimized", temporal_mapping(num_samples)),

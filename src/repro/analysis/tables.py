@@ -45,7 +45,9 @@ def format_table(
     return "\n".join(lines)
 
 
-def format_rows(rows: Sequence[dict], columns: Sequence[str], title: str | None = None) -> str:
+def format_rows(
+    rows: Sequence[dict], columns: Sequence[str], title: str | None = None
+) -> str:
     """Render a list of dict rows, selecting and ordering ``columns``."""
     table_rows = [[row.get(col, "") for col in columns] for row in rows]
     return format_table(columns, table_rows, title=title)

@@ -291,9 +291,7 @@ class MultiExitBayesNet:
         with respect to the network input.
         """
         if len(grads) != self.num_exits:
-            raise ValueError(
-                f"expected {self.num_exits} gradients, got {len(grads)}"
-            )
+            raise ValueError(f"expected {self.num_exits} gradients, got {len(grads)}")
         ctx = resolve_context(ctx)
         bounds = self._segment_bounds()
         grad_back: np.ndarray | None = None
@@ -369,7 +367,9 @@ class MultiExitBayesNet:
         """
         return self.engine.predict_mc(x, num_samples)
 
-    def predict_proba(self, x: np.ndarray, num_samples: int | None = None) -> np.ndarray:
+    def predict_proba(
+        self, x: np.ndarray, num_samples: int | None = None
+    ) -> np.ndarray:
         """Mean predictive distribution (MC if Bayesian, deterministic otherwise)."""
         return self.engine.predict_proba(x, num_samples)
 

@@ -31,7 +31,17 @@ __all__ = [
 
 #: Confidence thresholds searched in the paper's grid (Section V-B).
 CONFIDENCE_THRESHOLDS: tuple[float, ...] = (
-    0.1, 0.15, 0.25, 0.5, 0.6, 0.7, 0.8, 0.9, 0.95, 0.99, 0.999,
+    0.1,
+    0.15,
+    0.25,
+    0.5,
+    0.6,
+    0.7,
+    0.8,
+    0.9,
+    0.95,
+    0.99,
+    0.999,
 )
 
 #: Dropout rates searched in the paper's grid (Section V-B).
@@ -178,7 +188,9 @@ def confidence_early_exit(
     if not 0.0 < threshold < 1.0:
         raise ValueError("threshold must be in (0, 1)")
     candidates = (
-        cumulative_exit_ensembles(exit_probs) if use_ensemble else [np.asarray(p) for p in exit_probs]
+        cumulative_exit_ensembles(exit_probs)
+        if use_ensemble
+        else [np.asarray(p) for p in exit_probs]
     )
     num_exits = len(candidates)
     n = candidates[0].shape[0]

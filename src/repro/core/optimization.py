@@ -107,7 +107,9 @@ def default_candidate_grid(
     """The default Phase 1 grid: exits x dropout rates x MCD depths."""
     if max_exits <= 0:
         raise ValueError("max_exits must be positive")
-    exits = list(exit_counts) if exit_counts is not None else list(range(1, max_exits + 1))
+    exits = (
+        list(exit_counts) if exit_counts is not None else list(range(1, max_exits + 1))
+    )
     grid = []
     for n_exit in exits:
         for rate in dropout_rates:

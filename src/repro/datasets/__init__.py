@@ -4,8 +4,8 @@ from .loaders import DataLoader
 from .synthetic import (
     DatasetSplit,
     SyntheticImageDataset,
-    cifar10_like,
     cifar100_like,
+    cifar10_like,
     mnist_like,
     svhn_like,
 )

@@ -64,8 +64,11 @@ def _smooth_noise(
     coarse_w = max(2, w // smoothness)
     coarse = rng.normal(size=(c, coarse_h, coarse_w))
     # bilinear-ish upsampling via repeated nearest + box blur
-    up = np.repeat(np.repeat(coarse, int(np.ceil(h / coarse_h)), axis=1),
-                   int(np.ceil(w / coarse_w)), axis=2)[:, :h, :w]
+    up = np.repeat(
+        np.repeat(coarse, int(np.ceil(h / coarse_h)), axis=1),
+        int(np.ceil(w / coarse_w)),
+        axis=2,
+    )[:, :h, :w]
     kernel = np.ones((3, 3)) / 9.0
     blurred = np.empty_like(up)
     padded = np.pad(up, ((0, 0), (1, 1), (1, 1)), mode="edge")
@@ -126,12 +129,17 @@ class SyntheticImageDataset:
         rng = np.random.default_rng(seed)
         self._prototypes = np.stack(
             [
-                self.prototype_scale * _smooth_noise(rng, self.input_shape, smoothness=4)
+                self.prototype_scale
+                * _smooth_noise(rng, self.input_shape, smoothness=4)
                 for _ in range(num_classes)
             ]
         )
-        self.train = self._generate_split(self.train_size, np.random.default_rng(seed + 1))
-        self.test = self._generate_split(self.test_size, np.random.default_rng(seed + 2))
+        self.train = self._generate_split(
+            self.train_size, np.random.default_rng(seed + 1)
+        )
+        self.test = self._generate_split(
+            self.test_size, np.random.default_rng(seed + 2)
+        )
 
     # ------------------------------------------------------------------ #
     def _generate_split(self, size: int, rng: np.random.Generator) -> DatasetSplit:
@@ -146,7 +154,10 @@ class SyntheticImageDataset:
         return DatasetSplit(images, labels.astype(np.int64))
 
     def shifted_test_set(
-        self, noise_multiplier: float = 2.0, intensity_shift: float = 0.5, seed: int | None = None
+        self,
+        noise_multiplier: float = 2.0,
+        intensity_shift: float = 0.5,
+        seed: int | None = None,
     ) -> DatasetSplit:
         """Return a distribution-shifted copy of the test split.
 
@@ -175,27 +186,44 @@ class SyntheticImageDataset:
         }
 
 
-def mnist_like(train_size: int = 512, test_size: int = 256, seed: int = 0,
-               image_size: int = 28) -> SyntheticImageDataset:
+def mnist_like(
+    train_size: int = 512, test_size: int = 256, seed: int = 0, image_size: int = 28
+) -> SyntheticImageDataset:
     """Synthetic stand-in for MNIST: 1-channel images, 10 classes."""
     return SyntheticImageDataset(
-        "mnist_like", (1, image_size, image_size), 10,
-        train_size=train_size, test_size=test_size, noise_level=0.5, seed=seed,
+        "mnist_like",
+        (1, image_size, image_size),
+        10,
+        train_size=train_size,
+        test_size=test_size,
+        noise_level=0.5,
+        seed=seed,
     )
 
 
-def cifar10_like(train_size: int = 512, test_size: int = 256, seed: int = 0,
-                 image_size: int = 32) -> SyntheticImageDataset:
+def cifar10_like(
+    train_size: int = 512, test_size: int = 256, seed: int = 0, image_size: int = 32
+) -> SyntheticImageDataset:
     """Synthetic stand-in for CIFAR-10: 3-channel images, 10 classes."""
     return SyntheticImageDataset(
-        "cifar10_like", (3, image_size, image_size), 10,
-        train_size=train_size, test_size=test_size, noise_level=0.7, seed=seed,
+        "cifar10_like",
+        (3, image_size, image_size),
+        10,
+        train_size=train_size,
+        test_size=test_size,
+        noise_level=0.7,
+        seed=seed,
     )
 
 
-def cifar100_like(train_size: int = 1024, test_size: int = 512, seed: int = 0,
-                  image_size: int = 32, num_classes: int = 100,
-                  noise_level: float = 0.8) -> SyntheticImageDataset:
+def cifar100_like(
+    train_size: int = 1024,
+    test_size: int = 512,
+    seed: int = 0,
+    image_size: int = 32,
+    num_classes: int = 100,
+    noise_level: float = 0.8,
+) -> SyntheticImageDataset:
     """Synthetic stand-in for CIFAR-100: 3-channel images, 100 classes.
 
     ``num_classes`` can be reduced (e.g. to 20) and ``noise_level`` raised for
@@ -204,15 +232,26 @@ def cifar100_like(train_size: int = 1024, test_size: int = 512, seed: int = 0,
     differences are visible.
     """
     return SyntheticImageDataset(
-        "cifar100_like", (3, image_size, image_size), num_classes,
-        train_size=train_size, test_size=test_size, noise_level=noise_level, seed=seed,
+        "cifar100_like",
+        (3, image_size, image_size),
+        num_classes,
+        train_size=train_size,
+        test_size=test_size,
+        noise_level=noise_level,
+        seed=seed,
     )
 
 
-def svhn_like(train_size: int = 512, test_size: int = 256, seed: int = 0,
-              image_size: int = 32) -> SyntheticImageDataset:
+def svhn_like(
+    train_size: int = 512, test_size: int = 256, seed: int = 0, image_size: int = 32
+) -> SyntheticImageDataset:
     """Synthetic stand-in for SVHN: 3-channel digit images, 10 classes."""
     return SyntheticImageDataset(
-        "svhn_like", (3, image_size, image_size), 10,
-        train_size=train_size, test_size=test_size, noise_level=0.9, seed=seed,
+        "svhn_like",
+        (3, image_size, image_size),
+        10,
+        train_size=train_size,
+        test_size=test_size,
+        noise_level=0.9,
+        seed=seed,
     )

@@ -20,8 +20,14 @@ from .baselines import (
     ProcessorModel,
     cpu_gpu_projection,
 )
-from .devices import DEVICES, FPGADevice, get_device, XCKU115
-from .dse import CHANNEL_MULTIPLIERS, CoExplorer, DesignPoint, EvaluatedDesignPoint, pareto_front
+from .devices import DEVICES, XCKU115, FPGADevice, get_device
+from .dse import (
+    CHANNEL_MULTIPLIERS,
+    CoExplorer,
+    DesignPoint,
+    EvaluatedDesignPoint,
+    pareto_front,
+)
 from .latency import LatencyModel, LayerLatency, estimate_layer_cycles
 from .mapping import (
     MappingPlan,

@@ -200,9 +200,7 @@ class AcceleratorModel:
     # latency
     # ------------------------------------------------------------------ #
     def _descs_cycles(self, descs: Sequence[dict]) -> int:
-        latencies = [
-            estimate_layer_cycles(d, self.config.reuse_factor) for d in descs
-        ]
+        latencies = [estimate_layer_cycles(d, self.config.reuse_factor) for d in descs]
         return self._latency_model.chain_cycles(latencies)
 
     def deterministic_cycles(self) -> int:

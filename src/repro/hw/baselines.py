@@ -127,7 +127,9 @@ class ProcessorModel:
         """Project latency/energy for a workload of ``total_flops`` FLOPs."""
         if total_flops < 0:
             raise ValueError("total_flops must be non-negative")
-        latency_ms = total_flops / (self.effective_gflops * 1e9) * 1000.0 + self.overhead_ms
+        latency_ms = (
+            total_flops / (self.effective_gflops * 1e9) * 1000.0 + self.overhead_ms
+        )
         return PlatformResult(
             name=self.name,
             platform=self.platform,

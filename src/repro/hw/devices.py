@@ -47,7 +47,12 @@ class FPGADevice:
 
     def resource_capacity(self) -> dict[str, int]:
         """Capacity as a dict keyed like :class:`repro.hw.resources.ResourceUsage`."""
-        return {"bram_18k": self.bram_18k, "dsp": self.dsp, "ff": self.ff, "lut": self.lut}
+        return {
+            "bram_18k": self.bram_18k,
+            "dsp": self.dsp,
+            "ff": self.ff,
+            "lut": self.lut,
+        }
 
 
 XCKU115 = FPGADevice(

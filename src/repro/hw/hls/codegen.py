@@ -23,7 +23,9 @@ __all__ = ["HLSCodeGenerator", "generate_hls_project"]
 class HLSCodeGenerator:
     """Generate the HLS sources for one accelerator design."""
 
-    def __init__(self, accel: AcceleratorModel, dropout_rate: float | None = None) -> None:
+    def __init__(
+        self, accel: AcceleratorModel, dropout_rate: float | None = None
+    ) -> None:
         self.accel = accel
         self.ir = HardwareIR.from_accelerator(accel)
         self.ir.validate()

@@ -88,8 +88,9 @@ def estimate_layer_cycles(
 
     if ltype in ("ReLU", "Softmax"):
         channels = out_shape[-1] if out_shape else 1
-        return LayerLatency(name=name, cycles=max(1, out_elements // max(1, channels)),
-                            pipeline_depth=2)
+        return LayerLatency(
+            name=name, cycles=max(1, out_elements // max(1, channels)), pipeline_depth=2
+        )
 
     if ltype == "Flatten":
         return LayerLatency(name=name, cycles=1, pipeline_depth=1)

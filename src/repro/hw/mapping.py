@@ -26,7 +26,13 @@ from dataclasses import dataclass
 from .devices import FPGADevice
 from .resources import ResourceUsage
 
-__all__ = ["MappingPlan", "spatial_mapping", "temporal_mapping", "mixed_mapping", "optimize_mapping"]
+__all__ = [
+    "MappingPlan",
+    "spatial_mapping",
+    "temporal_mapping",
+    "mixed_mapping",
+    "optimize_mapping",
+]
 
 
 @dataclass(frozen=True)

@@ -166,7 +166,9 @@ def estimate_layer_resources(
             total = total + estimate_layer_resources(sub, bitwidth, reuse_factor, model)
         # the elementwise residual adder
         total = total + ResourceUsage(
-            lut=model.lut_per_adder_bit * bitwidth * max(1, out_shape[0] if out_shape else 1)
+            lut=model.lut_per_adder_bit
+            * bitwidth
+            * max(1, out_shape[0] if out_shape else 1)
         )
         return total
 
@@ -206,8 +208,12 @@ def estimate_layer_resources(
         if bitwidth > DSP_BITWIDTH_THRESHOLD:
             dsp = lanes  # the keep-rate scaling multiplier
             lut -= lanes * model.lut_per_narrow_mult * (bitwidth / 8.0)
-        return ResourceUsage(bram_18k=0.0, dsp=dsp, ff=ff + model.ff_control_per_layer,
-                             lut=lut + model.lut_control_per_layer)
+        return ResourceUsage(
+            bram_18k=0.0,
+            dsp=dsp,
+            ff=ff + model.ff_control_per_layer,
+            lut=lut + model.lut_control_per_layer,
+        )
 
     if ltype in ("MaxPool2D", "AvgPool2D", "GlobalAvgPool2D"):
         channels = in_shape[0] if in_shape else 1
@@ -248,7 +254,9 @@ def _mac_layer_resources(
 
     accumulation_lut = parallel_mults * model.lut_per_adder_bit * bitwidth
     pipeline_ff = parallel_mults * model.ff_per_pipeline_bit * bitwidth * 2
-    bram = _weights_bram(weights, bitwidth, partitions=parallel_mults if reuse_factor > 1 else 1)
+    bram = _weights_bram(
+        weights, bitwidth, partitions=parallel_mults if reuse_factor > 1 else 1
+    )
 
     return ResourceUsage(
         bram_18k=bram,

@@ -206,9 +206,7 @@ class NetworkEngine:
         return self.split_index < len(self.network.layers)
 
     # ------------------------------------------------------------------ #
-    def _prefix(
-        self, x: np.ndarray, split: int, ctx: ForwardContext
-    ) -> np.ndarray:
+    def _prefix(self, x: np.ndarray, split: int, ctx: ForwardContext) -> np.ndarray:
         token = (self.network.weights_version, split)
         cached = self._cache.get(x, token)
         if cached is None:
@@ -412,8 +410,13 @@ class InferenceEngine:
             return np.stack([probs] * num_passes)
         folded = fold_batch(prefix, num_passes)
         logits = folded_forward_range(
-            head, folded, num_passes, split, len(head.layers),
-            exact=self.exact, ctx=ctx,
+            head,
+            folded,
+            num_passes,
+            split,
+            len(head.layers),
+            exact=self.exact,
+            ctx=ctx,
         )
         return unfold_samples(softmax(logits, axis=-1), num_passes)
 

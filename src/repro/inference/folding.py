@@ -23,11 +23,15 @@ refactor is observationally invisible.  Three facts make that possible:
   inference-mode batch norm) compute each batch row independently, so they
   are bit-stable under batch tiling.
 * GEMM-backed layers are **not** bit-stable under batch tiling (BLAS picks
-  different kernels/blocking for different M), so :class:`Dense` layers are
-  evaluated as a *stacked* ``(S, N, F) @ (F, U)`` matmul — one GEMM per
-  sample slice with the legacy shapes, dispatched in C — and any remaining
-  parameterised layer (``Conv2D``, ``ResidualBlock``, custom layers) falls
-  back to a per-slice loop.
+  different kernels/blocking for different M), so they are evaluated as
+  *stacked* per-sample GEMMs with the legacy shapes, dispatched in C:
+  :class:`Dense` as a ``(S, N, F) @ (F, U)`` matmul, :class:`Conv2D` via
+  :meth:`~repro.nn.layers.conv.Conv2D.forward_folded` (the folded im2col
+  column matrix reshaped to ``(S, N·oh·ow, C·kh·kw)`` — im2col is a pure
+  gather, so the fold is exactly the per-slice column matrices stacked),
+  and :class:`ResidualBlock` by folding each constituent convolution the
+  same way.  Any remaining parameterised layer (custom layers) falls back
+  to a per-slice loop.
 
 Passing ``exact=False`` trades the guarantee for speed: every layer then runs
 directly on the flat ``(S·N, …)`` fold (results still agree to within a few
@@ -38,9 +42,11 @@ from __future__ import annotations
 
 import numpy as np
 
+from ..nn.context import ForwardContext, resolve_context
 from ..nn.layers import (
     AvgPool2D,
     BatchNorm,
+    Conv2D,
     Dense,
     Dropout,
     Flatten,
@@ -48,9 +54,9 @@ from ..nn.layers import (
     MaxPool2D,
     MCDropout,
     ReLU,
+    ResidualBlock,
     Softmax,
 )
-from ..nn.context import ForwardContext, resolve_context
 from ..nn.layers.base import Layer
 from ..nn.model import Network
 
@@ -161,6 +167,10 @@ def folded_forward_range(
             out = layer.forward(out, training=False, ctx=ctx)
         elif isinstance(layer, Dense):
             out = _dense_folded(layer, out, num_samples)
+        elif isinstance(layer, Conv2D):
+            out = layer.forward_folded(out, num_samples)
+        elif isinstance(layer, ResidualBlock):
+            out = layer.forward_folded(out, num_samples, ctx=ctx)
         else:
             out = _sliced_forward(layer, out, num_samples, ctx)
     return out

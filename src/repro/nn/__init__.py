@@ -9,7 +9,7 @@ from . import architectures, layers
 from .context import ForwardContext, default_context, resolve_context
 from .losses import CrossEntropyLoss, DistillationLoss, MSELoss
 from .model import Network
-from .optimizers import Adam, CosineLR, SGD, StepLR
+from .optimizers import SGD, Adam, CosineLR, StepLR
 from .training import (
     DistillationTrainer,
     Trainer,

@@ -43,7 +43,9 @@ def resnet_spec(
     stem_channels = scale_channels(64, width_multiplier)
     backbone = Network(name=f"{variant}_backbone")
     backbone.add(
-        Conv2D(stem_channels, 3, padding=1, use_bias=not use_batchnorm, name="stem_conv")
+        Conv2D(
+            stem_channels, 3, padding=1, use_bias=not use_batchnorm, name="stem_conv"
+        )
     )
     if use_batchnorm:
         backbone.add(BatchNorm(name="stem_bn"))

@@ -45,7 +45,9 @@ def vgg_spec(
         useful when the input resolution is small.
     """
     if variant not in VGG_CONFIGS:
-        raise ValueError(f"unknown VGG variant {variant!r}; choose from {sorted(VGG_CONFIGS)}")
+        raise ValueError(
+            f"unknown VGG variant {variant!r}; choose from {sorted(VGG_CONFIGS)}"
+        )
     config = VGG_CONFIGS[variant]
     if max_stages is not None:
         if max_stages <= 0:
@@ -70,8 +72,15 @@ def vgg_spec(
     for stage, (channels, n_convs) in enumerate(config):
         c = scale_channels(channels, width_multiplier)
         for i in range(n_convs):
-            backbone.add(Conv2D(c, 3, padding=1, use_bias=not use_batchnorm,
-                                name=f"stage{stage}_conv{i}"))
+            backbone.add(
+                Conv2D(
+                    c,
+                    3,
+                    padding=1,
+                    use_bias=not use_batchnorm,
+                    name=f"stage{stage}_conv{i}",
+                )
+            )
             if use_batchnorm:
                 backbone.add(BatchNorm(name=f"stage{stage}_bn{i}"))
             backbone.add(ReLU(name=f"stage{stage}_relu{i}"))

@@ -52,6 +52,9 @@ import numpy as np
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from .layers.base import Layer
 
+    #: layer -> (seed_epoch at stream creation, stream)
+    RngMap = weakref.WeakKeyDictionary[Layer, tuple[int, np.random.Generator]]
+
 __all__ = ["ForwardContext", "default_context", "resolve_context"]
 
 
@@ -84,10 +87,7 @@ class ForwardContext:
         self._saved: "weakref.WeakKeyDictionary[Layer, Any]" = (
             weakref.WeakKeyDictionary()
         )
-        #: layer -> (seed_epoch at stream creation, stream)
-        self._rngs: "weakref.WeakKeyDictionary[Layer, tuple[int, np.random.Generator]]" = (
-            weakref.WeakKeyDictionary()
-        )
+        self._rngs: RngMap = weakref.WeakKeyDictionary()
 
     # ------------------------------------------------------------------ #
     # backward caches

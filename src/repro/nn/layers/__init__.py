@@ -1,7 +1,7 @@
 """Layer zoo for the NumPy neural-network substrate."""
 
-from .base import Layer, Parameter
 from .activations import ReLU, Softmax, log_softmax, softmax
+from .base import Layer, Parameter
 from .batchnorm import BatchNorm
 from .conv import Conv2D
 from .dense import Dense

@@ -6,7 +6,7 @@ import numpy as np
 
 from ..context import ForwardContext
 from ..initializers import Initializer, Zeros, get_initializer
-from ..tensor import col2im, conv_output_size, im2col
+from ..tensor import col2im, conv_output_size, im2col, im2col_patches
 from .base import Layer
 
 __all__ = ["Conv2D"]
@@ -99,6 +99,63 @@ class Conv2D(Layer):
 
         self._ctx(ctx).save(self, (x.shape, cols))
         return out
+
+    def forward_folded(self, x: np.ndarray, num_samples: int) -> np.ndarray:
+        """Inference-only forward on a sample-folded ``(S·N, C, H, W)`` batch.
+
+        Bit-identical to running :meth:`forward` once per ``(N, …)`` sample
+        slice and concatenating, by the same argument that makes the Dense
+        flat-fold exact: ``im2col`` is a pure gather (no arithmetic), and
+        the fold is sample-major, so the folded column matrix is exactly
+        the per-slice column matrices stacked along the row axis.  Reshaping
+        it to ``(S, N·oh·ow, C·kh·kw)`` and using the stacked ``np.matmul``
+        then dispatches one GEMM per sample *with the legacy shapes and
+        memory order* — BLAS never sees a different M or a different
+        packing path, so kernel selection cannot change a bit.  The bias
+        add and the NHWC→NCHW untangling are row-wise and fold-stable.
+
+        The one wrinkle is ``N == 1``: there ``im2col``'s trailing reshape
+        merges without copying and hands BLAS an F-ordered *view*, which
+        takes the transposed-A GEMM path — feeding it the C-ordered fold
+        would change the result's bits.  Single-example slices therefore
+        run the 6-D patch gather once over the whole fold and carve a
+        per-sample column matrix out of it as a view with exactly the
+        legacy strides ``(itemsize, oh·ow·itemsize)``, so each GEMM sees
+        the legacy operand layout while the gather stays amortised.
+
+        No backward cache is saved: the folded path exists for the
+        inference hot path only (see :mod:`repro.inference.folding`).
+        """
+        sn = x.shape[0]
+        if sn % num_samples:
+            raise ValueError(
+                f"folded batch of {sn} rows is not divisible by "
+                f"num_samples={num_samples}"
+            )
+        n = sn // num_samples
+        out_c, out_h, out_w = self.output_shape
+        w_mat = self.weight.value.reshape(self.filters, -1).T
+        if n == 1:
+            patches = im2col_patches(
+                x, self.kernel_size, self.kernel_size, self.stride, self.padding
+            )
+            out = np.concatenate(
+                [
+                    patches[s].transpose(3, 4, 0, 1, 2).reshape(out_h * out_w, -1)
+                    @ w_mat
+                    for s in range(num_samples)
+                ],
+                axis=0,
+            )
+        else:
+            cols = im2col(
+                x, self.kernel_size, self.kernel_size, self.stride, self.padding
+            )
+            stacked = cols.reshape(num_samples, n * out_h * out_w, -1)
+            out = np.matmul(stacked, w_mat).reshape(sn * out_h * out_w, -1)
+        if self.use_bias:
+            out += self.bias.value
+        return out.reshape(sn, out_h, out_w, out_c).transpose(0, 3, 1, 2)
 
     def backward(
         self, grad_output: np.ndarray, ctx: ForwardContext | None = None

@@ -5,7 +5,7 @@ from __future__ import annotations
 import numpy as np
 
 from ..context import ForwardContext
-from ..tensor import conv_output_size, im2col, col2im
+from ..tensor import col2im, conv_output_size, im2col
 from .base import Layer
 
 __all__ = ["MaxPool2D", "AvgPool2D", "GlobalAvgPool2D"]

@@ -13,10 +13,10 @@ from typing import Iterator
 import numpy as np
 
 from ..context import ForwardContext
+from .activations import ReLU
 from .base import Layer, Parameter
 from .batchnorm import BatchNorm
 from .conv import Conv2D
-from .activations import ReLU
 
 __all__ = ["ResidualBlock"]
 
@@ -47,11 +47,19 @@ class ResidualBlock(Layer):
 
         prefix = self.name
         self.conv1 = Conv2D(
-            filters, 3, stride=stride, padding=1, use_bias=not use_batchnorm,
+            filters,
+            3,
+            stride=stride,
+            padding=1,
+            use_bias=not use_batchnorm,
             name=f"{prefix}_conv1",
         )
         self.conv2 = Conv2D(
-            filters, 3, stride=1, padding=1, use_bias=not use_batchnorm,
+            filters,
+            3,
+            stride=1,
+            padding=1,
+            use_bias=not use_batchnorm,
             name=f"{prefix}_conv2",
         )
         self.bn1 = BatchNorm(name=f"{prefix}_bn1") if use_batchnorm else None
@@ -83,8 +91,12 @@ class ResidualBlock(Layer):
         needs_projection = self.stride != 1 or in_channels != self.filters
         if needs_projection:
             self.shortcut_conv = Conv2D(
-                self.filters, 1, stride=self.stride, padding=0,
-                use_bias=not self.use_batchnorm, name=f"{self.name}_proj",
+                self.filters,
+                1,
+                stride=self.stride,
+                padding=0,
+                use_bias=not self.use_batchnorm,
+                name=f"{self.name}_proj",
             )
             self.shortcut_conv.build(input_shape, rng)
             if self.use_batchnorm:
@@ -145,6 +157,40 @@ class ResidualBlock(Layer):
             shortcut = x
 
         return self.relu2.forward(out + shortcut, training, ctx=ctx)
+
+    def forward_folded(
+        self,
+        x: np.ndarray,
+        num_samples: int,
+        ctx: ForwardContext | None = None,
+    ) -> np.ndarray:
+        """Inference-only forward on a sample-folded ``(S·N, C, H, W)`` batch.
+
+        Bit-identical to running :meth:`forward` once per sample slice: the
+        convolutions take :meth:`Conv2D.forward_folded` (stacked per-sample
+        GEMMs with the legacy shapes), inference-mode batch norm and ReLU
+        are row-wise and therefore fold-stable, and the residual sum is an
+        element-wise add.  The block contains no stochastic layers, so no
+        RNG stream is consumed; ``ctx`` only receives the row-wise layers'
+        (unused) forward caches.
+        """
+        ctx = self._ctx(ctx)
+        out = self.conv1.forward_folded(x, num_samples)
+        if self.bn1 is not None:
+            out = self.bn1.forward(out, training=False, ctx=ctx)
+        out = self.relu1.forward(out, training=False, ctx=ctx)
+        out = self.conv2.forward_folded(out, num_samples)
+        if self.bn2 is not None:
+            out = self.bn2.forward(out, training=False, ctx=ctx)
+
+        if self.shortcut_conv is not None:
+            shortcut = self.shortcut_conv.forward_folded(x, num_samples)
+            if self.shortcut_bn is not None:
+                shortcut = self.shortcut_bn.forward(shortcut, training=False, ctx=ctx)
+        else:
+            shortcut = x
+
+        return self.relu2.forward(out + shortcut, training=False, ctx=ctx)
 
     def backward(
         self, grad_output: np.ndarray, ctx: ForwardContext | None = None

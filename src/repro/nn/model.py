@@ -36,7 +36,9 @@ __all__ = ["Network"]
 class Network:
     """An ordered container of layers forming a feed-forward network."""
 
-    def __init__(self, layers: Sequence[Layer] | None = None, name: str = "network") -> None:
+    def __init__(
+        self, layers: Sequence[Layer] | None = None, name: str = "network"
+    ) -> None:
         self.name = name
         self.layers: list[Layer] = list(layers) if layers else []
         self.built = False
@@ -145,9 +147,7 @@ class Network:
             grad = layer.backward(grad, ctx=ctx)
         return grad
 
-    def predict(
-        self, x: np.ndarray, ctx: ForwardContext | None = None
-    ) -> np.ndarray:
+    def predict(self, x: np.ndarray, ctx: ForwardContext | None = None) -> np.ndarray:
         """Inference-mode forward pass (no dropout except MC dropout)."""
         return self.forward(x, training=False, ctx=ctx)
 

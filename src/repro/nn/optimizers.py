@@ -106,7 +106,9 @@ class Adam(Optimizer):
 class StepLR:
     """Step decay schedule: multiply the LR by ``gamma`` every ``step_size`` epochs."""
 
-    def __init__(self, optimizer: Optimizer, step_size: int, gamma: float = 0.1) -> None:
+    def __init__(
+        self, optimizer: Optimizer, step_size: int, gamma: float = 0.1
+    ) -> None:
         if step_size <= 0:
             raise ValueError("step_size must be positive")
         self.optimizer = optimizer
@@ -125,7 +127,9 @@ class StepLR:
 class CosineLR:
     """Cosine-annealing schedule from the base LR down to ``min_lr``."""
 
-    def __init__(self, optimizer: Optimizer, total_epochs: int, min_lr: float = 0.0) -> None:
+    def __init__(
+        self, optimizer: Optimizer, total_epochs: int, min_lr: float = 0.0
+    ) -> None:
         if total_epochs <= 0:
             raise ValueError("total_epochs must be positive")
         self.optimizer = optimizer

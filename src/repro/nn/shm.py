@@ -53,7 +53,13 @@ import numpy as np
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from .layers.base import Parameter
 
-__all__ = ["SharedParameterArena", "ArenaManifest", "attach_view"]
+__all__ = [
+    "SharedParameterArena",
+    "ArenaManifest",
+    "attach_view",
+    "destroy_segment",
+    "open_attached_segment",
+]
 
 _VERSION_DTYPE = np.int64
 _VALUE_DTYPE = np.float64
@@ -78,6 +84,17 @@ def _open_attached(name: str) -> shared_memory.SharedMemory:
         seg = shared_memory.SharedMemory(name=name)
         _ATTACHED_SEGMENTS[name] = seg
     return seg
+
+
+def open_attached_segment(name: str) -> shared_memory.SharedMemory:
+    """Attach to an existing segment through the per-process handle cache.
+
+    Public entry point for other shared-memory consumers (the serving
+    tier's ring-buffer transport attaches its per-worker segments through
+    the same cache, inheriting the resource-tracker discipline documented
+    on ``_open_attached``).
+    """
+    return _open_attached(name)
 
 
 def attach_view(spec: tuple[str, int, tuple[int, ...]]) -> np.ndarray:
@@ -231,3 +248,8 @@ def _destroy_segment(segment: shared_memory.SharedMemory) -> None:
         segment.unlink()  # also unregisters from the resource tracker
     except FileNotFoundError:  # pragma: no cover - raced another unlink
         pass
+
+
+def destroy_segment(segment: shared_memory.SharedMemory) -> None:
+    """Close and unlink an owned segment, tolerating stray views and races."""
+    _destroy_segment(segment)

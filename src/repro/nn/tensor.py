@@ -16,6 +16,7 @@ __all__ = [
     "pad_input",
     "conv_output_size",
     "im2col",
+    "im2col_patches",
     "col2im",
     "one_hot",
 ]
@@ -86,6 +87,27 @@ def im2col(
     np.ndarray
         Matrix of shape ``(N * out_h * out_w, C * kernel_h * kernel_w)``.
     """
+    n = x.shape[0]
+    cols = im2col_patches(x, kernel_h, kernel_w, stride, padding)
+    out_h, out_w = cols.shape[4], cols.shape[5]
+    return cols.transpose(0, 4, 5, 1, 2, 3).reshape(n * out_h * out_w, -1)
+
+
+def im2col_patches(
+    x: np.ndarray,
+    kernel_h: int,
+    kernel_w: int,
+    stride: int = 1,
+    padding: int = 0,
+) -> np.ndarray:
+    """Gather convolution patches into a 6-D tensor.
+
+    Returns the ``(N, C, kernel_h, kernel_w, out_h, out_w)`` patch tensor;
+    :func:`im2col` is its NHW-major flattening.  Exposed separately so the
+    sample-folded convolution path can run the gather once over a folded
+    batch and carve per-sample column matrices out of it as views (see
+    :meth:`repro.nn.layers.conv.Conv2D.forward_folded`).
+    """
     n, c, h, w = x.shape
     out_h = conv_output_size(h, kernel_h, stride, padding)
     out_w = conv_output_size(w, kernel_w, stride, padding)
@@ -99,7 +121,7 @@ def im2col(
             x_max = kx + stride * out_w
             cols[:, :, ky, kx, :, :] = img[:, :, ky:y_max:stride, kx:x_max:stride]
 
-    return cols.transpose(0, 4, 5, 1, 2, 3).reshape(n * out_h * out_w, -1)
+    return cols
 
 
 def col2im(

@@ -46,8 +46,13 @@ class TrainingHistory:
     val_loss: list[float] = field(default_factory=list)
     val_accuracy: list[float] = field(default_factory=list)
 
-    def record(self, loss: float, accuracy: float,
-               val_loss: float | None = None, val_accuracy: float | None = None) -> None:
+    def record(
+        self,
+        loss: float,
+        accuracy: float,
+        val_loss: float | None = None,
+        val_accuracy: float | None = None,
+    ) -> None:
         self.loss.append(float(loss))
         self.accuracy.append(float(accuracy))
         if val_loss is not None:

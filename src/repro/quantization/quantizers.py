@@ -15,7 +15,12 @@ import numpy as np
 from ..nn.model import Network
 from .fixed_point import FixedPointFormat
 
-__all__ = ["QuantizationConfig", "QuantizationResult", "quantize_network", "activation_formats"]
+__all__ = [
+    "QuantizationConfig",
+    "QuantizationResult",
+    "quantize_network",
+    "activation_formats",
+]
 
 
 @dataclass

@@ -60,7 +60,15 @@ import math
 from dataclasses import dataclass
 from typing import Any, Awaitable, Callable, Sequence
 
-__all__ = ["DynamicBatcher", "BatcherStats", "ServerOverloaded", "DeadlineExceeded"]
+import numpy as np
+
+__all__ = [
+    "BatchStager",
+    "DynamicBatcher",
+    "BatcherStats",
+    "ServerOverloaded",
+    "DeadlineExceeded",
+]
 
 
 class ServerOverloaded(RuntimeError):
@@ -115,6 +123,59 @@ class BatcherStats:
     def mean_batch_size(self) -> float:
         """Average dispatched batch size (0.0 before the first batch)."""
         return self.batched_requests / self.batches if self.batches else 0.0
+
+
+class BatchStager:
+    """Pre-pinned microbatch assembly buffer: stack without allocating.
+
+    The historical hot path re-allocated a fresh ``np.stack`` per
+    microbatch just to hand the workers one contiguous array.  A stager
+    owns one ``(max_batch_size, *example_shape)`` float64 buffer and
+    assembles each batch by writing request rows into its head — the
+    only per-batch cost is the row copies that ``np.stack`` also paid.
+
+    :meth:`stage` returns a *fresh view object* over the buffer head each
+    call: downstream activation caches key on array identity, so a reused
+    buffer must never resurface as the same Python object.  The returned
+    view has exactly the layout ``np.stack`` would produce (C-contiguous,
+    same shape/strides), which keeps staged and stacked batches
+    bit-identical through BLAS.
+
+    One stager per worker replica — the view is invalidated by the next
+    ``stage`` call on the same stager, so a replica must be done with a
+    batch (results assembled into fresh arrays) before its next checkout,
+    which the serving tier's one-batch-per-replica checkout guarantees.
+    """
+
+    def __init__(self, max_batch_size: int, example_shape: Sequence[int]) -> None:
+        if max_batch_size <= 0:
+            raise ValueError("max_batch_size must be positive")
+        self.example_shape = tuple(int(d) for d in example_shape)
+        self._buffer = np.empty(
+            (int(max_batch_size),) + self.example_shape, dtype=np.float64
+        )
+
+    def stage(self, payloads: Sequence[np.ndarray]) -> np.ndarray | None:
+        """Assemble ``payloads`` into the pinned buffer; ``None`` = no fit.
+
+        ``None`` (batch too large, or a payload of a different shape or
+        kind) tells the caller to fall back to ``np.stack`` — staging is
+        an optimisation, not a constraint.
+        """
+        n = len(payloads)
+        if not 0 < n <= self._buffer.shape[0]:
+            return None
+        for payload in payloads:
+            if (
+                not isinstance(payload, np.ndarray)
+                or payload.shape != self.example_shape
+                or payload.dtype != np.float64
+            ):
+                return None
+        batch = self._buffer[:n]
+        for i, payload in enumerate(payloads):
+            batch[i] = payload
+        return batch
 
 
 class _Request:

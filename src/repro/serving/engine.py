@@ -96,6 +96,13 @@ class ServingStats:
     requests_shed:
         Requests rejected with ``DeadlineExceeded`` by the opt-in
         shed-on-missed-deadline policy (``admission_timeout``).
+    transport:
+        How batches reach workers: ``"inproc"`` for the thread backend,
+        ``"ring"``/``"pipe"`` for the process backend.
+    transport_ring_batches / transport_pipe_batches:
+        Process backend: batches that crossed the boundary through the
+        shared-memory ring vs the pickle pipe (fallbacks included) —
+        a healthy ring configuration shows pipe counts near zero.
     """
 
     requests_completed: int
@@ -117,6 +124,11 @@ class ServingStats:
     #: requests rejected by the shed-on-missed-deadline policy (see
     #: :class:`~repro.serving.batcher.DynamicBatcher` ``admission_timeout``)
     requests_shed: int = 0
+    #: batch transport: ``"inproc"`` (thread), ``"ring"`` or ``"pipe"``
+    transport: str = "inproc"
+    #: process backend: batches shipped via the shm ring / the pickle pipe
+    transport_ring_batches: int = 0
+    transport_pipe_batches: int = 0
 
 
 class ServingEngine:
@@ -168,6 +180,15 @@ class ServingEngine:
         included.  Semantics are identical: same responses, bit for bit,
         under identical batch formation; weight updates propagate through
         the shared storage and the ``weights_version`` token.
+    worker_transport:
+        Process backend only: how batches cross the process boundary.
+        ``"ring"`` (default) stages each microbatch directly into a
+        per-worker shared-memory ring slot
+        (:class:`~repro.serving.workers.ring.BatchRing`) and uses the pipe
+        as a slot-index doorbell — arrays are never pickled; anything
+        that does not fit falls back to the pipe transparently.
+        ``"pipe"`` is the legacy pickle-everything channel.  Responses
+        are bit-identical either way; ignored by the thread backend.
     executor:
         Executor for the parent-side work (NumPy for threads, channel I/O
         for processes).  Defaults to a private ``workers``-thread pool.
@@ -195,6 +216,7 @@ class ServingEngine:
         admission_timeout: float | None = None,
         workers: int = 1,
         worker_backend: str = "thread",
+        worker_transport: str = "ring",
         executor: Executor | None = None,
     ) -> None:
         if isinstance(model, MultiExitBayesNet):
@@ -225,16 +247,28 @@ class ServingEngine:
                 f"worker_backend must be one of {sorted(_POOL_BACKENDS)}, "
                 f"got {worker_backend!r}"
             )
+        if worker_transport not in ("ring", "pipe"):
+            raise ValueError(
+                f"worker_transport must be 'ring' or 'pipe', "
+                f"got {worker_transport!r}"
+            )
         self.num_samples = num_samples
         self.early_exit_threshold = early_exit_threshold
         self.workers = int(workers)
         self.worker_backend = worker_backend
-        self._pool = _POOL_BACKENDS[worker_backend](
-            self.engine,
+        self.worker_transport = worker_transport
+        pool_kwargs = dict(
             workers=self.workers,
             num_samples=num_samples,
             early_exit_threshold=early_exit_threshold,
+            # batch geometry enables pre-pinned staging buffers (thread
+            # backend) and ring-slot sizing (process backend)
+            max_batch_size=int(max_batch_size),
+            input_shape=self.input_shape,
         )
+        if worker_backend == "process":
+            pool_kwargs["transport"] = worker_transport
+        self._pool = _POOL_BACKENDS[worker_backend](self.engine, **pool_kwargs)
         self._batch_seq = 0
         self._batcher = DynamicBatcher(
             self._dispatch,
@@ -381,7 +415,9 @@ class ServingEngine:
     # ------------------------------------------------------------------ #
     # batch execution (runs on the event loop + worker executor)
     # ------------------------------------------------------------------ #
-    async def _dispatch(self, payloads: list[np.ndarray]) -> Sequence[UncertaintyResult]:
+    async def _dispatch(
+        self, payloads: list[np.ndarray]
+    ) -> Sequence[UncertaintyResult]:
         # the sequence number is assigned here, on the event loop, in batch-
         # assembly order — it seeds the batch's spawned RNG context, which is
         # what makes responses independent of worker count, backend and
@@ -422,4 +458,9 @@ class ServingEngine:
             worker_backend=self.worker_backend,
             worker_crashes=self._pool.worker_crashes,
             requests_shed=b.shed,
+            transport=(
+                self.worker_transport if self.worker_backend == "process" else "inproc"
+            ),
+            transport_ring_batches=self._pool.ring_batches,
+            transport_pipe_batches=self._pool.pipe_batches,
         )

@@ -11,20 +11,35 @@ implementations execute the batches a
   Python glue dominates; survives individual worker crashes).
 
 Both run the same compute path (:func:`~repro.serving.workers.base
-.compute_batch` under a per-batch spawned context), so responses are
+.compute_batch_array` under a per-batch spawned context), so responses are
 bit-identical across backends and worker counts for identical batch
 formation.  Select with ``ServingEngine(worker_backend="thread"|"process")``.
+
+The process backend ships batches over per-worker shared-memory ring
+buffers by default (:class:`~repro.serving.workers.ring.BatchRing`,
+``worker_transport="ring"``) with the pipe demoted to a doorbell; see
+:mod:`repro.serving.workers.ring` for the slot ownership rules.
 """
 
-from .base import WorkerCrashed, WorkerPool, assemble_results, compute_batch
+from .base import (
+    WorkerCrashed,
+    WorkerPool,
+    assemble_results,
+    compute_batch,
+    compute_batch_array,
+)
 from .procpool import ProcessWorkerPool
+from .ring import BatchRing, RingManifest
 from .threads import ThreadWorkerPool
 
 __all__ = [
+    "BatchRing",
+    "RingManifest",
     "WorkerCrashed",
     "WorkerPool",
     "ThreadWorkerPool",
     "ProcessWorkerPool",
     "assemble_results",
     "compute_batch",
+    "compute_batch_array",
 ]

@@ -44,6 +44,8 @@ __all__ = [
     "WorkerPool",
     "assemble_results",
     "compute_batch",
+    "compute_batch_array",
+    "engine_num_classes",
     "engine_parameters",
 ]
 
@@ -81,6 +83,16 @@ def engine_parameters(engine: Engine) -> Iterator[Parameter]:
     return engine.network.parameters()
 
 
+def engine_num_classes(engine: Engine) -> int | None:
+    """Classes per prediction, or ``None`` when not derivable (unbuilt net)."""
+    if isinstance(engine, InferenceEngine):
+        return int(engine.model.num_classes)
+    try:
+        return int(engine.network.output_shape[-1])
+    except (RuntimeError, TypeError, IndexError):
+        return None
+
+
 def compute_batch(
     engine: Engine,
     seq: int,
@@ -88,15 +100,34 @@ def compute_batch(
     num_samples: int | None,
     early_exit_threshold: float | None,
 ) -> BatchOutput:
-    """Run one batch on one engine; returns raw arrays only.
+    """Stack a batch's payloads and run them (see :func:`compute_batch_array`).
 
-    Stacking happens here, off the event loop.  The fresh per-batch
-    context spawns every dropout stream from ``(layer seed, seq)``, so the
-    output depends only on the batch's position in the request sequence —
-    never on which worker (thread *or* process) computes it or on what
-    that worker served before.
+    Stacking happens here, off the event loop.  Transports that already
+    assembled the batch into one array (pre-pinned staging buffers, ring
+    slots) call :func:`compute_batch_array` directly — the stack below and
+    a staged buffer have identical values *and identical memory layout*,
+    which is what keeps the two entry points bit-identical.
     """
-    batch = np.stack(payloads)
+    return compute_batch_array(
+        engine, seq, np.stack(payloads), num_samples, early_exit_threshold
+    )
+
+
+def compute_batch_array(
+    engine: Engine,
+    seq: int,
+    batch: np.ndarray,
+    num_samples: int | None,
+    early_exit_threshold: float | None,
+) -> BatchOutput:
+    """Run one assembled batch on one engine; returns raw arrays only.
+
+    The fresh per-batch context spawns every dropout stream from
+    ``(layer seed, seq)``, so the output depends only on the batch's
+    position in the request sequence — never on which worker (thread *or*
+    process) computes it, which transport delivered it, or what that
+    worker served before.
+    """
     ctx = ForwardContext(spawn_key=seq)
     if early_exit_threshold is not None:
         assert isinstance(engine, InferenceEngine)
@@ -137,6 +168,10 @@ class WorkerPool:
 
     #: dead workers observed so far (process backend; threads cannot die)
     worker_crashes: int = 0
+    #: batches delivered over a shared-memory ring / over the pickle pipe
+    #: (process backend; the thread backend never crosses a boundary)
+    ring_batches: int = 0
+    pipe_batches: int = 0
 
     def __init__(
         self,
@@ -144,11 +179,19 @@ class WorkerPool:
         workers: int,
         num_samples: int | None,
         early_exit_threshold: float | None,
+        *,
+        max_batch_size: int | None = None,
+        input_shape: tuple[int, ...] | None = None,
     ) -> None:
         self.engine = engine
         self.workers = int(workers)
         self.num_samples = num_samples
         self.early_exit_threshold = early_exit_threshold
+        #: staging geometry (largest batch, per-example shape) — lets the
+        #: pool pre-pin assembly buffers / size ring slots; ``None`` keeps
+        #: the historical stack-per-batch behaviour
+        self.max_batch_size = max_batch_size
+        self.input_shape = tuple(input_shape) if input_shape is not None else None
 
     async def start(self, executor) -> None:
         raise NotImplementedError

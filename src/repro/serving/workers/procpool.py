@@ -11,9 +11,16 @@ in its **own process**:
   as ``(segment, offset, shape)`` descriptors — kilobytes, not weights —
   and reconstructs a zero-copy replica over the very same storage
   (unpickling an engine *is* ``replicate()`` across the process boundary).
-* Per batch, the parent sends ``(seq, weights_token, payloads)`` down a
-  pipe and receives raw result arrays
-  (:class:`~repro.serving.workers.base.BatchOutput`) back — the channel
+* Per batch, arrays cross the boundary through a per-worker shared-memory
+  :class:`~repro.serving.workers.ring.BatchRing` (the default
+  ``transport="ring"``): the parent stages request rows straight into a
+  ring slot, the pipe carries only a ``("ring", seq, token, slot)``
+  doorbell, and the worker reads the batch as a zero-copy view and writes
+  the result arrays into the slot's response region.  Anything that does
+  not fit — an oversized payload, exhausted slots, an over-long response —
+  transparently falls back to the legacy pickle pipe
+  (``("predict", seq, token, payloads)`` / ``("ok", out)``), which is also
+  the whole protocol under ``transport="pipe"``.  Either way the channel
   carries inputs and probabilities only, never model state.
 * **Staleness:** weight mutations in the parent (optimizer steps,
   ``assign``, quantization) write straight into the shared segment, so
@@ -26,8 +33,11 @@ in its **own process**:
   weights.
 * **Crashes:** a worker that dies (OOM killer, segfault, ``kill -9``)
   fails pipe I/O in the parent; its in-flight batch is retried on a live
-  sibling and the death is surfaced via ``worker_crashes`` (the
-  ``WorkerCrashed`` error reaches callers only when no worker is left).
+  sibling (each worker has its own ring, so a batch staged into a dead
+  worker's slot is simply re-staged into the sibling's), the dead
+  worker's ring segment is unlinked with it, and the death is surfaced
+  via ``worker_crashes`` (the ``WorkerCrashed`` error reaches callers
+  only when no worker is left).
 
 Workers are spawned (not forked): forking a process that already runs an
 asyncio loop plus BLAS threads is unsound, and spawn keeps the backend
@@ -44,20 +54,30 @@ import threading
 import time
 from dataclasses import dataclass
 
+import numpy as np
+
 from ...nn.shm import ArenaManifest, SharedParameterArena
 from ...uncertainty.metrics import UncertaintyResult
 from .base import (
+    BatchOutput,
     WorkerCrashed,
     WorkerPool,
     assemble_results,
     compute_batch,
+    compute_batch_array,
+    engine_num_classes,
     engine_parameters,
 )
+from .ring import BatchRing, RingManifest
 
 __all__ = ["ProcessWorkerPool"]
 
 #: how often a parent thread waiting on a worker re-checks its liveness
 _POLL_INTERVAL_S = 0.2
+
+#: response modes on the ring acknowledgement
+_MODE_MC = 0  # one array: sample_probs (S, N, classes)
+_MODE_EARLY_EXIT = 1  # two arrays: probs (N, classes), exit_indices (N,)
 
 
 class _WorkerDied(Exception):
@@ -74,21 +94,32 @@ class _WorkerConfig:
     manifest: ArenaManifest
 
 
-def _worker_main(conn, config: _WorkerConfig) -> None:
+def _batch_output_arrays(out: BatchOutput) -> tuple[int, list[np.ndarray]]:
+    """(ring mode, arrays in slot order) for one batch result."""
+    if out.sample_probs is not None:
+        return _MODE_MC, [out.sample_probs]
+    return _MODE_EARLY_EXIT, [out.probs, out.exit_indices]
+
+
+def _worker_main(
+    conn, config: _WorkerConfig, ring_manifest: RingManifest | None
+) -> None:
     """Worker process entry point: serve batches until told to stop."""
     engine = config.engine
     arena = SharedParameterArena.attached(
         config.manifest, list(engine_parameters(engine))
     )
     arena.refresh()
+    ring = BatchRing.attached(ring_manifest) if ring_manifest is not None else None
     seen_token = None
     try:
         conn.send(("ready", os.getpid()))
         while True:
             msg = conn.recv()
-            if msg[0] == "stop":
+            kind = msg[0]
+            if kind == "stop":
                 break
-            _, seq, token, payloads = msg
+            _, seq, token, payload = msg
             try:
                 if token != seen_token:
                     # weights changed in the parent: sync version counters
@@ -97,17 +128,33 @@ def _worker_main(conn, config: _WorkerConfig) -> None:
                     arena.refresh()
                     engine.invalidate_cache()
                     seen_token = token
-                out = compute_batch(
-                    engine,
-                    seq,
-                    payloads,
-                    config.num_samples,
-                    config.early_exit_threshold,
-                )
+                if kind == "ring":
+                    out = compute_batch_array(
+                        engine,
+                        seq,
+                        ring.read_request(payload),
+                        config.num_samples,
+                        config.early_exit_threshold,
+                    )
+                else:
+                    out = compute_batch(
+                        engine,
+                        seq,
+                        payload,
+                        config.num_samples,
+                        config.early_exit_threshold,
+                    )
             except Exception as exc:  # compute failed; the worker lives on
                 conn.send(("error", f"{type(exc).__name__}: {exc}"))
             else:
-                conn.send(("ok", out))
+                if kind == "ring":
+                    mode, arrays = _batch_output_arrays(out)
+                    if ring.write_response(payload, arrays):
+                        conn.send(("ok_ring", payload, mode))
+                    else:  # response outgrew the slot: pickle it instead
+                        conn.send(("ok", out))
+                else:
+                    conn.send(("ok", out))
     except (EOFError, OSError, KeyboardInterrupt):
         pass  # parent went away (or interactive interrupt): just exit
     finally:
@@ -120,36 +167,89 @@ def _worker_main(conn, config: _WorkerConfig) -> None:
 class _WorkerHandle:
     """Parent-side endpoint of one worker process."""
 
-    def __init__(self, index: int, process, conn) -> None:
+    def __init__(self, index: int, process, conn, ring: BatchRing | None) -> None:
         self.index = index
         self.process = process
         self.conn = conn
+        self.ring = ring
         self.alive = True
+        #: transport breakdown for this worker's batches, summed by the pool
+        self.ring_batches = 0
+        self.pipe_batches = 0
+        self._free_slots = list(range(ring.slots)) if ring is not None else []
         # execute() is called from pool-executor threads; the lock keeps a
         # send/recv exchange atomic per worker even if a cancelled batch's
         # thread is still draining its response
         self._lock = threading.Lock()
 
+    def _stage(self, payloads: list) -> tuple[int | None, np.ndarray | None]:
+        """Claim a slot and stage the batch into it; (None, None) = pipe."""
+        if self.ring is None or not self._free_slots:
+            return None, None
+        shape = payloads[0].shape
+        if any(
+            not isinstance(p, np.ndarray) or p.shape != shape or p.dtype != np.float64
+            for p in payloads
+        ):
+            return None, None
+        slot = self._free_slots.pop()
+        dest = self.ring.stage_request(slot, (len(payloads),) + tuple(shape))
+        if dest is None:  # oversized payload: recycle the slot, use the pipe
+            self._free_slots.append(slot)
+            return None, None
+        for i, payload in enumerate(payloads):
+            dest[i] = payload
+        return slot, dest
+
     def execute(self, seq: int, token: int, payloads: list) -> list[UncertaintyResult]:
         """Blocking request/response exchange; runs on an executor thread."""
         with self._lock:
+            slot = None
             try:
-                self.conn.send(("predict", seq, token, payloads))
+                slot, _ = self._stage(payloads)
+                if slot is not None:
+                    self.conn.send(("ring", seq, token, slot))
+                    self.ring_batches += 1
+                else:
+                    self.conn.send(("predict", seq, token, payloads))
+                    self.pipe_batches += 1
                 while not self.conn.poll(_POLL_INTERVAL_S):
                     if not self.process.is_alive():
                         raise _WorkerDied(
                             f"worker {self.index} died "
                             f"(exitcode {self.process.exitcode})"
                         )
-                status, value = self.conn.recv()
+                reply = self.conn.recv()
+                if reply[0] == "ok_ring":
+                    # assemble while the slot is still owned: MC assembly
+                    # derives fresh arrays from the view immediately;
+                    # early-exit results retain per-row views, so those
+                    # arrays are copied out before the slot is recycled
+                    _, rslot, mode = reply
+                    arrays = self.ring.read_response(rslot)
+                    if mode == _MODE_MC:
+                        out = BatchOutput(sample_probs=arrays[0])
+                    else:
+                        out = BatchOutput(
+                            probs=arrays[0].copy(), exit_indices=arrays[1].copy()
+                        )
+                    return assemble_results(out)
             except (OSError, EOFError) as exc:
                 # OSError covers BrokenPipeError/ConnectionResetError and
                 # also "handle is closed": teardown may close the pipe while
                 # a cancelled batch's executor thread still drains it here
                 raise _WorkerDied(f"worker {self.index}: {exc!r}") from None
+            finally:
+                if slot is not None:
+                    self._free_slots.append(slot)
+        status, value = reply
         if status == "error":
             raise RuntimeError(f"serving worker {self.index} failed: {value}")
         return assemble_results(value)
+
+    def _release_ring(self) -> None:
+        if self.ring is not None:
+            self.ring.release()
 
     def reap(self) -> None:
         """Mark dead and reclaim OS resources (idempotent)."""
@@ -161,6 +261,7 @@ class _WorkerHandle:
         if self.process.is_alive():
             self.process.terminate()
         self.process.join(timeout=5.0)
+        self._release_ring()
 
     def shutdown(self, timeout: float = 5.0) -> None:
         """Ask the worker to exit, escalating to terminate."""
@@ -189,6 +290,7 @@ class _WorkerHandle:
             self.conn.close()
         except OSError:  # pragma: no cover
             pass
+        self._release_ring()
 
 
 class ProcessWorkerPool(WorkerPool):
@@ -202,8 +304,30 @@ class ProcessWorkerPool(WorkerPool):
         early_exit_threshold,
         mp_context: str = "spawn",
         start_timeout: float = 120.0,
+        *,
+        transport: str = "ring",
+        ring_slots: int = 2,
+        ring_request_bytes: int | None = None,
+        ring_response_bytes: int | None = None,
+        max_batch_size: int | None = None,
+        input_shape: tuple[int, ...] | None = None,
     ) -> None:
-        super().__init__(engine, workers, num_samples, early_exit_threshold)
+        super().__init__(
+            engine,
+            workers,
+            num_samples,
+            early_exit_threshold,
+            max_batch_size=max_batch_size,
+            input_shape=input_shape,
+        )
+        if transport not in ("ring", "pipe"):
+            raise ValueError(f"transport must be 'ring' or 'pipe', got {transport!r}")
+        if ring_slots <= 0:
+            raise ValueError("ring_slots must be positive")
+        self.transport = transport
+        self._ring_slots = int(ring_slots)
+        self._ring_request_bytes = ring_request_bytes
+        self._ring_response_bytes = ring_response_bytes
         self._mp_context = mp_context
         self._start_timeout = start_timeout
         self._arena: SharedParameterArena | None = None
@@ -211,6 +335,54 @@ class ProcessWorkerPool(WorkerPool):
         self._checkout: asyncio.Queue | None = None
         self._executor = None
         self._published_token: int | None = None
+
+    # ------------------------------------------------------------------ #
+    # transport stats
+    # ------------------------------------------------------------------ #
+    @property
+    def ring_batches(self) -> int:  # type: ignore[override]
+        return sum(h.ring_batches for h in self._handles)
+
+    @property
+    def pipe_batches(self) -> int:  # type: ignore[override]
+        return sum(h.pipe_batches for h in self._handles)
+
+    # ------------------------------------------------------------------ #
+    # ring sizing
+    # ------------------------------------------------------------------ #
+    def _ring_geometry(self) -> tuple[int, int] | None:
+        """Per-slot (request_bytes, response_bytes), or ``None`` = no ring.
+
+        Sizing is best-effort: an underestimate only costs a fallback to
+        the pipe (stage/write refuse, the batch ships pickled), never a
+        wrong answer.
+        """
+        if self.transport != "ring":
+            return None
+        if (
+            self._ring_request_bytes is not None
+            and self._ring_response_bytes is not None
+        ):
+            return self._ring_request_bytes, self._ring_response_bytes
+        if self.max_batch_size is None or self.input_shape is None:
+            return None
+        classes = engine_num_classes(self.engine)
+        if classes is None:
+            return None
+        example = int(np.prod(self.input_shape, dtype=np.int64))
+        request_bytes = 8 * self.max_batch_size * example
+        if self.num_samples is not None:
+            samples = self.num_samples
+        else:
+            model = getattr(self.engine, "model", None)
+            samples = model.config.default_mc_samples if model is not None else 1
+        # MC: (S, N, classes) float64; early-exit: (N, classes) + (N,) int64.
+        # Sized for the larger of the two so one geometry serves both modes.
+        response_bytes = 8 * self.max_batch_size * (max(samples, 1) * classes + 1)
+        return (
+            self._ring_request_bytes or request_bytes,
+            self._ring_response_bytes or response_bytes,
+        )
 
     # ------------------------------------------------------------------ #
     # lifecycle
@@ -237,19 +409,29 @@ class ProcessWorkerPool(WorkerPool):
             early_exit_threshold=self.early_exit_threshold,
             manifest=arena.manifest,
         )
+        geometry = self._ring_geometry()
         handles: list[_WorkerHandle] = []
         try:
             for i in range(self.workers):
+                ring = (
+                    BatchRing.create(self._ring_slots, *geometry)
+                    if geometry is not None
+                    else None
+                )
                 parent_conn, child_conn = ctx.Pipe()
                 process = ctx.Process(
                     target=_worker_main,
-                    args=(child_conn, config),
+                    args=(
+                        child_conn,
+                        config,
+                        ring.manifest if ring is not None else None,
+                    ),
                     daemon=True,
                     name=f"repro-serving-worker-{i}",
                 )
                 process.start()
                 child_conn.close()
-                handles.append(_WorkerHandle(i, process, parent_conn))
+                handles.append(_WorkerHandle(i, process, parent_conn, ring))
             deadline = time.monotonic() + self._start_timeout
             for handle in handles:
                 remaining = deadline - time.monotonic()

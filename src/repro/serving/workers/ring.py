@@ -1,0 +1,304 @@
+"""Fixed-slot shared-memory ring: zero-copy batch transport per worker.
+
+The pipe protocol of :mod:`repro.serving.workers.procpool` pickles every
+request batch and every response array across the process boundary — two
+full serialisations plus two copies per direction, all on the glue-bound
+hot path PR 5 measured.  A :class:`BatchRing` removes the pickling and the
+parent-side intermediate copy entirely:
+
+* Each worker owns one shared-memory segment holding ``slots`` fixed-size
+  slots.  A slot has a **request region** and a **response region**, each a
+  small int64 header (array count, dtype codes, shapes) followed by a
+  64-byte-aligned payload area.
+* The parent *stages* a microbatch by writing request rows straight into a
+  slot's payload (:meth:`stage_request` hands out the destination view, so
+  batch assembly is the only copy that happens on the parent side — the
+  historical ``np.stack`` intermediate is gone).
+* The pipe remains as a **doorbell** carrying only ``(seq, token, slot)``
+  — kilobyte-free.  The worker maps the same slot
+  (:meth:`read_request` returns an ndarray view, no copy), computes, and
+  writes the result arrays into the response region
+  (:meth:`write_response`); the parent reads them back as views
+  (:meth:`read_response`) and assembles per-request results before the
+  slot is recycled.
+
+**Ownership and reuse rules.**  A slot is owned by the parent from
+checkout until the response has been fully assembled; the worker may touch
+it only between receiving the doorbell and sending the acknowledgement.
+Each ``(request, response)`` exchange is strictly serialised per worker by
+the handle lock in ``procpool``, so a slot is never concurrently staged
+and read.  Responses read as views must be consumed (or copied) *before*
+the slot returns to the free list.
+
+Anything that does not fit — an oversized payload, a response larger than
+the sized region, an exotic dtype — falls back to the legacy pickle-pipe
+path; the ring is an optimisation, never a constraint on what can be
+served.
+
+Segments attach through the same per-process cache as the parameter arena
+(:func:`repro.nn.shm.open_attached_segment`), inheriting its
+resource-tracker discipline; the parent owns every ring segment and
+unlinks it on worker reap / pool stop.
+"""
+
+from __future__ import annotations
+
+import weakref
+from dataclasses import dataclass
+from multiprocessing import shared_memory
+
+import numpy as np
+
+from ...nn.shm import destroy_segment, open_attached_segment
+
+__all__ = ["BatchRing", "RingManifest"]
+
+#: most arrays one response may carry (MC: 1, early-exit: 2; headroom)
+_MAX_ARRAYS = 4
+#: most dimensions one array may have
+_MAX_DIMS = 8
+#: supported payload dtypes, by header code
+_DTYPES: dict[int, np.dtype] = {0: np.dtype(np.float64), 1: np.dtype(np.int64)}
+_DTYPE_CODES = {dtype: code for code, dtype in _DTYPES.items()}
+
+#: int64 words per region header: [narrays | per array: dtype, ndim, shape…]
+_HEADER_WORDS = 1 + _MAX_ARRAYS * (2 + _MAX_DIMS)
+_ALIGN = 64
+_HEADER_BYTES = -(-_HEADER_WORDS * 8 // _ALIGN) * _ALIGN
+
+
+def _align(nbytes: int) -> int:
+    return -(-nbytes // _ALIGN) * _ALIGN
+
+
+@dataclass(frozen=True)
+class RingManifest:
+    """Picklable description of one worker's ring, sent at spawn."""
+
+    segment_name: str
+    slots: int
+    request_bytes: int
+    response_bytes: int
+
+
+class BatchRing:
+    """Fixed-slot SPSC request/response ring over one shm segment.
+
+    Created (and eventually unlinked) by the parent; the worker attaches
+    via the :class:`RingManifest`.  ``request_bytes`` / ``response_bytes``
+    are payload capacities per slot, excluding headers.
+    """
+
+    def __init__(
+        self,
+        segment: shared_memory.SharedMemory,
+        slots: int,
+        request_bytes: int,
+        response_bytes: int,
+        owner: bool,
+    ) -> None:
+        self._segment = segment
+        self.slots = slots
+        self._request_bytes = request_bytes
+        self._response_bytes = response_bytes
+        self._owner = owner
+        self._released = False
+        self._slot_bytes = (
+            _HEADER_BYTES
+            + _align(request_bytes)
+            + _HEADER_BYTES
+            + _align(response_bytes)
+        )
+        if owner:
+            # last-resort cleanup, mirroring SharedParameterArena: a pool
+            # that never reaches stop() must not leak /dev/shm segments
+            self._finalizer = weakref.finalize(self, destroy_segment, segment)
+
+    # ------------------------------------------------------------------ #
+    # construction
+    # ------------------------------------------------------------------ #
+    @classmethod
+    def create(cls, slots: int, request_bytes: int, response_bytes: int) -> "BatchRing":
+        """Allocate a ring of ``slots`` fixed-size slots (parent side)."""
+        if slots <= 0:
+            raise ValueError("slots must be positive")
+        if request_bytes <= 0 or response_bytes <= 0:
+            raise ValueError("slot payload capacities must be positive")
+        slot_bytes = (
+            _HEADER_BYTES
+            + _align(request_bytes)
+            + _HEADER_BYTES
+            + _align(response_bytes)
+        )
+        segment = shared_memory.SharedMemory(create=True, size=slots * slot_bytes)
+        return cls(segment, slots, request_bytes, response_bytes, owner=True)
+
+    @classmethod
+    def attached(cls, manifest: RingManifest) -> "BatchRing":
+        """Attach to an existing ring (worker side)."""
+        segment = open_attached_segment(manifest.segment_name)
+        return cls(
+            segment,
+            manifest.slots,
+            manifest.request_bytes,
+            manifest.response_bytes,
+            owner=False,
+        )
+
+    @property
+    def manifest(self) -> RingManifest:
+        return RingManifest(
+            segment_name=self._segment.name,
+            slots=self.slots,
+            request_bytes=self._request_bytes,
+            response_bytes=self._response_bytes,
+        )
+
+    # ------------------------------------------------------------------ #
+    # region plumbing
+    # ------------------------------------------------------------------ #
+    def _region(self, slot: int, response: bool) -> tuple[int, int]:
+        """(payload offset, payload capacity) of one slot region."""
+        if not 0 <= slot < self.slots:
+            raise IndexError(f"slot {slot} out of range [0, {self.slots})")
+        base = slot * self._slot_bytes
+        if response:
+            base += _HEADER_BYTES + _align(self._request_bytes)
+            return base + _HEADER_BYTES, self._response_bytes
+        return base + _HEADER_BYTES, self._request_bytes
+
+    def _header(self, slot: int, response: bool) -> np.ndarray:
+        payload_off, _ = self._region(slot, response)
+        return np.ndarray(
+            (_HEADER_WORDS,),
+            dtype=np.int64,
+            buffer=self._segment.buf,
+            offset=payload_off - _HEADER_BYTES,
+        )
+
+    def _write_region(
+        self, slot: int, response: bool, arrays
+    ) -> list[np.ndarray] | None:
+        """Describe ``arrays`` in the region header; return destination views.
+
+        ``arrays`` is a sequence of ``(shape, dtype)`` pairs.  Returns
+        ``None`` (header untouched beyond narrays=0) when the payloads do
+        not fit the region or a dtype/rank is unsupported — the caller
+        falls back to the pipe.
+        """
+        header = self._header(slot, response)
+        payload_off, capacity = self._region(slot, response)
+        if len(arrays) > _MAX_ARRAYS:
+            return None
+        views: list[np.ndarray] = []
+        cursor = 0
+        words: list[int] = [len(arrays)]
+        for shape, dtype in arrays:
+            dtype = np.dtype(dtype)
+            code = _DTYPE_CODES.get(dtype)
+            if code is None or len(shape) > _MAX_DIMS:
+                return None
+            nbytes = int(np.prod(shape, dtype=np.int64)) * dtype.itemsize
+            if cursor + nbytes > capacity:
+                return None
+            views.append(
+                np.ndarray(
+                    tuple(shape),
+                    dtype=dtype,
+                    buffer=self._segment.buf,
+                    offset=payload_off + cursor,
+                )
+            )
+            cursor += _align(nbytes)
+            words.extend([code, len(shape), *shape, *([0] * (_MAX_DIMS - len(shape)))])
+        header[: len(words)] = words
+        return views
+
+    def _read_region(self, slot: int, response: bool) -> list[np.ndarray]:
+        """Fresh ndarray views over a region's arrays, per its header.
+
+        A *new* view object per call: downstream activation caches key on
+        array identity, so a recycled slot must never resurface as the
+        same Python object.
+        """
+        header = self._header(slot, response)
+        payload_off, _ = self._region(slot, response)
+        narrays = int(header[0])
+        views: list[np.ndarray] = []
+        cursor = 0
+        word = 1
+        for _ in range(narrays):
+            dtype = _DTYPES[int(header[word])]
+            ndim = int(header[word + 1])
+            shape = tuple(int(d) for d in header[word + 2 : word + 2 + ndim])
+            views.append(
+                np.ndarray(
+                    shape,
+                    dtype=dtype,
+                    buffer=self._segment.buf,
+                    offset=payload_off + cursor,
+                )
+            )
+            cursor += _align(int(np.prod(shape, dtype=np.int64)) * dtype.itemsize)
+            word += 2 + _MAX_DIMS
+        return views
+
+    # ------------------------------------------------------------------ #
+    # parent side
+    # ------------------------------------------------------------------ #
+    def stage_request(self, slot: int, shape: tuple[int, ...]) -> np.ndarray | None:
+        """Destination view for one float64 request batch, or ``None``.
+
+        The caller assembles the microbatch by writing rows directly into
+        the returned view — there is no intermediate stacked array.
+        ``None`` means the batch does not fit this ring (oversized payload
+        fallback: send it down the pipe instead).
+        """
+        views = self._write_region(slot, response=False, arrays=[(shape, np.float64)])
+        return views[0] if views is not None else None
+
+    def read_response(self, slot: int) -> list[np.ndarray]:
+        """The response arrays a worker left in ``slot``, as views.
+
+        Views alias the slot: consume or copy them before the slot is
+        recycled (MC assembly derives fresh arrays immediately; early-exit
+        assembly must copy, see ``procpool``).
+        """
+        return self._read_region(slot, response=True)
+
+    # ------------------------------------------------------------------ #
+    # worker side
+    # ------------------------------------------------------------------ #
+    def read_request(self, slot: int) -> np.ndarray:
+        """The staged request batch in ``slot``, as a fresh view."""
+        return self._read_region(slot, response=False)[0]
+
+    def write_response(self, slot: int, arrays) -> bool:
+        """Copy result arrays into the response region; ``False`` = no fit.
+
+        On ``False`` nothing useful was written and the worker falls back
+        to pickling the result over the pipe.
+        """
+        specs = [(a.shape, a.dtype) for a in arrays]
+        views = self._write_region(slot, response=True, arrays=specs)
+        if views is None:
+            return False
+        for view, array in zip(views, arrays):
+            view[...] = array
+        return True
+
+    # ------------------------------------------------------------------ #
+    # teardown
+    # ------------------------------------------------------------------ #
+    def release(self) -> None:
+        """Owner: unlink the segment; attached: drop the local mapping.
+
+        Idempotent.  Attached (worker-side) rings only close their handle
+        indirectly via process exit — the mapping is shared through the
+        per-process segment cache, mirroring the parameter arena.
+        """
+        if self._released:
+            return
+        self._released = True
+        if self._owner:
+            self._finalizer()  # close + unlink, exactly once

@@ -8,6 +8,11 @@ arrays zero-copy, private context and cache each.  NumPy's GEMMs release
 the GIL, so batches genuinely overlap on multi-core hosts; the Python glue
 between the GEMMs does not, which is what the process backend
 (:mod:`repro.serving.workers.procpool`) exists to lift.
+
+When the serving engine knows the batch geometry, each replica carries a
+:class:`~repro.serving.batcher.BatchStager` — a pre-pinned assembly buffer
+that replaces the per-batch ``np.stack`` allocation.  Staged and stacked
+batches have identical layout, so responses stay bit-identical either way.
 """
 
 from __future__ import annotations
@@ -15,7 +20,8 @@ from __future__ import annotations
 import asyncio
 
 from ...uncertainty.metrics import UncertaintyResult
-from .base import WorkerPool, assemble_results, compute_batch
+from ..batcher import BatchStager
+from .base import WorkerPool, assemble_results, compute_batch, compute_batch_array
 
 __all__ = ["ThreadWorkerPool"]
 
@@ -23,11 +29,36 @@ __all__ = ["ThreadWorkerPool"]
 class ThreadWorkerPool(WorkerPool):
     """Check batches out to K reentrant engine replicas in worker threads."""
 
-    def __init__(self, engine, workers, num_samples, early_exit_threshold) -> None:
-        super().__init__(engine, workers, num_samples, early_exit_threshold)
+    def __init__(
+        self,
+        engine,
+        workers,
+        num_samples,
+        early_exit_threshold,
+        *,
+        max_batch_size=None,
+        input_shape=None,
+    ) -> None:
+        super().__init__(
+            engine,
+            workers,
+            num_samples,
+            early_exit_threshold,
+            max_batch_size=max_batch_size,
+            input_shape=input_shape,
+        )
         # replica 0 is the caller's engine (shared activation cache);
         # the rest share its parameters zero-copy but nothing per-call
         self._engines = [engine] + [engine.replicate() for _ in range(workers - 1)]
+        # one pinned staging buffer per replica; checkout pairs them, so a
+        # buffer is never written while its previous batch is in flight
+        if self.max_batch_size is not None and self.input_shape is not None:
+            self._stagers = [
+                BatchStager(self.max_batch_size, self.input_shape)
+                for _ in self._engines
+            ]
+        else:
+            self._stagers = [None] * len(self._engines)
         self._checkout: asyncio.Queue | None = None
         self._executor = None
 
@@ -38,7 +69,7 @@ class ThreadWorkerPool(WorkerPool):
             return
         self._executor = executor
         self._checkout = asyncio.Queue()
-        for replica in self._engines:
+        for replica in zip(self._engines, self._stagers):
             self._checkout.put_nowait(replica)
 
     async def stop(self) -> None:
@@ -47,18 +78,25 @@ class ThreadWorkerPool(WorkerPool):
 
     async def run(self, seq: int, payloads: list) -> list[UncertaintyResult]:
         assert self._checkout is not None, "pool is not started"
-        engine = await self._checkout.get()
+        engine, stager = await self._checkout.get()
         try:
             loop = asyncio.get_running_loop()
             return await loop.run_in_executor(
-                self._executor, self._serve, engine, seq, payloads
+                self._executor, self._serve, engine, stager, seq, payloads
             )
         finally:
-            self._checkout.put_nowait(engine)
+            self._checkout.put_nowait((engine, stager))
 
-    def _serve(self, engine, seq: int, payloads: list) -> list[UncertaintyResult]:
-        return assemble_results(
-            compute_batch(
+    def _serve(
+        self, engine, stager: BatchStager | None, seq: int, payloads: list
+    ) -> list[UncertaintyResult]:
+        batch = stager.stage(payloads) if stager is not None else None
+        if batch is None:
+            out = compute_batch(
                 engine, seq, payloads, self.num_samples, self.early_exit_threshold
             )
-        )
+        else:
+            out = compute_batch_array(
+                engine, seq, batch, self.num_samples, self.early_exit_threshold
+            )
+        return assemble_results(out)

@@ -38,7 +38,9 @@ class ReliabilityBin:
         return abs(self.mean_confidence - self.accuracy)
 
 
-def _validate_probs(probs: np.ndarray, labels: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+def _validate_probs(
+    probs: np.ndarray, labels: np.ndarray
+) -> tuple[np.ndarray, np.ndarray]:
     probs = np.asarray(probs, dtype=np.float64)
     labels = np.asarray(labels)
     if probs.ndim != 2:
@@ -95,8 +97,13 @@ def reliability_bins(
             )
         else:
             bins.append(
-                ReliabilityBin(lower=float(lower), upper=float(upper), count=0,
-                               mean_confidence=0.0, accuracy=0.0)
+                ReliabilityBin(
+                    lower=float(lower),
+                    upper=float(upper),
+                    count=0,
+                    mean_confidence=0.0,
+                    accuracy=0.0,
+                )
             )
     return bins
 

@@ -83,8 +83,11 @@ class DeepEnsemble:
         for i, member in enumerate(self.members):
             optimizer = SGD(member.parameters(), lr=lr, weight_decay=weight_decay)
             trainer = Trainer(
-                member, optimizer, CrossEntropyLoss(),
-                batch_size=batch_size, seed=self.seed + 100 + i,
+                member,
+                optimizer,
+                CrossEntropyLoss(),
+                batch_size=batch_size,
+                seed=self.seed + 100 + i,
             )
             history = trainer.fit(x, y, epochs=epochs)
             final_acc.append(history.accuracy[-1])

@@ -58,8 +58,9 @@ class TestTable2And3:
 
     def test_table2_cpu_gpu_much_worse(self, accel):
         rows = {r["name"]: r for r in run_table2(accel)}
-        assert rows["CPU"]["energy_per_image_j"] / rows["Our Work"]["energy_per_image_j"] > 10
-        assert rows["GPU"]["energy_per_image_j"] / rows["Our Work"]["energy_per_image_j"] > 10
+        ours = rows["Our Work"]["energy_per_image_j"]
+        assert rows["CPU"]["energy_per_image_j"] / ours > 10
+        assert rows["GPU"]["energy_per_image_j"] / ours > 10
 
     def test_table3_percentages(self, accel):
         result = run_table3(accel)
@@ -107,17 +108,23 @@ class TestFigure5:
 
 class TestFlopsReductionSweep:
     def test_rows_and_monotonicity(self):
-        rows = run_flops_reduction(alphas=(0.1,), sample_counts=(2, 4, 8), exit_counts=(1, 2))
+        rows = run_flops_reduction(
+            alphas=(0.1,), sample_counts=(2, 4, 8), exit_counts=(1, 2)
+        )
         assert all(r["reduction_rate"] >= 1.0 for r in rows)
         by_exits = {}
         for r in rows:
-            by_exits.setdefault(r["num_samples"], {})[r["num_exits"]] = r["reduction_rate"]
+            by_exits.setdefault(r["num_samples"], {})[r["num_exits"]] = r[
+                "reduction_rate"
+            ]
         for rates in by_exits.values():
             if 1 in rates and 2 in rates:
                 assert rates[2] >= rates[1]
 
     def test_skips_exits_exceeding_samples(self):
-        rows = run_flops_reduction(alphas=(0.1,), sample_counts=(2,), exit_counts=(1, 4))
+        rows = run_flops_reduction(
+            alphas=(0.1,), sample_counts=(2,), exit_counts=(1, 4)
+        )
         assert all(r["num_exits"] <= r["num_samples"] for r in rows)
 
 
@@ -139,7 +146,8 @@ class TestTable1Small:
             confidence_thresholds=(0.8,),
             architectures={
                 "lenet5": lambda width_multiplier=1.0: lenet5_spec(
-                    input_shape=(3, 12, 12), num_classes=5,
+                    input_shape=(3, 12, 12),
+                    num_classes=5,
                     width_multiplier=0.5 * width_multiplier,
                 )
             },
@@ -157,10 +165,12 @@ class TestTable1Small:
             assert entry["relative_flops"] > 0.0
 
     def test_se_reference_flops_is_one(self, results):
-        assert results["lenet5"]["SE"]["acc_opt"]["relative_flops"] == pytest.approx(1.0)
+        assert results["lenet5"]["SE"]["acc_opt"]["relative_flops"] == pytest.approx(
+            1.0
+        )
 
     def test_multi_exit_flops_near_se(self, results):
-        """ME / MCD+ME forward-pass cost stays within a few percent of SE (Table I shape)."""
+        """ME / MCD+ME forward cost within a few percent of SE (Table I shape)."""
         for variant in ("ME", "MCD+ME"):
             entry = results["lenet5"][variant]["acc_opt"]
             assert entry["relative_flops"] < 1.6

@@ -36,8 +36,13 @@ def tiny_rgb_images(rng) -> np.ndarray:
 def tiny_dataset() -> SyntheticImageDataset:
     """A small learnable synthetic dataset (5 classes, 12x12 images)."""
     return SyntheticImageDataset(
-        "tiny", input_shape=(1, 12, 12), num_classes=5,
-        train_size=96, test_size=48, noise_level=0.4, seed=0,
+        "tiny",
+        input_shape=(1, 12, 12),
+        num_classes=5,
+        train_size=96,
+        test_size=48,
+        noise_level=0.4,
+        seed=0,
     )
 
 
@@ -51,16 +56,22 @@ def small_lenet_spec(width_multiplier: float = 1.0):
 def small_resnet_spec(width_multiplier: float = 1.0):
     """Two-stage ResNet on 8x8 RGB inputs."""
     return resnet_spec(
-        "resnet10", input_shape=(3, 8, 8), num_classes=4,
-        width_multiplier=0.125 * width_multiplier, max_stages=2,
+        "resnet10",
+        input_shape=(3, 8, 8),
+        num_classes=4,
+        width_multiplier=0.125 * width_multiplier,
+        max_stages=2,
     )
 
 
 def small_vgg_spec(width_multiplier: float = 1.0):
     """Two-stage VGG-11 on 8x8 RGB inputs."""
     return vgg_spec(
-        "vgg11", input_shape=(3, 8, 8), num_classes=4,
-        width_multiplier=0.125 * width_multiplier, max_stages=2,
+        "vgg11",
+        input_shape=(3, 8, 8),
+        num_classes=4,
+        width_multiplier=0.125 * width_multiplier,
+        max_stages=2,
     )
 
 
@@ -85,7 +96,10 @@ def multi_exit_model(lenet_spec_small) -> MultiExitBayesNet:
     return MultiExitBayesNet(
         lenet_spec_small,
         MultiExitConfig(
-            num_exits=2, mcd_layers_per_exit=1, dropout_rate=0.25,
-            default_mc_samples=4, seed=0,
+            num_exits=2,
+            mcd_layers_per_exit=1,
+            dropout_rate=0.25,
+            default_mc_samples=4,
+            seed=0,
         ),
     )

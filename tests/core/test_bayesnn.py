@@ -100,7 +100,9 @@ class TestForwardBackward:
         """Numerically check the multi-exit backward pass through the backbone."""
         model = MultiExitBayesNet(
             small_lenet_spec(),
-            MultiExitConfig(num_exits=2, mcd_layers_per_exit=0, dropout_rate=0.0, seed=0),
+            MultiExitConfig(
+                num_exits=2, mcd_layers_per_exit=0, dropout_rate=0.0, seed=0
+            ),
         )
         x = rng.normal(size=(2, 1, 12, 12))
         proj = [rng.normal(size=(2, 5)) for _ in range(2)]
@@ -211,6 +213,9 @@ class TestSingleExitBayesNet:
         np.testing.assert_allclose(net.predict(x), net.predict(x))
 
     def test_works_for_resnet_and_vgg(self, rng):
-        for spec_fn, shape in ((small_resnet_spec, (2, 3, 8, 8)), (small_vgg_spec, (2, 3, 8, 8))):
+        for spec_fn, shape in (
+            (small_resnet_spec, (2, 3, 8, 8)),
+            (small_vgg_spec, (2, 3, 8, 8)),
+        ):
             net = single_exit_bayesnet(spec_fn(), num_mcd_layers=2)
             assert net.predict(rng.normal(size=shape)).shape == (2, 4)

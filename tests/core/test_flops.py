@@ -14,7 +14,15 @@ from repro.core.flops import (
     reduction_rate,
     single_exit_sampling_flops,
 )
-from repro.nn.layers import Conv2D, Dense, Flatten, MaxPool2D, MCDropout, ReLU, ResidualBlock
+from repro.nn.layers import (
+    Conv2D,
+    Dense,
+    Flatten,
+    MaxPool2D,
+    MCDropout,
+    ReLU,
+    ResidualBlock,
+)
 from repro.nn.model import Network
 
 
@@ -65,7 +73,9 @@ class TestLayerFlops:
 
 class TestNetworkFlops:
     def test_sum_of_layers(self):
-        net = Network([Conv2D(4, 3, padding=1), ReLU(), MaxPool2D(2), Flatten(), Dense(5)])
+        net = Network(
+            [Conv2D(4, 3, padding=1), ReLU(), MaxPool2D(2), Flatten(), Dense(5)]
+        )
         net.build((1, 8, 8))
         assert network_flops(net) == sum(layer_flops(layer) for layer in net.layers)
 

@@ -56,8 +56,13 @@ class TestInsertMCD:
 class TestMCSampler:
     def _bayes_net(self, rate=0.5):
         net = Network(
-            [Flatten(), Dense(16, name="fc1"), ReLU(),
-             MCDropout(rate, filter_wise=False, name="mcd"), Dense(3, name="out")]
+            [
+                Flatten(),
+                Dense(16, name="fc1"),
+                ReLU(),
+                MCDropout(rate, filter_wise=False, name="mcd"),
+                Dense(3, name="out"),
+            ]
         )
         return net.build((2, 4, 4), seed=0)
 
@@ -185,7 +190,9 @@ class TestEnsemblesAndEarlyExit:
         assert np.all(result.exit_indices == 1)
 
     def test_early_exit_low_threshold_uses_first_exit(self):
-        result = confidence_early_exit(self._probs(), threshold=0.55, use_ensemble=False)
+        result = confidence_early_exit(
+            self._probs(), threshold=0.55, use_ensemble=False
+        )
         assert result.exit_indices[0] == 0
 
     def test_exit_distribution_sums_to_one(self):
@@ -193,7 +200,9 @@ class TestEnsemblesAndEarlyExit:
         assert abs(result.exit_distribution.sum() - 1.0) < 1e-12
 
     def test_expected_flops_weighted_by_distribution(self):
-        result = confidence_early_exit(self._probs(), threshold=0.75, use_ensemble=False)
+        result = confidence_early_exit(
+            self._probs(), threshold=0.75, use_ensemble=False
+        )
         flops = result.expected_flops([1.0, 2.0])
         expected = (result.exit_distribution * np.array([1.0, 2.0])).sum()
         assert abs(flops - expected) < 1e-12

@@ -18,8 +18,13 @@ from ..conftest import small_lenet_spec
 @pytest.fixture(scope="module")
 def fast_dataset():
     return SyntheticImageDataset(
-        "phase1", input_shape=(1, 12, 12), num_classes=5,
-        train_size=64, test_size=32, noise_level=0.4, seed=1,
+        "phase1",
+        input_shape=(1, 12, 12),
+        num_classes=5,
+        train_size=64,
+        test_size=32,
+        noise_level=0.4,
+        seed=1,
     )
 
 
@@ -42,12 +47,15 @@ class TestCandidateGrid:
         assert len(grid) == 2 * 2
 
     def test_forward_passes(self):
-        c = CandidateConfig(num_exits=3, dropout_rate=0.25, mcd_layers_per_exit=1,
-                            num_mc_samples=7)
+        c = CandidateConfig(
+            num_exits=3, dropout_rate=0.25, mcd_layers_per_exit=1, num_mc_samples=7
+        )
         assert c.num_forward_passes == 3
 
     def test_explicit_exit_counts(self):
-        grid = default_candidate_grid(max_exits=4, exit_counts=(1, 4), dropout_rates=(0.25,))
+        grid = default_candidate_grid(
+            max_exits=4, exit_counts=(1, 4), dropout_rates=(0.25,)
+        )
         assert {c.num_exits for c in grid} == {1, 4}
 
     def test_invalid_max_exits(self):
@@ -59,7 +67,11 @@ class TestConstraintsAndSelection:
     def _design(self, accuracy, ece, flops):
         return EvaluatedDesign(
             config=CandidateConfig(1, 0.25, 1, 4),
-            accuracy=accuracy, ece=ece, nll=1.0, flops=flops, relative_flops=flops,
+            accuracy=accuracy,
+            ece=ece,
+            nll=1.0,
+            flops=flops,
+            relative_flops=flops,
         )
 
     def test_constraint_filtering(self):
@@ -69,7 +81,9 @@ class TestConstraintsAndSelection:
 
     def test_flops_constraint(self):
         designs = [self._design(0.9, 0.05, 2.0), self._design(0.8, 0.05, 0.9)]
-        kept = MultiExitOptimizer.filter(designs, UserConstraints(max_relative_flops=1.0))
+        kept = MultiExitOptimizer.filter(
+            designs, UserConstraints(max_relative_flops=1.0)
+        )
         assert len(kept) == 1
 
     def test_selection_by_priority(self):
@@ -90,8 +104,12 @@ class TestConstraintsAndSelection:
 class TestPhase1Flow:
     def test_explore_and_run(self, optimizer):
         candidates = [
-            CandidateConfig(num_exits=1, dropout_rate=0.25, mcd_layers_per_exit=1, num_mc_samples=2),
-            CandidateConfig(num_exits=2, dropout_rate=0.25, mcd_layers_per_exit=1, num_mc_samples=2),
+            CandidateConfig(
+                num_exits=1, dropout_rate=0.25, mcd_layers_per_exit=1, num_mc_samples=2
+            ),
+            CandidateConfig(
+                num_exits=2, dropout_rate=0.25, mcd_layers_per_exit=1, num_mc_samples=2
+            ),
         ]
         best, designs = optimizer.run(candidates=candidates, priority="calibration")
         assert len(designs) == 2
@@ -106,14 +124,18 @@ class TestPhase1Flow:
 
     def test_build_candidate_structure(self, optimizer):
         model = optimizer.build_candidate(
-            CandidateConfig(num_exits=2, dropout_rate=0.5, mcd_layers_per_exit=1, num_mc_samples=4)
+            CandidateConfig(
+                num_exits=2, dropout_rate=0.5, mcd_layers_per_exit=1, num_mc_samples=4
+            )
         )
         assert model.num_exits == 2
         assert model.config.dropout_rate == 0.5
 
     def test_infeasible_constraints_fall_back(self, optimizer):
         candidates = [
-            CandidateConfig(num_exits=1, dropout_rate=0.25, mcd_layers_per_exit=1, num_mc_samples=2)
+            CandidateConfig(
+                num_exits=1, dropout_rate=0.25, mcd_layers_per_exit=1, num_mc_samples=2
+            )
         ]
         best, _ = optimizer.run(
             candidates=candidates,
@@ -140,7 +162,9 @@ class TestTransformationFramework:
             ),
         )
         candidates = [
-            CandidateConfig(num_exits=2, dropout_rate=0.25, mcd_layers_per_exit=1, num_mc_samples=2)
+            CandidateConfig(
+                num_exits=2, dropout_rate=0.25, mcd_layers_per_exit=1, num_mc_samples=2
+            )
         ]
         return framework.run(candidates=candidates)
 
@@ -157,7 +181,12 @@ class TestTransformationFramework:
         assert report.power_w["total"] > 0
 
     def test_hls_files_generated(self, design):
-        assert set(design.hls_files) >= {"parameters.h", "mcd_layers.h", "layers.h", "top.cpp"}
+        assert set(design.hls_files) >= {
+            "parameters.h",
+            "mcd_layers.h",
+            "layers.h",
+            "top.cpp",
+        }
         assert "mc_dropout" in design.hls_files["mcd_layers.h"]
 
     def test_summary_structure(self, design):

@@ -7,8 +7,8 @@ from repro.datasets import (
     DataLoader,
     DatasetSplit,
     SyntheticImageDataset,
-    cifar10_like,
     cifar100_like,
+    cifar10_like,
     mnist_like,
     svhn_like,
 )
@@ -16,35 +16,50 @@ from repro.datasets import (
 
 class TestSyntheticDataset:
     def test_shapes_and_sizes(self):
-        ds = SyntheticImageDataset("t", (3, 8, 8), 4, train_size=40, test_size=10, seed=0)
+        ds = SyntheticImageDataset(
+            "t", (3, 8, 8), 4, train_size=40, test_size=10, seed=0
+        )
         assert ds.train.x.shape == (40, 3, 8, 8)
         assert ds.test.x.shape == (10, 3, 8, 8)
         assert ds.train.y.shape == (40,)
 
     def test_labels_in_range(self):
-        ds = SyntheticImageDataset("t", (1, 8, 8), 6, train_size=60, test_size=20, seed=1)
+        ds = SyntheticImageDataset(
+            "t", (1, 8, 8), 6, train_size=60, test_size=20, seed=1
+        )
         assert ds.train.y.min() >= 0 and ds.train.y.max() < 6
 
     def test_deterministic_given_seed(self):
-        a = SyntheticImageDataset("t", (1, 8, 8), 3, train_size=20, test_size=10, seed=7)
-        b = SyntheticImageDataset("t", (1, 8, 8), 3, train_size=20, test_size=10, seed=7)
+        a = SyntheticImageDataset(
+            "t", (1, 8, 8), 3, train_size=20, test_size=10, seed=7
+        )
+        b = SyntheticImageDataset(
+            "t", (1, 8, 8), 3, train_size=20, test_size=10, seed=7
+        )
         np.testing.assert_allclose(a.train.x, b.train.x)
         np.testing.assert_array_equal(a.train.y, b.train.y)
 
     def test_different_seeds_differ(self):
-        a = SyntheticImageDataset("t", (1, 8, 8), 3, train_size=20, test_size=10, seed=1)
-        b = SyntheticImageDataset("t", (1, 8, 8), 3, train_size=20, test_size=10, seed=2)
+        a = SyntheticImageDataset(
+            "t", (1, 8, 8), 3, train_size=20, test_size=10, seed=1
+        )
+        b = SyntheticImageDataset(
+            "t", (1, 8, 8), 3, train_size=20, test_size=10, seed=2
+        )
         assert not np.allclose(a.train.x, b.train.x)
 
     def test_normalisation(self):
-        ds = SyntheticImageDataset("t", (3, 8, 8), 4, train_size=200, test_size=50, seed=0)
+        ds = SyntheticImageDataset(
+            "t", (3, 8, 8), 4, train_size=200, test_size=50, seed=0
+        )
         assert abs(ds.train.x.mean()) < 0.1
         assert abs(ds.train.x.std() - 1.0) < 0.1
 
     def test_task_is_learnable(self):
         """Same-class samples must be closer to their prototype than to others."""
-        ds = SyntheticImageDataset("t", (1, 10, 10), 3, train_size=90, test_size=30,
-                                   noise_level=0.3, seed=0)
+        ds = SyntheticImageDataset(
+            "t", (1, 10, 10), 3, train_size=90, test_size=30, noise_level=0.3, seed=0
+        )
         x, y = ds.train.x, ds.train.y
         centroids = np.stack([x[y == c].mean(axis=0) for c in range(3)])
         correct = 0
@@ -54,14 +69,18 @@ class TestSyntheticDataset:
         assert correct / len(y) > 0.7
 
     def test_shifted_test_set_is_shifted(self):
-        ds = SyntheticImageDataset("t", (1, 8, 8), 3, train_size=20, test_size=20, seed=0)
+        ds = SyntheticImageDataset(
+            "t", (1, 8, 8), 3, train_size=20, test_size=20, seed=0
+        )
         shifted = ds.shifted_test_set(noise_multiplier=2.0, intensity_shift=1.0)
         assert shifted.x.shape == ds.test.x.shape
         assert shifted.x.mean() > ds.test.x.mean() + 0.5
         np.testing.assert_array_equal(shifted.y, ds.test.y)
 
     def test_subset(self):
-        ds = SyntheticImageDataset("t", (1, 8, 8), 3, train_size=20, test_size=10, seed=0)
+        ds = SyntheticImageDataset(
+            "t", (1, 8, 8), 3, train_size=20, test_size=10, seed=0
+        )
         sub = ds.train.subset(5)
         assert len(sub) == 5
         with pytest.raises(ValueError):
@@ -103,7 +122,9 @@ class TestDataLoader:
         assert len(DataLoader(self._split(20), batch_size=6, drop_last=True)) == 3
 
     def test_drop_last(self):
-        loader = DataLoader(self._split(20), batch_size=6, drop_last=True, shuffle=False)
+        loader = DataLoader(
+            self._split(20), batch_size=6, drop_last=True, shuffle=False
+        )
         sizes = [len(x) for x, _ in loader]
         assert sizes == [6, 6, 6]
 

@@ -4,11 +4,11 @@ import pytest
 
 from repro.core import single_exit_bayesnet
 from repro.hw import (
+    PUBLISHED_BASELINES,
     AcceleratorConfig,
     AcceleratorModel,
     CoExplorer,
     DesignPoint,
-    PUBLISHED_BASELINES,
     cpu_gpu_projection,
     pareto_front,
     partition_multi_exit,
@@ -29,8 +29,13 @@ def bayes_lenet():
 def accel(bayes_lenet):
     return AcceleratorModel(
         bayes_lenet,
-        AcceleratorConfig(device="XCKU115", weight_bitwidth=8, reuse_factor=16,
-                          num_mc_samples=3, mapping=temporal_mapping(3)),
+        AcceleratorConfig(
+            device="XCKU115",
+            weight_bitwidth=8,
+            reuse_factor=16,
+            num_mc_samples=3,
+            mapping=temporal_mapping(3),
+        ),
     )
 
 
@@ -72,16 +77,27 @@ class TestAcceleratorModel:
     def test_resources_include_engine_replication(self, bayes_lenet):
         temporal = AcceleratorModel(
             bayes_lenet,
-            AcceleratorConfig(weight_bitwidth=8, reuse_factor=16, num_mc_samples=3,
-                              mapping=temporal_mapping(3)),
+            AcceleratorConfig(
+                weight_bitwidth=8,
+                reuse_factor=16,
+                num_mc_samples=3,
+                mapping=temporal_mapping(3),
+            ),
         )
         spatial = AcceleratorModel(
             bayes_lenet,
-            AcceleratorConfig(weight_bitwidth=8, reuse_factor=16, num_mc_samples=3,
-                              mapping=spatial_mapping(3)),
+            AcceleratorConfig(
+                weight_bitwidth=8,
+                reuse_factor=16,
+                num_mc_samples=3,
+                mapping=spatial_mapping(3),
+            ),
         )
         assert spatial.resources().lut > temporal.resources().lut
-        assert spatial.deterministic_resources().lut == temporal.deterministic_resources().lut
+        assert (
+            spatial.deterministic_resources().lut
+            == temporal.deterministic_resources().lut
+        )
 
     def test_latency_spatial_faster_than_temporal(self, bayes_lenet):
         kwargs = dict(weight_bitwidth=8, reuse_factor=16, num_mc_samples=5)
@@ -95,20 +111,25 @@ class TestAcceleratorModel:
         def latency(samples):
             return AcceleratorModel(
                 bayes_lenet,
-                AcceleratorConfig(weight_bitwidth=8, reuse_factor=16,
-                                  num_mc_samples=samples,
-                                  mapping=temporal_mapping(samples)),
+                AcceleratorConfig(
+                    weight_bitwidth=8,
+                    reuse_factor=16,
+                    num_mc_samples=samples,
+                    mapping=temporal_mapping(samples),
+                ),
             ).latency_ms()
 
         assert latency(1) < latency(4) < latency(8)
 
     def test_reuse_factor_trades_latency_for_resources(self, bayes_lenet):
         fast = AcceleratorModel(
-            bayes_lenet, AcceleratorConfig(weight_bitwidth=16, reuse_factor=1,
-                                           num_mc_samples=3))
+            bayes_lenet, AcceleratorConfig(
+                weight_bitwidth=16, reuse_factor=1, num_mc_samples=3
+            ))
         slow = AcceleratorModel(
-            bayes_lenet, AcceleratorConfig(weight_bitwidth=16, reuse_factor=32,
-                                           num_mc_samples=3))
+            bayes_lenet, AcceleratorConfig(
+                weight_bitwidth=16, reuse_factor=32, num_mc_samples=3
+            ))
         assert fast.latency_ms() < slow.latency_ms()
         assert fast.resources().dsp > slow.resources().dsp
 
@@ -121,10 +142,14 @@ class TestAcceleratorModel:
 
     def test_summary_keys(self, accel):
         summary = accel.summary()
-        assert {"resources", "latency_ms", "power_w", "energy_per_image_j"} <= set(summary)
+        assert {"resources", "latency_ms", "power_w", "energy_per_image_j"} <= set(
+            summary
+        )
 
     def test_throughput(self, accel):
-        assert accel.throughput_images_per_s() == pytest.approx(1000.0 / accel.latency_ms())
+        assert accel.throughput_images_per_s() == pytest.approx(
+            1000.0 / accel.latency_ms()
+        )
 
     def test_mapping_sample_mismatch_rejected(self):
         with pytest.raises(ValueError):
@@ -141,8 +166,9 @@ class TestCoExplorer:
         return CoExplorer(factory, device="XCKU115", num_mc_samples=2)
 
     def test_explore_grid_size(self, explorer):
-        points = explorer.explore(bitwidths=(8, 16), channel_multipliers=(1.0, 0.5),
-                                  reuse_factors=(16,))
+        points = explorer.explore(
+            bitwidths=(8, 16), channel_multipliers=(1.0, 0.5), reuse_factors=(16,)
+        )
         assert len(points) == 4
 
     def test_lower_bitwidth_not_more_dsp(self, explorer):
@@ -156,8 +182,9 @@ class TestCoExplorer:
         assert quarter.energy_per_image_j < full.energy_per_image_j
 
     def test_select_minimises_objective(self, explorer):
-        points = explorer.explore(bitwidths=(8, 16), channel_multipliers=(1.0, 0.5),
-                                  reuse_factors=(16,))
+        points = explorer.explore(
+            bitwidths=(8, 16), channel_multipliers=(1.0, 0.5), reuse_factors=(16,)
+        )
         best = explorer.select(points, objective="energy")
         assert best.energy_per_image_j == min(p.energy_per_image_j for p in points)
 
@@ -173,15 +200,23 @@ class TestCoExplorer:
             DesignPoint(8, 0.0, 1)
 
     def test_pareto_front_non_dominated(self, explorer):
-        points = explorer.explore(bitwidths=(4, 8, 16), channel_multipliers=(1.0, 0.25),
-                                  reuse_factors=(4, 64))
+        points = explorer.explore(
+            bitwidths=(4, 8, 16), channel_multipliers=(1.0, 0.25), reuse_factors=(4, 64)
+        )
         front = pareto_front(points)
         assert front
         for f in front:
             assert not any(
-                (o.latency_ms <= f.latency_ms and o.energy_per_image_j <= f.energy_per_image_j
-                 and (o.latency_ms < f.latency_ms or o.energy_per_image_j < f.energy_per_image_j))
-                for o in points if o is not f
+                (
+                    o.latency_ms <= f.latency_ms
+                    and o.energy_per_image_j <= f.energy_per_image_j
+                    and (
+                        o.latency_ms < f.latency_ms
+                        or o.energy_per_image_j < f.energy_per_image_j
+                    )
+                )
+                for o in points
+                if o is not f
             )
 
     def test_accuracy_constraint_filters(self):
@@ -194,10 +229,15 @@ class TestCoExplorer:
             calls["n"] += 1
             return 0.9 if bitwidth >= 8 else 0.1
 
-        explorer = CoExplorer(factory, num_mc_samples=2, accuracy_fn=fake_accuracy,
-                              accuracy_tolerance=0.05)
-        points = explorer.explore(bitwidths=(4, 16), channel_multipliers=(1.0,),
-                                  reuse_factors=(16,))
+        explorer = CoExplorer(
+            factory,
+            num_mc_samples=2,
+            accuracy_fn=fake_accuracy,
+            accuracy_tolerance=0.05,
+        )
+        points = explorer.explore(
+            bitwidths=(4, 16), channel_multipliers=(1.0,), reuse_factors=(16,)
+        )
         feasible = explorer.feasible(points)
         assert all(p.point.bitwidth >= 8 for p in feasible)
         assert calls["n"] >= 2
@@ -205,12 +245,22 @@ class TestCoExplorer:
 
 class TestBaselines:
     def test_published_rows_present(self):
-        assert set(PUBLISHED_BASELINES) == {"CPU", "GPU", "ASPLOS18", "DATE20", "DAC21", "TPDS22"}
+        assert set(PUBLISHED_BASELINES) == {
+            "CPU",
+            "GPU",
+            "ASPLOS18",
+            "DATE20",
+            "DAC21",
+            "TPDS22",
+        }
 
     def test_energy_efficiency_matches_paper_table(self):
-        assert PUBLISHED_BASELINES["CPU"].energy_per_image_j == pytest.approx(0.258, abs=0.001)
-        assert PUBLISHED_BASELINES["GPU"].energy_per_image_j == pytest.approx(0.134, abs=0.001)
-        assert PUBLISHED_BASELINES["DATE20"].energy_per_image_j == pytest.approx(0.012, abs=0.001)
+        baselines = PUBLISHED_BASELINES
+        assert baselines["CPU"].energy_per_image_j == pytest.approx(0.258, abs=0.001)
+        assert baselines["GPU"].energy_per_image_j == pytest.approx(0.134, abs=0.001)
+        assert baselines["DATE20"].energy_per_image_j == pytest.approx(
+            0.012, abs=0.001
+        )
 
     def test_cpu_gpu_projection_scales_with_flops(self):
         small = cpu_gpu_projection(1e6)

@@ -7,8 +7,8 @@ from hypothesis import strategies as st
 
 from repro.hw import (
     DEVICES,
-    ResourceUsage,
     XCKU115,
+    ResourceUsage,
     estimate_layer_resources,
     get_device,
 )
@@ -71,7 +71,8 @@ class TestResourceUsage:
         assert not half.fits(XCKU115, margin=0.5)
 
     @given(
-        a=st.floats(0, 1e6), b=st.floats(0, 1e6),
+        a=st.floats(0, 1e6),
+        b=st.floats(0, 1e6),
         scale=st.floats(0, 10),
     )
     @settings(max_examples=50, deadline=None)
@@ -92,13 +93,15 @@ class TestResourceUsage:
 
 class TestLayerResourceEstimation:
     def test_conv_uses_dsp_at_16_bits(self):
-        usage = estimate_layer_resources(desc(Conv2D(8, 3, padding=1), (4, 8, 8)),
-                                         bitwidth=16, reuse_factor=1)
+        usage = estimate_layer_resources(
+            desc(Conv2D(8, 3, padding=1), (4, 8, 8)), bitwidth=16, reuse_factor=1
+        )
         assert usage.dsp == 8 * 4 * 9
 
     def test_conv_uses_lut_at_8_bits(self):
-        usage = estimate_layer_resources(desc(Conv2D(8, 3, padding=1), (4, 8, 8)),
-                                         bitwidth=8, reuse_factor=1)
+        usage = estimate_layer_resources(
+            desc(Conv2D(8, 3, padding=1), (4, 8, 8)), bitwidth=8, reuse_factor=1
+        )
         assert usage.dsp == 0
         assert usage.lut > 0
 
@@ -109,17 +112,21 @@ class TestLayerResourceEstimation:
         assert shared.dsp == pytest.approx(full.dsp / 8)
 
     def test_dense_bram_for_large_weights(self):
-        usage = estimate_layer_resources(desc(Dense(256), (512,)), bitwidth=16,
-                                         reuse_factor=64)
+        usage = estimate_layer_resources(
+            desc(Dense(256), (512,)), bitwidth=16, reuse_factor=64
+        )
         assert usage.bram_18k > 0
 
     def test_small_weights_use_lutram(self):
-        usage = estimate_layer_resources(desc(Dense(4), (8,)), bitwidth=8, reuse_factor=1)
+        usage = estimate_layer_resources(
+            desc(Dense(4), (8,)), bitwidth=8, reuse_factor=1
+        )
         assert usage.bram_18k == 0
 
     def test_mcd_layer_uses_no_bram(self):
-        usage = estimate_layer_resources(desc(MCDropout(0.25), (64, 8, 8)),
-                                         bitwidth=8, reuse_factor=1)
+        usage = estimate_layer_resources(
+            desc(MCDropout(0.25), (64, 8, 8)), bitwidth=8, reuse_factor=1
+        )
         assert usage.bram_18k == 0
         assert usage.lut > 0 and usage.ff > 0
 
@@ -147,6 +154,7 @@ class TestLayerResourceEstimation:
             estimate_layer_resources(d, bitwidth=8, reuse_factor=0)
 
     def test_unknown_layer_gets_control_overhead(self):
-        usage = estimate_layer_resources({"type": "Custom", "input_shape": [4],
-                                          "output_shape": [4]}, 8, 1)
+        usage = estimate_layer_resources(
+            {"type": "Custom", "input_shape": [4], "output_shape": [4]}, 8, 1
+        )
         assert usage.lut > 0

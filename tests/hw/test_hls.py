@@ -3,29 +3,53 @@
 import pytest
 
 from repro.core import single_exit_bayesnet
-from repro.hw import AcceleratorConfig, AcceleratorModel, spatial_mapping, temporal_mapping
-from repro.hw.hls import HardwareIR, HLSCodeGenerator, SynthesisReport, generate_hls_project
+from repro.hw import (
+    AcceleratorConfig,
+    AcceleratorModel,
+    spatial_mapping,
+    temporal_mapping,
+)
+from repro.hw.hls import (
+    HardwareIR,
+    HLSCodeGenerator,
+    SynthesisReport,
+    generate_hls_project,
+)
 
 from ..conftest import small_lenet_spec
 
 
 @pytest.fixture(scope="module")
 def accel_spatial():
-    net = single_exit_bayesnet(small_lenet_spec(), num_mcd_layers=2, dropout_rate=0.25, seed=0)
+    net = single_exit_bayesnet(
+        small_lenet_spec(), num_mcd_layers=2, dropout_rate=0.25, seed=0
+    )
     return AcceleratorModel(
         net,
-        AcceleratorConfig(device="XCKU115", weight_bitwidth=8, reuse_factor=16,
-                          num_mc_samples=3, mapping=spatial_mapping(3)),
+        AcceleratorConfig(
+            device="XCKU115",
+            weight_bitwidth=8,
+            reuse_factor=16,
+            num_mc_samples=3,
+            mapping=spatial_mapping(3),
+        ),
     )
 
 
 @pytest.fixture(scope="module")
 def accel_temporal():
-    net = single_exit_bayesnet(small_lenet_spec(), num_mcd_layers=1, dropout_rate=0.5, seed=0)
+    net = single_exit_bayesnet(
+        small_lenet_spec(), num_mcd_layers=1, dropout_rate=0.5, seed=0
+    )
     return AcceleratorModel(
         net,
-        AcceleratorConfig(device="XCKU115", weight_bitwidth=16, reuse_factor=16,
-                          num_mc_samples=4, mapping=temporal_mapping(4)),
+        AcceleratorConfig(
+            device="XCKU115",
+            weight_bitwidth=16,
+            reuse_factor=16,
+            num_mc_samples=4,
+            mapping=temporal_mapping(4),
+        ),
     )
 
 
@@ -72,8 +96,9 @@ class TestHardwareIR:
 class TestCodeGeneration:
     def test_all_files_generated(self, accel_spatial):
         files = HLSCodeGenerator(accel_spatial).generate()
-        assert set(files) == {"parameters.h", "mcd_layers.h", "layers.h", "top.cpp",
-                              "build_prj.tcl"}
+        assert set(files) == {
+            "parameters.h", "mcd_layers.h", "layers.h", "top.cpp", "build_prj.tcl"
+        }
 
     def test_parameters_header_contents(self, accel_spatial):
         params = HLSCodeGenerator(accel_spatial).parameters_header()
@@ -134,7 +159,9 @@ class TestCodeGeneration:
 
     def test_non_bayesian_design_generates_empty_mcd_header(self):
         net = small_lenet_spec().single_exit_network(seed=0)
-        accel = AcceleratorModel(net, AcceleratorConfig(weight_bitwidth=8, reuse_factor=16))
+        accel = AcceleratorModel(
+            net, AcceleratorConfig(weight_bitwidth=8, reuse_factor=16)
+        )
         mcd = HLSCodeGenerator(accel).mcd_header()
         assert "no MC-dropout layers" in mcd
 
@@ -154,6 +181,11 @@ class TestSynthesisReport:
 
     def test_text_report_sections(self, accel_spatial):
         text = SynthesisReport.from_accelerator(accel_spatial).to_text()
-        for section in ("C-Synthesis report", "Latency", "Resource usage", "Power",
-                        "Energy per image"):
+        for section in (
+            "C-Synthesis report",
+            "Latency",
+            "Resource usage",
+            "Power",
+            "Energy per image",
+        ):
             assert section in text

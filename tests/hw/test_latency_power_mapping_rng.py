@@ -6,12 +6,12 @@ from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.hw import (
+    XCKU115,
     GaloisLFSR,
     LatencyModel,
     MappingPlan,
     PowerModel,
     ResourceUsage,
-    XCKU115,
     estimate_layer_cycles,
     get_device,
     lfsr_uniform_stream,
@@ -42,13 +42,19 @@ class TestLatencyModel:
 
     def test_chain_cycles_sum(self):
         model = LatencyModel(clock_mhz=100)
-        descs = [desc(Conv2D(4, 3, padding=1), (2, 6, 6)), desc(MCDropout(0.5), (4, 6, 6))]
+        descs = [
+            desc(Conv2D(4, 3, padding=1), (2, 6, 6)),
+            desc(MCDropout(0.5), (4, 6, 6)),
+        ]
         lats = [estimate_layer_cycles(d) for d in descs]
         assert model.chain_cycles(lats) == sum(lat.total_cycles for lat in lats)
 
     def test_interval_dataflow_is_max(self):
         model = LatencyModel(clock_mhz=100, dataflow=True)
-        descs = [desc(Conv2D(4, 3, padding=1), (2, 6, 6)), desc(MCDropout(0.5), (4, 6, 6))]
+        descs = [
+            desc(Conv2D(4, 3, padding=1), (2, 6, 6)),
+            desc(MCDropout(0.5), (4, 6, 6)),
+        ]
         lats = [estimate_layer_cycles(d) for d in descs]
         assert model.chain_interval_cycles(lats) == max(lat.cycles for lat in lats)
 

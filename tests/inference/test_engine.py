@@ -22,8 +22,13 @@ from ..conftest import small_lenet_spec
 
 def _bayes_net(rate=0.5, seed=0):
     net = Network(
-        [Flatten(), Dense(16, name="fc1"), ReLU(),
-         MCDropout(rate, filter_wise=False, name="mcd", seed=seed), Dense(3, name="out")]
+        [
+            Flatten(),
+            Dense(16, name="fc1"),
+            ReLU(),
+            MCDropout(rate, filter_wise=False, name="mcd", seed=seed),
+            Dense(3, name="out"),
+        ]
     )
     return net.build((2, 4, 4), seed=0)
 
@@ -32,8 +37,11 @@ def _multi_exit(mcd_layers=1, rate=0.25, num_exits=2):
     return MultiExitBayesNet(
         small_lenet_spec(),
         MultiExitConfig(
-            num_exits=num_exits, mcd_layers_per_exit=mcd_layers, dropout_rate=rate,
-            default_mc_samples=4, seed=0,
+            num_exits=num_exits,
+            mcd_layers_per_exit=mcd_layers,
+            dropout_rate=rate,
+            default_mc_samples=4,
+            seed=0,
         ),
     )
 
@@ -241,7 +249,9 @@ class TestInferenceEngine:
 class TestActiveSetEarlyExit:
     @pytest.mark.parametrize("use_ensemble", [True, False])
     @pytest.mark.parametrize("threshold", [0.25, 0.5, 0.9, 0.999])
-    def test_matches_eager_path_on_deterministic_model(self, rng, threshold, use_ensemble):
+    def test_matches_eager_path_on_deterministic_model(
+        self, rng, threshold, use_ensemble
+    ):
         model = _multi_exit(mcd_layers=0, rate=0.0)
         x = rng.normal(size=(12, 1, 12, 12))
         lazy = model.early_exit_predict(x, threshold, use_ensemble=use_ensemble)

@@ -11,7 +11,12 @@ import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
-from repro.core import MCSampler, MultiExitBayesNet, MultiExitConfig, single_exit_bayesnet
+from repro.core import (
+    MCSampler,
+    MultiExitBayesNet,
+    MultiExitConfig,
+    single_exit_bayesnet,
+)
 from repro.inference import (
     fold_batch,
     looped_mc_sample,
@@ -19,7 +24,7 @@ from repro.inference import (
     unfold_samples,
 )
 from repro.inference.engine import NetworkEngine
-from repro.nn.layers import MCDropout
+from repro.nn.layers import Conv2D, MCDropout, ResidualBlock
 
 from ..conftest import small_lenet_spec, small_resnet_spec, small_vgg_spec
 
@@ -98,8 +103,11 @@ def test_predict_mc_bit_identical_to_legacy_loop(arch, mcd_layers, conv_channels
 def test_exit_mc_probabilities_match_pass_accumulation(lenet_spec_small):
     """The folded per-exit MC mean equals the legacy accumulate-over-passes loop."""
     config = dict(
-        num_exits=2, mcd_layers_per_exit=1, dropout_rate=0.25,
-        default_mc_samples=4, seed=0,
+        num_exits=2,
+        mcd_layers_per_exit=1,
+        dropout_rate=0.25,
+        default_mc_samples=4,
+        seed=0,
     )
     folded_model = MultiExitBayesNet(lenet_spec_small, MultiExitConfig(**config))
     looped_model = MultiExitBayesNet(small_lenet_spec(), MultiExitConfig(**config))
@@ -125,14 +133,75 @@ def test_exit_mc_probabilities_match_pass_accumulation(lenet_spec_small):
 
 def test_non_bayesian_predict_mc_matches_legacy(lenet_spec_small):
     """Deterministic heads: folding degenerates to replication, still identical."""
-    config = dict(num_exits=2, mcd_layers_per_exit=0, dropout_rate=0.0,
-                  default_mc_samples=4, seed=0)
+    config = dict(
+        num_exits=2,
+        mcd_layers_per_exit=0,
+        dropout_rate=0.0,
+        default_mc_samples=4,
+        seed=0,
+    )
     model_a = MultiExitBayesNet(lenet_spec_small, MultiExitConfig(**config))
     model_b = MultiExitBayesNet(small_lenet_spec(), MultiExitConfig(**config))
     x = _batch((1, 12, 12))
     folded = model_a.predict_mc(x, 4)
     looped = looped_predict_mc(model_b, x, 4)
     np.testing.assert_array_equal(folded.sample_probs, looped.sample_probs)
+
+
+# --------------------------------------------------------------------------- #
+# Conv2D / ResidualBlock flat-fold vs the per-slice loop
+# --------------------------------------------------------------------------- #
+def _folded_vs_sliced(layer, shape, n, num_samples, seed=1):
+    """Compare ``forward_folded`` against per-slice ``forward`` + concat."""
+    x = np.random.default_rng(seed).normal(size=(num_samples * n,) + shape)
+    folded = layer.forward_folded(x, num_samples)
+    sliced = np.concatenate(
+        [
+            layer.forward(x[s * n : (s + 1) * n], training=False)
+            for s in range(num_samples)
+        ]
+    )
+    np.testing.assert_array_equal(folded, sliced)
+
+
+@pytest.mark.parametrize("n", [1, 3], ids=["n1", "n3"])
+@pytest.mark.parametrize(
+    "kernel,stride,padding,use_bias",
+    [(3, 1, "same", True), (3, 2, 1, False), (1, 1, 0, True)],
+    ids=["k3same", "k3s2", "k1"],
+)
+def test_conv_flat_fold_bit_identical_to_slices(n, kernel, stride, padding, use_bias):
+    """The conv flat-fold must match the per-slice loop *bitwise*.
+
+    ``n == 1`` is the load-bearing case: there the legacy per-slice
+    ``im2col`` hands BLAS an F-ordered view, so the fold has to reproduce
+    that exact operand layout (see ``Conv2D.forward_folded``) — allclose
+    would hide a regression that bit-equality catches.
+    """
+    shape = (3, 9, 9)
+    layer = Conv2D(8, kernel, stride=stride, padding=padding, use_bias=use_bias)
+    layer.build(shape, np.random.default_rng(0))
+    _folded_vs_sliced(layer, shape, n, num_samples=5)
+
+
+@pytest.mark.parametrize("n", [1, 2], ids=["n1", "n2"])
+@pytest.mark.parametrize(
+    "stride,use_batchnorm",
+    [(1, True), (2, True), (2, False)],
+    ids=["identity", "proj", "proj-nobn"],
+)
+def test_residual_flat_fold_bit_identical_to_slices(n, stride, use_batchnorm):
+    shape = (4, 8, 8)
+    block = ResidualBlock(8, stride=stride, use_batchnorm=use_batchnorm)
+    block.build(shape, np.random.default_rng(0))
+    _folded_vs_sliced(block, shape, n, num_samples=4)
+
+
+def test_conv_flat_fold_rejects_indivisible_batch():
+    layer = Conv2D(4, 3)
+    layer.build((1, 6, 6), np.random.default_rng(0))
+    with pytest.raises(ValueError, match="not divisible"):
+        layer.forward_folded(np.zeros((7, 1, 6, 6)), num_samples=3)
 
 
 # --------------------------------------------------------------------------- #
@@ -146,7 +215,9 @@ def test_non_bayesian_predict_mc_matches_legacy(lenet_spec_small):
     filter_wise=st.booleans(),
     seed=st.integers(min_value=0, max_value=2**16),
 )
-def test_folded_masks_independent_across_tiles(rate, num_samples, batch, filter_wise, seed):
+def test_folded_masks_independent_across_tiles(
+    rate, num_samples, batch, filter_wise, seed
+):
     """One folded draw == S independent sequential draws, tile for tile.
 
     Running an MCDropout layer on the sample-folded batch must (a) give each
@@ -185,6 +256,8 @@ def test_folded_conv_masks_independent_across_tiles(num_samples, seed):
         layer.build(shape[1:], np.random.default_rng(0))
 
     x = np.ones(shape)
-    tiles = unfold_samples(folded_layer.forward(fold_batch(x, num_samples)), num_samples)
+    tiles = unfold_samples(
+        folded_layer.forward(fold_batch(x, num_samples)), num_samples
+    )
     sequential = np.stack([looped_layer.forward(x) for _ in range(num_samples)])
     np.testing.assert_array_equal(tiles, sequential)

@@ -16,7 +16,12 @@ from repro.core import (
     single_exit_bayesnet,
 )
 from repro.datasets import SyntheticImageDataset
-from repro.hw import AcceleratorConfig, AcceleratorModel, optimize_mapping, temporal_mapping
+from repro.hw import (
+    AcceleratorConfig,
+    AcceleratorModel,
+    optimize_mapping,
+    temporal_mapping,
+)
 from repro.hw.hls import HLSCodeGenerator, SynthesisReport
 from repro.nn import SGD, DistillationTrainer
 from repro.quantization import QuantizationConfig, quantize_network
@@ -32,8 +37,13 @@ from ..conftest import small_lenet_spec
 @pytest.fixture(scope="module")
 def dataset():
     return SyntheticImageDataset(
-        "integration", input_shape=(1, 12, 12), num_classes=5,
-        train_size=160, test_size=80, noise_level=0.45, seed=3,
+        "integration",
+        input_shape=(1, 12, 12),
+        num_classes=5,
+        train_size=160,
+        test_size=80,
+        noise_level=0.45,
+        seed=3,
     )
 
 
@@ -41,12 +51,20 @@ def dataset():
 def trained_model(dataset):
     model = MultiExitBayesNet(
         small_lenet_spec(),
-        MultiExitConfig(num_exits=2, mcd_layers_per_exit=1, dropout_rate=0.25,
-                        default_mc_samples=4, seed=0),
+        MultiExitConfig(
+            num_exits=2,
+            mcd_layers_per_exit=1,
+            dropout_rate=0.25,
+            default_mc_samples=4,
+            seed=0,
+        ),
     )
     trainer = DistillationTrainer(
-        model, SGD(model.parameters(), lr=0.05, momentum=0.9, weight_decay=5e-4),
-        distill_weight=0.5, batch_size=32, seed=0,
+        model,
+        SGD(model.parameters(), lr=0.05, momentum=0.9, weight_decay=5e-4),
+        distill_weight=0.5,
+        batch_size=32,
+        seed=0,
     )
     trainer.fit(dataset.train.x, dataset.train.y, epochs=4)
     return model
@@ -81,7 +99,9 @@ class TestTrainedModelQuality:
 
     def test_full_metric_report(self, trained_model, dataset):
         pred = trained_model.predict_mc(dataset.test.x, 6)
-        report = evaluate_predictions(pred.mean_probs, dataset.test.y, pred.sample_probs)
+        report = evaluate_predictions(
+            pred.mean_probs, dataset.test.y, pred.sample_probs
+        )
         assert report.accuracy > 0.2
         assert report.mean_mutual_information >= 0.0
 
@@ -135,17 +155,30 @@ class TestModelToAccelerator:
 
         probe = AcceleratorModel(
             trained_model,
-            AcceleratorConfig(device="XCKU115", weight_bitwidth=8, reuse_factor=16,
-                              num_mc_samples=4, mapping=temporal_mapping(4)),
+            AcceleratorConfig(
+                device="XCKU115",
+                weight_bitwidth=8,
+                reuse_factor=16,
+                num_mc_samples=4,
+                mapping=temporal_mapping(4),
+            ),
         )
         mapping = optimize_mapping(
-            4, probe.mc_engine_resources(), probe.deterministic_resources(),
-            probe.device, utilization_cap=0.8,
+            4,
+            probe.mc_engine_resources(),
+            probe.deterministic_resources(),
+            probe.device,
+            utilization_cap=0.8,
         )
         accel = AcceleratorModel(
             trained_model,
-            AcceleratorConfig(device="XCKU115", weight_bitwidth=8, reuse_factor=16,
-                              num_mc_samples=4, mapping=mapping),
+            AcceleratorConfig(
+                device="XCKU115",
+                weight_bitwidth=8,
+                reuse_factor=16,
+                num_mc_samples=4,
+                mapping=mapping,
+            ),
         )
         assert accel.fits()
         report = SynthesisReport.from_accelerator(accel)
@@ -175,8 +208,12 @@ class TestModelToAccelerator:
             net = single_exit_bayesnet(small_lenet_spec(), num_mcd_layers=n_mcd, seed=0)
             accel = AcceleratorModel(
                 net,
-                AcceleratorConfig(weight_bitwidth=8, reuse_factor=16, num_mc_samples=3,
-                                  mapping=temporal_mapping(3)),
+                AcceleratorConfig(
+                    weight_bitwidth=8,
+                    reuse_factor=16,
+                    num_mc_samples=3,
+                    mapping=temporal_mapping(3),
+                ),
             )
             usages.append(accel.resources())
         assert usages[1].lut > usages[0].lut

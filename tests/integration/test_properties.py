@@ -5,9 +5,13 @@ import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
-from repro.core import MultiExitConfig, multi_exit_sampling_flops, single_exit_sampling_flops
+from repro.core import (
+    MultiExitConfig,
+    multi_exit_sampling_flops,
+    single_exit_sampling_flops,
+)
 from repro.core.multi_exit import confidence_early_exit, exit_ensemble
-from repro.hw import MappingPlan, ResourceUsage, XCKU115, PowerModel
+from repro.hw import XCKU115, MappingPlan, PowerModel, ResourceUsage
 from repro.nn.layers.activations import log_softmax, softmax
 from repro.nn.tensor import conv_output_size, one_hot
 from repro.quantization import FixedPointFormat
@@ -27,8 +31,12 @@ def _random_probs(seed: int, n: int, k: int) -> np.ndarray:
 
 
 class TestSoftmaxProperties:
-    @given(seed=st.integers(0, 1000), n=st.integers(1, 8), k=st.integers(2, 12),
-           scale=st.floats(0.1, 50))
+    @given(
+        seed=st.integers(0, 1000),
+        n=st.integers(1, 8),
+        k=st.integers(2, 12),
+        scale=st.floats(0.1, 50),
+    )
     @settings(max_examples=50, deadline=None)
     def test_softmax_is_a_distribution(self, seed, n, k, scale):
         logits = np.random.default_rng(seed).normal(size=(n, k)) * scale
@@ -46,7 +54,9 @@ class TestSoftmaxProperties:
     @settings(max_examples=30, deadline=None)
     def test_log_softmax_matches_log_of_softmax(self, seed):
         logits = np.random.default_rng(seed).normal(size=(3, 7)) * 5
-        np.testing.assert_allclose(log_softmax(logits), np.log(softmax(logits)), atol=1e-10)
+        np.testing.assert_allclose(
+            log_softmax(logits), np.log(softmax(logits)), atol=1e-10
+        )
 
 
 class TestMetricBounds:
@@ -61,8 +71,12 @@ class TestMetricBounds:
         ent = predictive_entropy(probs)
         assert np.all(ent >= -1e-12) and np.all(ent <= np.log(k) + 1e-9)
 
-    @given(seed=st.integers(0, 500), s=st.integers(2, 6), n=st.integers(2, 20),
-           k=st.integers(2, 8))
+    @given(
+        seed=st.integers(0, 500),
+        s=st.integers(2, 6),
+        n=st.integers(2, 20),
+        k=st.integers(2, 8),
+    )
     @settings(max_examples=40, deadline=None)
     def test_mutual_information_non_negative_and_bounded(self, seed, s, n, k):
         samples = np.stack([_random_probs(seed + i, n, k) for i in range(s)])
@@ -70,8 +84,12 @@ class TestMetricBounds:
         assert np.all(mi >= -1e-9)
         assert np.all(mi <= predictive_entropy(samples.mean(axis=0)) + 1e-9)
 
-    @given(seed=st.integers(0, 500), m=st.integers(1, 5), n=st.integers(1, 20),
-           k=st.integers(2, 8))
+    @given(
+        seed=st.integers(0, 500),
+        m=st.integers(1, 5),
+        n=st.integers(1, 20),
+        k=st.integers(2, 8),
+    )
     @settings(max_examples=40, deadline=None)
     def test_exit_ensemble_is_a_distribution(self, seed, m, n, k):
         probs_list = [_random_probs(seed + i, n, k) for i in range(m)]
@@ -89,8 +107,12 @@ class TestMetricBounds:
 
 
 class TestCostModelProperties:
-    @given(main=st.floats(1, 1e9), exit_=st.floats(0.01, 1e8),
-           samples=st.integers(1, 64), exits=st.integers(1, 8))
+    @given(
+        main=st.floats(1, 1e9),
+        exit_=st.floats(0.01, 1e8),
+        samples=st.integers(1, 64),
+        exits=st.integers(1, 8),
+    )
     @settings(max_examples=60, deadline=None)
     def test_multi_exit_never_more_expensive(self, main, exit_, samples, exits):
         exits = min(exits, samples)
@@ -98,17 +120,27 @@ class TestCostModelProperties:
         naive = single_exit_sampling_flops(main, exit_, samples)
         assert ours <= naive + 1e-6
 
-    @given(samples=st.integers(1, 32), engines=st.integers(1, 32),
-           cycles=st.integers(0, 10_000))
+    @given(
+        samples=st.integers(1, 32),
+        engines=st.integers(1, 32),
+        cycles=st.integers(0, 10_000),
+    )
     @settings(max_examples=60, deadline=None)
-    def test_mapping_latency_between_spatial_and_temporal(self, samples, engines, cycles):
+    def test_mapping_latency_between_spatial_and_temporal(
+        self, samples, engines, cycles
+    ):
         engines = min(engines, samples)
         plan = MappingPlan(num_samples=samples, num_engines=engines)
         latency = plan.bayesian_latency_cycles(cycles)
         assert cycles <= latency <= samples * cycles or cycles == 0
 
-    @given(lut=st.floats(0, 5e5), ff=st.floats(0, 1e6), bram=st.floats(0, 2000),
-           dsp=st.floats(0, 4000), streams=st.integers(1, 8))
+    @given(
+        lut=st.floats(0, 5e5),
+        ff=st.floats(0, 1e6),
+        bram=st.floats(0, 2000),
+        dsp=st.floats(0, 4000),
+        streams=st.integers(1, 8),
+    )
     @settings(max_examples=40, deadline=None)
     def test_power_breakdown_consistency(self, lut, ff, bram, dsp, streams):
         usage = ResourceUsage(bram_18k=bram, dsp=dsp, ff=ff, lut=lut)
@@ -120,7 +152,9 @@ class TestCostModelProperties:
 
 
 class TestQuantizationAndShapes:
-    @given(bits=st.integers(2, 20), integer=st.integers(1, 12), seed=st.integers(0, 200))
+    @given(
+        bits=st.integers(2, 20), integer=st.integers(1, 12), seed=st.integers(0, 200)
+    )
     @settings(max_examples=60, deadline=None)
     def test_quantization_idempotent_and_bounded(self, bits, integer, seed):
         integer = min(integer, bits)
@@ -130,8 +164,12 @@ class TestQuantizationAndShapes:
         np.testing.assert_allclose(fmt.quantize(q), q)
         assert np.all(q <= fmt.max_value + 1e-12) and np.all(q >= fmt.min_value - 1e-12)
 
-    @given(size=st.integers(1, 64), kernel=st.integers(1, 7), stride=st.integers(1, 4),
-           padding=st.integers(0, 3))
+    @given(
+        size=st.integers(1, 64),
+        kernel=st.integers(1, 7),
+        stride=st.integers(1, 4),
+        padding=st.integers(0, 3),
+    )
     @settings(max_examples=80, deadline=None)
     def test_conv_output_size_positive_or_raises(self, size, kernel, stride, padding):
         try:
@@ -156,8 +194,9 @@ class TestConfigValidationProperties:
     def test_multi_exit_config_validation_is_total(self, exits, rate, mcd):
         """The config either constructs cleanly or raises ValueError — never crashes."""
         try:
-            config = MultiExitConfig(num_exits=exits, dropout_rate=rate,
-                                     mcd_layers_per_exit=mcd)
+            config = MultiExitConfig(
+                num_exits=exits, dropout_rate=rate, mcd_layers_per_exit=mcd
+            )
         except ValueError:
             return
         assert config.num_exits >= 1

@@ -71,6 +71,9 @@ def check_parameter_gradients(
 
         numeric = numerical_gradient(objective, param.value.copy())
         np.testing.assert_allclose(
-            analytic, numeric, atol=atol, rtol=1e-4,
+            analytic,
+            numeric,
+            atol=atol,
+            rtol=1e-4,
             err_msg=f"gradient mismatch for parameter {param.name}",
         )

@@ -3,8 +3,24 @@
 import numpy as np
 import pytest
 
-from repro.nn import CrossEntropyLoss, DistillationLoss, MSELoss, Network, SGD, Adam, StepLR, CosineLR
-from repro.nn.initializers import Constant, HeNormal, Ones, XavierUniform, Zeros, get_initializer
+from repro.nn import (
+    SGD,
+    Adam,
+    CosineLR,
+    CrossEntropyLoss,
+    DistillationLoss,
+    MSELoss,
+    Network,
+    StepLR,
+)
+from repro.nn.initializers import (
+    Constant,
+    HeNormal,
+    Ones,
+    XavierUniform,
+    Zeros,
+    get_initializer,
+)
 from repro.nn.layers import Conv2D, Dense, Flatten, MaxPool2D, MCDropout, ReLU
 from repro.nn.layers.activations import softmax
 from repro.nn.losses import cross_entropy, kl_divergence

@@ -3,7 +3,14 @@
 import numpy as np
 import pytest
 
-from repro.nn import CrossEntropyLoss, SGD, Trainer, DistillationTrainer, evaluate_classifier
+from repro.core import MultiExitBayesNet, MultiExitConfig
+from repro.nn import (
+    SGD,
+    CrossEntropyLoss,
+    DistillationTrainer,
+    Trainer,
+    evaluate_classifier,
+)
 from repro.nn.architectures import (
     get_architecture,
     lenet5_spec,
@@ -16,7 +23,6 @@ from repro.nn.architectures import (
 from repro.nn.architectures.common import scale_channels
 from repro.nn.layers import Conv2D, ResidualBlock
 from repro.nn.training import iterate_minibatches
-from repro.core import MultiExitBayesNet, MultiExitConfig
 
 from ..conftest import small_lenet_spec
 
@@ -46,7 +52,9 @@ class TestTrainer:
         spec = small_lenet_spec()
         net = spec.single_exit_network(seed=0)
         trainer = Trainer(
-            net, SGD(net.parameters(), lr=0.05), CrossEntropyLoss(), batch_size=32, seed=0
+            net, SGD(
+                net.parameters(), lr=0.05
+            ), CrossEntropyLoss(), batch_size=32, seed=0
         )
         history = trainer.fit(tiny_dataset.train.x, tiny_dataset.train.y, epochs=3)
         assert history.loss[-1] < history.loss[0]
@@ -55,7 +63,9 @@ class TestTrainer:
         spec = small_lenet_spec()
         net = spec.single_exit_network(seed=0)
         trainer = Trainer(
-            net, SGD(net.parameters(), lr=0.05), CrossEntropyLoss(), batch_size=32, seed=0
+            net, SGD(
+                net.parameters(), lr=0.05
+            ), CrossEntropyLoss(), batch_size=32, seed=0
         )
         trainer.fit(tiny_dataset.train.x, tiny_dataset.train.y, epochs=4)
         _, acc = evaluate_classifier(net, tiny_dataset.train.x, tiny_dataset.train.y)
@@ -66,7 +76,9 @@ class TestTrainer:
         net = spec.single_exit_network(seed=0)
         trainer = Trainer(net, SGD(net.parameters(), lr=0.05), batch_size=32)
         history = trainer.fit(
-            tiny_dataset.train.x, tiny_dataset.train.y, epochs=1,
+            tiny_dataset.train.x,
+            tiny_dataset.train.y,
+            epochs=1,
             validation_data=(tiny_dataset.test.x, tiny_dataset.test.y),
         )
         assert len(history.val_accuracy) == 1
@@ -83,7 +95,9 @@ class TestDistillationTrainer:
     def test_multi_exit_training_reduces_loss(self, tiny_dataset):
         model = MultiExitBayesNet(
             small_lenet_spec(),
-            MultiExitConfig(num_exits=2, mcd_layers_per_exit=1, dropout_rate=0.125, seed=0),
+            MultiExitConfig(
+                num_exits=2, mcd_layers_per_exit=1, dropout_rate=0.125, seed=0
+            ),
         )
         trainer = DistillationTrainer(
             model, SGD(model.parameters(), lr=0.05), batch_size=32, seed=0
@@ -94,7 +108,9 @@ class TestDistillationTrainer:
     def test_distillation_weight_zero_is_pure_ce(self, tiny_dataset):
         model = MultiExitBayesNet(
             small_lenet_spec(),
-            MultiExitConfig(num_exits=2, mcd_layers_per_exit=0, dropout_rate=0.0, seed=0),
+            MultiExitConfig(
+                num_exits=2, mcd_layers_per_exit=0, dropout_rate=0.0, seed=0
+            ),
         )
         trainer = DistillationTrainer(
             model, SGD(model.parameters(), lr=0.05), distill_weight=0.0, batch_size=32
@@ -107,7 +123,8 @@ class TestDistillationTrainer:
     def test_negative_distill_weight_rejected(self, tiny_dataset, multi_exit_model):
         with pytest.raises(ValueError):
             DistillationTrainer(
-                multi_exit_model, SGD(multi_exit_model.parameters(), lr=0.05),
+                multi_exit_model,
+                SGD(multi_exit_model.parameters(), lr=0.05),
                 distill_weight=-1.0,
             )
 
@@ -149,13 +166,16 @@ class TestArchitectures:
 
     def test_resnet18_block_count(self):
         spec = resnet18_spec(input_shape=(3, 32, 32))
-        blocks = [layer for layer in spec.backbone.layers if isinstance(layer, ResidualBlock)]
+        blocks = [
+            layer for layer in spec.backbone.layers if isinstance(layer, ResidualBlock)
+        ]
         assert len(blocks) == 8
         assert spec.num_blocks == 4
 
     def test_resnet_forward(self, rng):
-        spec = resnet_spec("resnet10", input_shape=(3, 16, 16),
-                           width_multiplier=0.125, max_stages=2)
+        spec = resnet_spec(
+            "resnet10", input_shape=(3, 16, 16), width_multiplier=0.125, max_stages=2
+        )
         net = spec.single_exit_network()
         assert net.predict(rng.normal(size=(2, 3, 16, 16))).shape == (2, 10)
 
@@ -176,8 +196,11 @@ class TestArchitectures:
             get_architecture("alexnet")
 
     def test_exit_points_increasing(self):
-        for spec in (lenet5_spec(), vgg11_spec(input_shape=(3, 32, 32)),
-                     resnet18_spec(input_shape=(3, 32, 32))):
+        for spec in (
+            lenet5_spec(),
+            vgg11_spec(input_shape=(3, 32, 32)),
+            resnet18_spec(input_shape=(3, 32, 32)),
+        ):
             assert spec.exit_points == sorted(spec.exit_points)
 
     def test_spec_validation_rejects_bad_exit_points(self):

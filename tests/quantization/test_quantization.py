@@ -85,9 +85,9 @@ class TestFixedPointFormat:
 
 class TestQuantizeNetwork:
     def _net(self):
-        return Network([Flatten(), Dense(16, name="fc1"), ReLU(), Dense(4, name="fc2")]).build(
-            (1, 6, 6), seed=0
-        )
+        return Network(
+            [Flatten(), Dense(16, name="fc1"), ReLU(), Dense(4, name="fc2")]
+        ).build((1, 6, 6), seed=0)
 
     def test_weights_on_grid_after_quantization(self):
         net = self._net()
@@ -116,7 +116,9 @@ class TestQuantizeNetwork:
         rmse = []
         for bits in (4, 8, 16):
             net = self._net()
-            rmse.append(quantize_network(net, QuantizationConfig(weight_bits=bits)).mean_rmse)
+            rmse.append(
+                quantize_network(net, QuantizationConfig(weight_bits=bits)).mean_rmse
+            )
         assert rmse == sorted(rmse, reverse=True)
 
     def test_unbuilt_network_rejected(self):
@@ -134,7 +136,9 @@ class TestQuantizeNetwork:
 
     def test_activation_formats_calibration(self, rng):
         net = self._net()
-        formats = activation_formats(net, rng.normal(size=(8, 1, 6, 6)), activation_bits=8)
+        formats = activation_formats(
+            net, rng.normal(size=(8, 1, 6, 6)), activation_bits=8
+        )
         assert set(formats) == {layer.name for layer in net.layers}
         assert all(f.total_bits == 8 for f in formats.values())
 

@@ -203,7 +203,9 @@ def test_dispatch_error_propagates_to_batch_and_batcher_survives():
 
 def test_stop_drains_queued_requests():
     async def main():
-        batcher = DynamicBatcher(_echo_dispatch, max_batch_size=4, max_batch_latency=0.01)
+        batcher = DynamicBatcher(
+            _echo_dispatch, max_batch_size=4, max_batch_latency=0.01
+        )
         await batcher.start()
         pending = [asyncio.ensure_future(batcher.submit(i)) for i in range(6)]
         await asyncio.sleep(0)  # let every submit reach the queue before stopping
@@ -283,8 +285,11 @@ def test_expired_deadline_is_shed_with_typed_error():
         nonlocal release
         release = asyncio.Event()
         async with DynamicBatcher(
-            blocked_dispatch, max_batch_size=1, max_batch_latency=0.001,
-            max_queue_size=8, admission_timeout=10.0,
+            blocked_dispatch,
+            max_batch_size=1,
+            max_batch_latency=0.001,
+            max_queue_size=8,
+            admission_timeout=10.0,
         ) as batcher:
             first = asyncio.ensure_future(batcher.submit("first"))
             await asyncio.sleep(0.02)  # "first" is in flight (blocked)
@@ -315,8 +320,11 @@ def test_admission_timeout_bounds_queue_wait_of_deadline_less_requests():
         nonlocal release
         release = asyncio.Event()
         async with DynamicBatcher(
-            blocked_dispatch, max_batch_size=1, max_batch_latency=0.001,
-            max_queue_size=8, admission_timeout=0.02,
+            blocked_dispatch,
+            max_batch_size=1,
+            max_batch_latency=0.001,
+            max_queue_size=8,
+            admission_timeout=0.02,
         ) as batcher:
             first = asyncio.ensure_future(batcher.submit("first"))
             await asyncio.sleep(0.01)
@@ -343,7 +351,9 @@ def test_no_admission_timeout_keeps_missed_deadlines_served():
         nonlocal release
         release = asyncio.Event()
         async with DynamicBatcher(
-            blocked_dispatch, max_batch_size=1, max_batch_latency=0.001,
+            blocked_dispatch,
+            max_batch_size=1,
+            max_batch_latency=0.001,
             max_queue_size=8,
         ) as batcher:
             first = asyncio.ensure_future(batcher.submit("first"))
@@ -363,7 +373,9 @@ def test_fresh_requests_are_not_shed():
     """Requests within budget flow through a shedding batcher untouched."""
     async def main():
         async with DynamicBatcher(
-            _echo_dispatch, max_batch_size=4, max_batch_latency=0.005,
+            _echo_dispatch,
+            max_batch_size=4,
+            max_batch_latency=0.005,
             admission_timeout=5.0,
         ) as batcher:
             results = await asyncio.gather(

@@ -89,7 +89,10 @@ def test_multiworker_serving_matches_direct_engine_for_deterministic_model():
 
     async def main():
         async with ServingEngine(
-            model, num_samples=2, workers=4, max_batch_size=4,
+            model,
+            num_samples=2,
+            workers=4,
+            max_batch_size=4,
             max_batch_latency=0.005,
         ) as server:
             return await server.submit_many(X)
@@ -119,15 +122,15 @@ def test_hammer_concurrent_replicas_no_state_leakage():
 
     def run_round(engine, x, key):
         mc = engine.predict_mc(x, NUM_SAMPLES, ctx=ForwardContext(spawn_key=key))
-        ee = engine.early_exit_predict(
-            x, 0.5, ctx=ForwardContext(spawn_key=key + 1)
-        )
+        ee = engine.early_exit_predict(x, 0.5, ctx=ForwardContext(spawn_key=key + 1))
         return mc.sample_probs, ee.probs, ee.exit_indices
 
     # serial ground truth on fresh replicas (same spawn keys ⇒ same draws)
     expected = [
-        [run_round(model.engine.replicate(), inputs[t], 10_000 * t + 2 * r)
-         for r in range(rounds)]
+        [
+            run_round(model.engine.replicate(), inputs[t], 10_000 * t + 2 * r)
+            for r in range(rounds)
+        ]
         for t in range(2)
     ]
 
@@ -179,7 +182,9 @@ def test_edf_orders_backlog_by_deadline():
         nonlocal release
         release = asyncio.Event()
         async with DynamicBatcher(
-            blocked_dispatch, max_batch_size=1, max_batch_latency=0.005,
+            blocked_dispatch,
+            max_batch_size=1,
+            max_batch_latency=0.005,
             max_queue_size=8,
         ) as batcher:
             first = asyncio.ensure_future(batcher.submit("first"))
@@ -259,8 +264,11 @@ def test_pipelining_overlaps_batches_up_to_limit():
         nonlocal release
         release = asyncio.Event()
         async with DynamicBatcher(
-            slow_dispatch, max_batch_size=2, max_batch_latency=0.002,
-            max_concurrent_batches=2, max_queue_size=32,
+            slow_dispatch,
+            max_batch_size=2,
+            max_batch_latency=0.002,
+            max_concurrent_batches=2,
+            max_queue_size=32,
         ) as batcher:
             pending = [asyncio.ensure_future(batcher.submit(i)) for i in range(8)]
             await asyncio.sleep(0.05)  # let the collector assemble + dispatch
@@ -287,7 +295,9 @@ def test_serial_batcher_never_overlaps_batches():
 
     async def main():
         async with DynamicBatcher(
-            tracking_dispatch, max_batch_size=2, max_batch_latency=0.001,
+            tracking_dispatch,
+            max_batch_size=2,
+            max_batch_latency=0.001,
             max_queue_size=32,
         ) as batcher:
             await asyncio.gather(*(batcher.submit(i) for i in range(10)))
@@ -305,8 +315,11 @@ def test_pipelined_drain_answers_everything():
 
     async def main():
         batcher = DynamicBatcher(
-            dispatch, max_batch_size=2, max_batch_latency=0.002,
-            max_concurrent_batches=3, max_queue_size=64,
+            dispatch,
+            max_batch_size=2,
+            max_batch_latency=0.002,
+            max_concurrent_batches=3,
+            max_queue_size=64,
         )
         await batcher.start()
         pending = [asyncio.ensure_future(batcher.submit(i)) for i in range(12)]
@@ -329,8 +342,11 @@ def test_pipelined_stop_without_drain_cancels_in_flight():
         nonlocal release
         release = asyncio.Event()
         batcher = DynamicBatcher(
-            blocked_dispatch, max_batch_size=1, max_batch_latency=0.002,
-            max_concurrent_batches=2, max_queue_size=8,
+            blocked_dispatch,
+            max_batch_size=1,
+            max_batch_latency=0.002,
+            max_concurrent_batches=2,
+            max_queue_size=8,
         )
         await batcher.start()
         pending = [asyncio.ensure_future(batcher.submit(i)) for i in range(4)]

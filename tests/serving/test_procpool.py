@@ -44,8 +44,11 @@ def _serve_sequentially(backend: str, workers: int, **kwargs) -> list:
 
     async def main():
         async with ServingEngine(
-            model, num_samples=NUM_SAMPLES, workers=workers,
-            worker_backend=backend, **kwargs,
+            model,
+            num_samples=NUM_SAMPLES,
+            workers=workers,
+            worker_backend=backend,
+            **kwargs,
         ) as server:
             results = [await server.submit(x) for x in X]
             return results, server.stats()
@@ -99,7 +102,9 @@ def test_early_exit_mode_matches_thread_backend():
 
         async def main():
             async with ServingEngine(
-                model, early_exit_threshold=0.5, workers=2,
+                model,
+                early_exit_threshold=0.5,
+                workers=2,
                 worker_backend=backend,
             ) as server:
                 return [await server.submit(x) for x in X]
@@ -154,7 +159,9 @@ def test_weight_updates_propagate_and_match_thread_backend():
 
         async def main():
             async with ServingEngine(
-                model, num_samples=NUM_SAMPLES, workers=2,
+                model,
+                num_samples=NUM_SAMPLES,
+                workers=2,
                 worker_backend=backend,
             ) as server:
                 before = await server.submit(X[0])

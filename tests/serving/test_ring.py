@@ -1,0 +1,238 @@
+"""Ring-buffer transport: slot mechanics, fallbacks, crashes, teardown.
+
+The shm ring is an *optimisation* of the worker channel, never a semantic
+change: every test here pins one of the ways it must degrade gracefully —
+oversized payloads and exhausted slots fall back to the pickle pipe,
+over-long responses come back pickled, a worker crash mid-slot retries on
+a sibling and unlinks the dead worker's segment, and ``stop()`` releases
+every ring segment.  Bit-identity between ``worker_transport="ring"`` and
+``"pipe"`` is the umbrella guarantee the fallbacks make unconditional.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from multiprocessing import shared_memory
+
+import numpy as np
+import pytest
+
+from repro.core import MultiExitBayesNet, MultiExitConfig
+from repro.nn.architectures import lenet5_spec
+from repro.serving import ServingEngine
+from repro.serving.workers.ring import BatchRing
+
+NUM_SAMPLES = 6
+
+X = np.random.default_rng(7).normal(size=(8, 1, 12, 12))
+
+
+def _model(seed=0):
+    return MultiExitBayesNet(
+        lenet5_spec(input_shape=(1, 12, 12), num_classes=5, width_multiplier=0.5),
+        MultiExitConfig(num_exits=2, mcd_layers_per_exit=1, seed=seed),
+    )
+
+
+def _serve_sequentially(backend: str, workers: int = 2, shrink=None, **kwargs):
+    """Serve X one request at a time; ``shrink`` tweaks ring geometry."""
+    model = _model()
+    server = ServingEngine(
+        model,
+        num_samples=NUM_SAMPLES,
+        workers=workers,
+        worker_backend=backend,
+        **kwargs,
+    )
+    if shrink is not None:
+        server._pool._ring_request_bytes = shrink[0]
+        server._pool._ring_response_bytes = shrink[1]
+
+    async def main():
+        async with server:
+            results = [await server.submit(x) for x in X]
+            return results, server.stats()
+
+    return asyncio.run(main())
+
+
+def _next_victim(server: ServingEngine):
+    return server._pool._checkout._queue[0]
+
+
+# --------------------------------------------------------------------------- #
+# slot mechanics (in-process unit tests)
+# --------------------------------------------------------------------------- #
+def test_ring_roundtrip_through_attached_view():
+    ring = BatchRing.create(slots=2, request_bytes=4096, response_bytes=4096)
+    try:
+        attached = BatchRing.attached(ring.manifest)
+        dest = ring.stage_request(1, (4, 2, 3))
+        assert dest is not None and dest.shape == (4, 2, 3)
+        batch = np.arange(24, dtype=np.float64).reshape(4, 2, 3)
+        dest[...] = batch
+        np.testing.assert_array_equal(attached.read_request(1), batch)
+
+        probs = np.linspace(0.0, 1.0, 12).reshape(3, 4)
+        exits = np.array([0, 1, 1], dtype=np.int64)
+        assert attached.write_response(1, [probs, exits])
+        got_probs, got_exits = ring.read_response(1)
+        np.testing.assert_array_equal(got_probs, probs)
+        np.testing.assert_array_equal(got_exits, exits)
+        assert got_exits.dtype == np.int64
+    finally:
+        ring.release()
+    with pytest.raises(FileNotFoundError):
+        shared_memory.SharedMemory(name=ring.manifest.segment_name)
+
+
+def test_ring_refuses_what_does_not_fit():
+    ring = BatchRing.create(slots=1, request_bytes=64, response_bytes=64)
+    try:
+        assert ring.stage_request(0, (4, 4)) is None  # 128 B > 64 B
+        assert ring.stage_request(0, (2, 4)) is not None  # 64 B fits
+        too_big = np.zeros((3, 4))
+        assert not ring.write_response(0, [too_big])
+        assert ring.write_response(0, [np.zeros(8)])
+        # unsupported dtype falls back rather than corrupting the slot
+        assert not ring.write_response(0, [np.zeros(4, dtype=np.float32)])
+    finally:
+        ring.release()
+
+
+def test_ring_read_returns_fresh_view_objects():
+    """Identity-keyed activation caches must never see a recycled slot twice."""
+    ring = BatchRing.create(slots=1, request_bytes=1024, response_bytes=1024)
+    try:
+        ring.stage_request(0, (4, 4))
+        first = ring.read_request(0)
+        second = ring.read_request(0)
+        assert first is not second
+    finally:
+        ring.release()
+
+
+# --------------------------------------------------------------------------- #
+# transport equivalence and fallbacks (full serving stack)
+# --------------------------------------------------------------------------- #
+@pytest.mark.timeout(120)
+def test_ring_transport_bit_identical_to_pipe_transport():
+    results_ring, stats_ring = _serve_sequentially("process")
+    results_pipe, stats_pipe = _serve_sequentially("process", worker_transport="pipe")
+    for rr, rp in zip(results_ring, results_pipe):
+        np.testing.assert_array_equal(rr.probs, rp.probs)
+        assert rr.entropy == rp.entropy
+    assert stats_ring.transport == "ring"
+    assert stats_ring.transport_ring_batches == len(X)
+    assert stats_ring.transport_pipe_batches == 0
+    assert stats_pipe.transport == "pipe"
+    assert stats_pipe.transport_ring_batches == 0
+    assert stats_pipe.transport_pipe_batches == len(X)
+
+
+@pytest.mark.timeout(120)
+def test_thread_backend_reports_inproc_transport():
+    results, stats = _serve_sequentially("thread", workers=1)
+    assert stats.transport == "inproc"
+    assert stats.transport_ring_batches == 0
+    assert stats.transport_pipe_batches == 0
+    assert len(results) == len(X)
+
+
+@pytest.mark.timeout(120)
+def test_oversized_payload_falls_back_to_pipe():
+    """A ring too small for the batch must degrade, not fail or distort."""
+    reference, _ = _serve_sequentially("process", worker_transport="pipe")
+    results, stats = _serve_sequentially("process", shrink=(64, 1 << 20))
+    for rr, rp in zip(results, reference):
+        np.testing.assert_array_equal(rr.probs, rp.probs)
+    assert stats.transport == "ring"
+    assert stats.transport_ring_batches == 0
+    assert stats.transport_pipe_batches == len(X)
+
+
+@pytest.mark.timeout(120)
+def test_response_overflow_returns_pickled_result():
+    """Doorbell rings, response does not fit: the worker pickles it instead."""
+    reference, _ = _serve_sequentially("process", worker_transport="pipe")
+    results, stats = _serve_sequentially("process", shrink=(1 << 20, 64))
+    for rr, rp in zip(results, reference):
+        np.testing.assert_array_equal(rr.probs, rp.probs)
+    # the request leg used the ring (counted at send); the response leg fell
+    # back inside the worker, invisibly to the caller
+    assert stats.transport_ring_batches == len(X)
+
+
+@pytest.mark.timeout(120)
+def test_slot_exhaustion_under_pipelined_dispatch_falls_back():
+    """No free slot ⇒ the batch ships over the pipe; service is unaffected."""
+    model = _model()
+    server = ServingEngine(
+        model, num_samples=NUM_SAMPLES, workers=2, worker_backend="process"
+    )
+
+    async def main():
+        async with server:
+            await server.submit(X[0])  # warm the channel
+            for handle in server._pool._handles:
+                handle._free_slots.clear()  # all slots in flight, forever
+            results = await server.submit_many(X)
+            return results, server.stats()
+
+    results, stats = asyncio.run(main())
+    assert len(results) == len(X)
+    assert stats.transport_pipe_batches >= len(X) // server._batcher.max_batch_size
+    for res in results:
+        assert res.probs.shape == (5,)
+
+
+# --------------------------------------------------------------------------- #
+# crash handling and teardown
+# --------------------------------------------------------------------------- #
+@pytest.mark.timeout(120)
+def test_worker_crash_mid_slot_retries_and_unlinks_its_ring():
+    model = _model()
+
+    async def main():
+        async with ServingEngine(
+            model, num_samples=4, workers=2, worker_backend="process"
+        ) as server:
+            await server.submit(X[0])
+            victim = _next_victim(server)
+            victim_segment = victim.ring.manifest.segment_name
+            victim.process.kill()
+            victim.process.join(10.0)
+            results = await server.submit_many(X)
+            # the reaped worker's ring segment is gone with it
+            with pytest.raises(FileNotFoundError):
+                shared_memory.SharedMemory(name=victim_segment)
+            return results, server.stats()
+
+    results, stats = asyncio.run(main())
+    assert len(results) == len(X)
+    assert stats.worker_crashes >= 1
+    for res in results:
+        assert res.probs.shape == (5,)
+
+
+@pytest.mark.timeout(120)
+def test_stop_releases_every_ring_segment():
+    model = _model()
+
+    async def main():
+        async with ServingEngine(
+            model, num_samples=4, workers=2, worker_backend="process"
+        ) as server:
+            await server.submit(X[0])
+            return [h.ring.manifest.segment_name for h in server._pool._handles]
+
+    segments = asyncio.run(main())
+    assert len(segments) == 2
+    for name in segments:
+        with pytest.raises(FileNotFoundError):
+            shared_memory.SharedMemory(name=name)
+
+
+def test_worker_transport_validated():
+    with pytest.raises(ValueError, match="worker_transport"):
+        ServingEngine(_model(), worker_transport="telepathy")

@@ -54,7 +54,9 @@ class TestCalibration:
     def test_mce_at_least_ece(self, rng):
         probs = random_probs(rng, 200, 4)
         labels = rng.integers(0, 4, 200)
-        assert maximum_calibration_error(probs, labels) >= expected_calibration_error(probs, labels) - 1e-12
+        assert maximum_calibration_error(
+            probs, labels
+        ) >= expected_calibration_error(probs, labels) - 1e-12
 
     def test_reliability_bins_cover_all_samples(self, rng):
         probs = random_probs(rng, 150, 3)
@@ -99,7 +101,9 @@ class TestUncertaintyMetrics:
 
     def test_nll_uniform(self):
         probs = np.full((4, 5), 0.2)
-        assert abs(negative_log_likelihood(probs, np.zeros(4, dtype=int)) - np.log(5)) < 1e-9
+        assert abs(
+            negative_log_likelihood(probs, np.zeros(4, dtype=int)) - np.log(5)
+        ) < 1e-9
 
     def test_brier_bounds(self, rng):
         probs = random_probs(rng, 50, 4)
@@ -140,8 +144,9 @@ class TestUncertaintyMetrics:
         labels = rng.integers(0, 4, 20)
         report = evaluate_predictions(probs, labels, sample_probs)
         data = report.as_dict()
-        assert set(data) >= {"accuracy", "nll", "brier", "ece", "mean_entropy",
-                             "mean_mutual_information"}
+        assert set(data) >= {
+            "accuracy", "nll", "brier", "ece", "mean_entropy", "mean_mutual_information"
+        }
         assert data["mean_mutual_information"] >= 0
 
 
