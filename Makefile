@@ -2,7 +2,7 @@
 
 PYTHON ?= python
 
-.PHONY: test bench parallel lint docs quickstart serve-demo all
+.PHONY: test bench parallel chaos lint docs quickstart serve-demo all
 
 # Tier-1: full test suite (pytest config lives in pyproject.toml)
 test:
@@ -20,7 +20,17 @@ parallel:
 	OMP_NUM_THREADS=1 OPENBLAS_NUM_THREADS=1 MKL_NUM_THREADS=1 $(PYTHON) -m pytest -q -p no:randomly \
 		tests/nn/test_forward_context.py tests/nn/test_shm_params.py \
 		tests/serving/test_parallel_serving.py tests/serving/test_procpool.py \
-		benchmarks/test_parallel_serving.py benchmarks/test_procpool_serving.py
+		tests/serving/test_fleet.py \
+		benchmarks/test_parallel_serving.py benchmarks/test_procpool_serving.py \
+		benchmarks/test_fleet.py
+
+# Fault-injection chaos suite: deterministic kill schedules under live
+# traffic, gated on bit-identical responses and a clean /dev/shm.  Opt-in
+# (the default pytest selection excludes `-m chaos`); the K=4 stress
+# variant self-skips below 4 cores, the headline runs work anywhere.
+chaos:
+	OMP_NUM_THREADS=1 OPENBLAS_NUM_THREADS=1 MKL_NUM_THREADS=1 $(PYTHON) -m pytest -q -p no:randomly \
+		-m chaos tests/serving/test_chaos.py
 
 # Static checks (ruff config lives in pyproject.toml; same gate as CI)
 lint:

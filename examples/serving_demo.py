@@ -17,7 +17,12 @@ engine directly:
    per-request deadlines reorder a backlog earliest-deadline-first;
 6. process-pool serving (``worker_backend="process"``): the same replicas
    as true multi-core worker processes over a shared-memory parameter
-   arena, with shed-on-missed-deadline enabled (``admission_timeout``).
+   arena, with shed-on-missed-deadline enabled (``admission_timeout``);
+7. a self-healing fleet (``fleet=FleetConfig(...)``): a worker is killed
+   mid-batch under live traffic, the batch is retried on a sibling, the
+   supervisor respawns the dead worker back to full strength, and a
+   zero-downtime ``swap_model`` rolls a new arena generation — all
+   invisible to the clients.
 
 Run with:  python examples/serving_demo.py
 """
@@ -31,7 +36,7 @@ import numpy as np
 
 from repro.core import MultiExitBayesNet, MultiExitConfig
 from repro.nn.architectures import lenet5_spec
-from repro.serving import ServerOverloaded
+from repro.serving import FaultPlan, FleetConfig, ServerOverloaded
 
 NUM_CLIENTS = 96
 MC_SAMPLES = 8
@@ -188,6 +193,43 @@ async def main() -> None:
         "worker processes rebuilt zero-copy engine replicas from the "
         "shared-memory arena; weight updates would propagate through the "
         "segment under the weights_version token"
+    )
+
+    # ------------------------------------------------------------------ #
+    # 6. self-healing fleet: live worker death, respawn and a model swap
+    # ------------------------------------------------------------------ #
+    # The deterministic fault plan kills one worker mid-compute on batch
+    # seq 4 — the same hook the chaos suite uses (`make chaos`).  The batch
+    # is retried on the sibling, the supervisor respawns the corpse, and a
+    # swap_model mid-stream rolls everyone onto a fresh arena generation.
+    plan = FaultPlan([(4, "mid_compute")])
+    async with model.serving_engine(
+        num_samples=MC_SAMPLES,
+        workers=2,
+        worker_backend="process",
+        max_batch_size=8,
+        max_batch_latency=0.002,
+        fleet=FleetConfig(health_interval=0.02),
+        fault_plan=plan,
+    ) as server:
+        results = []
+        await asyncio.gather(*(client(server, ex, results) for ex in examples))
+        generation = await server.swap_model(build_model())  # zero downtime
+        results.append(await server.submit(examples[0]))  # new-model bits
+        while server.stats().current_workers < 2:  # supervisor still healing?
+            await asyncio.sleep(0.01)
+        stats = server.stats()
+
+    print(f"\n--- self-healing fleet (workers={stats.current_workers}) ---")
+    print(
+        f"served {stats.requests_completed} requests through "
+        f"{stats.worker_crashes} mid-batch worker death(s): "
+        f"{stats.workers_respawned} respawned, 0 requests failed"
+    )
+    print(
+        f"live swap_model rolled the fleet onto arena generation "
+        f"{generation} (stats agree: {stats.arena_generation}) without "
+        f"dropping a request"
     )
 
 

@@ -117,6 +117,10 @@ class ArenaManifest:
     segment_name: str
     num_parameters: int
     size_bytes: int
+    #: rollout generation of this arena (see ``SharedParameterArena``):
+    #: each published generation is a *new* segment, so a weight-or-shape
+    #: swap never mutates storage a live worker is still computing over
+    generation: int = 0
 
 
 class SharedParameterArena:
@@ -135,11 +139,21 @@ class SharedParameterArena:
         segment: shared_memory.SharedMemory,
         params: Sequence["Parameter"],
         owner: bool,
+        generation: int = 0,
     ) -> None:
         self._segment = segment
         self._params = list(params)
         self._owner = owner
         self._released = False
+        #: which rollout generation this arena carries.  Generations are
+        #: how the serving fleet does zero-downtime model swaps: a weight
+        #: *or shape* update builds a whole new arena at ``generation + 1``
+        #: (fresh segment, fresh offsets — shapes may differ), workers are
+        #: drained and re-attached to it one at a time, and the old
+        #: generation's segment is released only once no worker reads it.
+        #: Mutating a live segment in place could tear a reader mid-GEMM;
+        #: a new segment per generation makes the swap atomic per worker.
+        self.generation = int(generation)
         self._versions = np.ndarray(
             (len(self._params),), dtype=_VERSION_DTYPE, buffer=segment.buf
         )
@@ -153,8 +167,15 @@ class SharedParameterArena:
     # construction
     # ------------------------------------------------------------------ #
     @classmethod
-    def create(cls, params: Sequence["Parameter"]) -> "SharedParameterArena":
-        """Allocate a segment and move every parameter's storage into it."""
+    def create(
+        cls, params: Sequence["Parameter"], generation: int = 0
+    ) -> "SharedParameterArena":
+        """Allocate a segment and move every parameter's storage into it.
+
+        ``generation`` stamps the arena for rolling model swaps — pass the
+        successor of the currently-published generation when building the
+        arena a drained worker fleet will re-attach to.
+        """
         params = list(params)
         if not params:
             raise ValueError("cannot build an arena over zero parameters")
@@ -165,7 +186,7 @@ class SharedParameterArena:
             offsets.append(cursor)
             cursor += p.value.nbytes
         segment = shared_memory.SharedMemory(create=True, size=max(cursor, 1))
-        arena = cls(segment, params, owner=True)
+        arena = cls(segment, params, owner=True, generation=generation)
         for p, offset in zip(params, offsets):
             view = np.ndarray(
                 p.value.shape, dtype=_VALUE_DTYPE, buffer=segment.buf, offset=offset
@@ -185,7 +206,12 @@ class SharedParameterArena:
                 f"manifest describes {manifest.num_parameters} parameters, "
                 f"got {len(params)}"
             )
-        return cls(_open_attached(manifest.segment_name), params, owner=False)
+        return cls(
+            _open_attached(manifest.segment_name),
+            params,
+            owner=False,
+            generation=manifest.generation,
+        )
 
     @property
     def manifest(self) -> ArenaManifest:
@@ -193,6 +219,7 @@ class SharedParameterArena:
             segment_name=self._segment.name,
             num_parameters=len(self._params),
             size_bytes=self._segment.size,
+            generation=self.generation,
         )
 
     # ------------------------------------------------------------------ #
@@ -234,6 +261,13 @@ class SharedParameterArena:
         if not self._owner:
             return
         for p in self._params:
+            spec = getattr(p, "_shm_spec", None)
+            if spec is not None and spec[0] != self._segment.name:
+                # the parameter was rebound into a successor arena (same
+                # model rolled into a new generation): that binding is the
+                # successor's to manage — detaching it here would silently
+                # disconnect the owner from the live segment
+                continue
             p.unshare_()
         self._versions = None  # drop our own view of the buffer
         self._finalizer()  # close + unlink, exactly once

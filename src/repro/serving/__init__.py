@@ -24,8 +24,16 @@ two with classic dynamic batching:
   ``ServingEngine(worker_backend=...)``: K reentrant engine replicas on a
   thread pool, or K worker *processes* over a shared-memory parameter
   arena (:class:`~repro.nn.shm.SharedParameterArena`) with crash retry.
+* :mod:`repro.serving.fleet` — the self-healing, elastic fleet layer:
+  :class:`WorkerSupervisor` respawns dead workers re-attached to the
+  current arena generation, :class:`Autoscaler` sizes K between
+  ``min_workers``/``max_workers`` from live signals, and a test-only
+  :class:`FaultPlan` injects deterministic worker kills for the chaos
+  suite.  Enable with ``ServingEngine(fleet=FleetConfig(...))``; hot-swap
+  models with ``ServingEngine.swap_model``.
 * :class:`ServingStats` / :class:`BatcherStats` — throughput, latency
-  percentiles, batch-size, exit-distribution, shed and crash counters.
+  percentiles, batch-size, exit-distribution, shed, crash and fleet
+  counters.
 
 See ``docs/architecture.md`` for the request dataflow and
 ``examples/serving_demo.py`` for an end-to-end run.
@@ -33,6 +41,14 @@ See ``docs/architecture.md`` for the request dataflow and
 
 from .batcher import BatcherStats, DeadlineExceeded, DynamicBatcher, ServerOverloaded
 from .engine import ServingEngine, ServingStats
+from .fleet import (
+    Autoscaler,
+    FaultInjection,
+    FaultPlan,
+    FleetConfig,
+    FleetSignals,
+    WorkerSupervisor,
+)
 from .workers import ProcessWorkerPool, ThreadWorkerPool, WorkerCrashed
 
 __all__ = [
@@ -45,4 +61,10 @@ __all__ = [
     "ThreadWorkerPool",
     "ProcessWorkerPool",
     "WorkerCrashed",
+    "Autoscaler",
+    "FaultInjection",
+    "FaultPlan",
+    "FleetConfig",
+    "FleetSignals",
+    "WorkerSupervisor",
 ]

@@ -285,6 +285,8 @@ class DynamicBatcher:
         self._collector: asyncio.Task | None = None
         self._inflight: set[asyncio.Task] = set()
         self._seq = 0
+        #: requests sitting in the collector's EDF heap (see queue_depth)
+        self._heap_backlog = 0
 
     # ------------------------------------------------------------------ #
     # lifecycle
@@ -292,6 +294,17 @@ class DynamicBatcher:
     @property
     def running(self) -> bool:
         return self._collector is not None and not self._collector.done()
+
+    @property
+    def queue_depth(self) -> int:
+        """Requests accepted but not yet dispatched (0 when stopped).
+
+        A live backlog signal for the autoscaler: the submission queue
+        plus the collector's EDF heap (where queued requests are moved
+        eagerly, so ``qsize`` alone would read ~0 under heavy backlog).
+        """
+        queue = self._queue
+        return (queue.qsize() if queue is not None else 0) + self._heap_backlog
 
     async def start(self) -> None:
         """Start the background collector (idempotent)."""
@@ -455,14 +468,17 @@ class DynamicBatcher:
 
         def drain_queue_into_heap() -> bool:
             """Move already-queued requests into the heap; True if sentinel seen."""
-            while True:
-                try:
-                    item = queue.get_nowait()
-                except asyncio.QueueEmpty:
-                    return False
-                if item is None:
-                    return True
-                heapq.heappush(heap, (item.heap_key, item))
+            try:
+                while True:
+                    try:
+                        item = queue.get_nowait()
+                    except asyncio.QueueEmpty:
+                        return False
+                    if item is None:
+                        return True
+                    heapq.heappush(heap, (item.heap_key, item))
+            finally:
+                self._heap_backlog = len(heap)
 
         # the batch currently being assembled/launched; visible to `finally`
         # so a cancellation mid-launch cannot strand its requests
@@ -510,6 +526,7 @@ class DynamicBatcher:
                     heapq.heappush(heap, (item.heap_key, item))
                     draining = drain_queue_into_heap()
                 if batch:
+                    self._heap_backlog = len(heap)
                     await self._launch_batch(batch)
                     batch = []
 
@@ -543,6 +560,7 @@ class DynamicBatcher:
             for _, req in heap:
                 if not req.future.done():
                     req.future.cancel()
+            self._heap_backlog = 0
 
     async def _launch_batch(self, batch: list[_Request]) -> None:
         """Run a batch — inline when serial, as a bounded task when pipelined."""

@@ -59,6 +59,7 @@ from ..inference.engine import InferenceEngine, NetworkEngine
 from ..nn.model import Network
 from ..uncertainty.metrics import UncertaintyResult
 from .batcher import BatcherStats, DynamicBatcher
+from .fleet import FaultPlan, FleetConfig, FleetSignals, WorkerSupervisor
 from .workers import ProcessWorkerPool, ThreadWorkerPool
 
 __all__ = ["ServingEngine", "ServingStats"]
@@ -103,6 +104,11 @@ class ServingStats:
         Process backend: batches that crossed the boundary through the
         shared-memory ring vs the pickle pipe (fallbacks included) —
         a healthy ring configuration shows pipe counts near zero.
+    workers_respawned / scale_events / current_workers / arena_generation:
+        Fleet telemetry (see :mod:`repro.serving.fleet`): dead workers
+        replaced by the supervisor, completed grow/shrink transitions,
+        replicas currently able to take a batch, and the shared-arena
+        generation (bumped once per zero-downtime model swap).
     """
 
     requests_completed: int
@@ -129,6 +135,14 @@ class ServingStats:
     #: process backend: batches shipped via the shm ring / the pickle pipe
     transport_ring_batches: int = 0
     transport_pipe_batches: int = 0
+    #: dead workers replaced by the supervisor (crash-retry excluded)
+    workers_respawned: int = 0
+    #: completed autoscale (or manual ``scale_to``) transitions
+    scale_events: int = 0
+    #: replicas currently able to take a batch (tracks scaling live)
+    current_workers: int = 0
+    #: shared-arena generation; +1 per zero-downtime ``swap_model``
+    arena_generation: int = 0
 
 
 class ServingEngine:
@@ -195,6 +209,23 @@ class ServingEngine:
         A custom executor must provide at least ``workers`` threads;
         worker checkout still guarantees no replica runs two batches at
         once.
+    fleet:
+        A :class:`~repro.serving.fleet.FleetConfig` turns the static pool
+        into a supervised fleet: a :class:`~repro.serving.fleet
+        .WorkerSupervisor` respawns dead process workers re-attached to
+        the current arena generation (crash recovery becomes invisible to
+        callers), and — when the config describes a ``min_workers`` /
+        ``max_workers`` range — an :class:`~repro.serving.fleet
+        .Autoscaler` grows and shrinks K from live queue/shed signals,
+        draining a retiring worker's in-flight batch before releasing it.
+        Responses stay bit-identical across respawns and scale events by
+        the spawn-key rule.  See also :meth:`swap_model` for zero-downtime
+        weight/shape rollouts.
+    fault_plan:
+        Test-only :class:`~repro.serving.fleet.FaultPlan`: a deterministic
+        schedule of worker kills keyed on batch sequence numbers, used by
+        the chaos suite to pin crash paths without racy wall-clock kills.
+        Process backend only; default off.
 
     Examples
     --------
@@ -218,6 +249,8 @@ class ServingEngine:
         worker_backend: str = "thread",
         worker_transport: str = "ring",
         executor: Executor | None = None,
+        fleet: FleetConfig | None = None,
+        fault_plan: FaultPlan | None = None,
     ) -> None:
         if isinstance(model, MultiExitBayesNet):
             self.engine: InferenceEngine | NetworkEngine = model.engine
@@ -252,11 +285,21 @@ class ServingEngine:
                 f"worker_transport must be 'ring' or 'pipe', "
                 f"got {worker_transport!r}"
             )
+        if fault_plan is not None and worker_backend != "process":
+            raise ValueError(
+                "fault_plan injects worker-process deaths and requires "
+                "worker_backend='process'"
+            )
         self.num_samples = num_samples
         self.early_exit_threshold = early_exit_threshold
         self.workers = int(workers)
         self.worker_backend = worker_backend
         self.worker_transport = worker_transport
+        self.fleet = fleet
+        #: largest fleet size this engine may reach (executor sizing)
+        self._max_fleet = (
+            fleet.resolve_bounds(self.workers)[1] if fleet is not None else self.workers
+        )
         pool_kwargs = dict(
             workers=self.workers,
             num_samples=num_samples,
@@ -268,7 +311,14 @@ class ServingEngine:
         )
         if worker_backend == "process":
             pool_kwargs["transport"] = worker_transport
+            pool_kwargs["fault_plan"] = fault_plan
+            if fleet is not None:
+                pool_kwargs["respawn_wait"] = fleet.respawn_wait
         self._pool = _POOL_BACKENDS[worker_backend](self.engine, **pool_kwargs)
+        self.supervisor: WorkerSupervisor | None = None
+        # autoscaler signal deltas (shed/completed since last evaluation)
+        self._shed_seen = 0
+        self._completed_seen = 0
         self._batch_seq = 0
         self._batcher = DynamicBatcher(
             self._dispatch,
@@ -292,13 +342,19 @@ class ServingEngine:
         self._first_submit_at: float | None = None
         self._last_done_at: float | None = None
 
+    @staticmethod
+    def _engine_input_shape(
+        engine: InferenceEngine | NetworkEngine,
+    ) -> tuple[int, ...] | None:
+        if isinstance(engine, InferenceEngine):
+            return tuple(engine.model.input_shape)
+        shape = engine.network.input_shape
+        return tuple(shape) if shape is not None else None
+
     @property
     def input_shape(self) -> tuple[int, ...] | None:
         """Per-example input shape requests must match (``None`` if unknown)."""
-        if isinstance(self.engine, InferenceEngine):
-            return tuple(self.engine.model.input_shape)
-        shape = self.engine.network.input_shape
-        return tuple(shape) if shape is not None else None
+        return self._engine_input_shape(self.engine)
 
     # ------------------------------------------------------------------ #
     # lifecycle
@@ -315,25 +371,111 @@ class ServingEngine:
         cost of an interpreter + imports per worker.
         """
         if self._executor is None:
+            # headroom beyond the largest fleet: supervisor respawns and
+            # drain-retire shutdowns run on this executor concurrently
+            # with up to max-fleet in-flight batches
+            extra = 2 if self.fleet is not None else 0
             self._executor = ThreadPoolExecutor(
-                max_workers=self.workers, thread_name_prefix="repro-serving"
+                max_workers=self._max_fleet + extra,
+                thread_name_prefix="repro-serving",
             )
         await self._pool.start(self._executor)
         await self._batcher.start()
+        if self.fleet is not None:
+            if self.supervisor is None:
+                signal_source = (
+                    self._fleet_signals if self.fleet.autoscaling else None
+                )
+                self.supervisor = WorkerSupervisor(
+                    self._pool,
+                    self.fleet,
+                    signal_source=signal_source,
+                    on_scale=self._on_scale,
+                )
+            await self.supervisor.start()
 
     async def stop(self, drain: bool = True) -> None:
         """Stop serving; with ``drain=True`` answer queued requests first.
 
-        The worker pool is torn down after the batcher drains: process
-        workers exit, and the shared-memory arena (if any) is released —
-        parameters return to private storage and the model remains fully
-        usable, training included.
+        The supervisor keeps healing through the drain (queued requests
+        must survive a crash during shutdown) and detaches just before
+        the pool itself is torn down: process workers exit, and the
+        shared-memory arena (if any) is released — parameters return to
+        private storage and the model remains fully usable, training
+        included.
         """
         await self._batcher.stop(drain=drain)
+        if self.supervisor is not None:
+            await self.supervisor.stop()
         await self._pool.stop()
         if self._owns_executor and self._executor is not None:
             self._executor.shutdown(wait=True)
             self._executor = None
+
+    def _fleet_signals(self) -> FleetSignals:
+        """Snapshot the live load signals one autoscaler evaluation needs."""
+        b = self._batcher.stats
+        shed_delta = b.shed - self._shed_seen
+        self._shed_seen = b.shed
+        completed_delta = b.completed - self._completed_seen
+        self._completed_seen = b.completed
+        if self._latencies:
+            lat95 = float(np.percentile(np.asarray(self._latencies), 95))
+        else:
+            lat95 = 0.0
+        return FleetSignals(
+            queue_depth=self._batcher.queue_depth,
+            current_workers=self._pool.current_workers,
+            shed_delta=shed_delta,
+            completed_delta=completed_delta,
+            latency_p95_s=lat95,
+        )
+
+    def _on_scale(self, target: int) -> None:
+        # keep the dispatch pipeline as wide as the fleet, so grown
+        # workers actually receive concurrent batches
+        self._batcher.max_concurrent_batches = max(1, int(target))
+
+    async def swap_model(
+        self, model: MultiExitBayesNet | InferenceEngine | NetworkEngine | Network
+    ) -> int:
+        """Hot-swap the served model with zero downtime; returns the generation.
+
+        Weights **and shapes** may differ from the current model (e.g. a
+        DSE rescaling picked a new width) — only the per-example input
+        shape and the number of classes must match, since in-flight and
+        queued requests were validated against them.  The rollout follows
+        the arena-generation protocol (:mod:`repro.nn.shm`): a successor
+        arena is built, a fresh worker cohort attaches to it, the old
+        cohort drains and retires, and the old arena is released.  No
+        request fails and no reader ever sees a torn update; responses
+        switch from old-model to new-model bits at a batch boundary.
+        """
+        if isinstance(model, MultiExitBayesNet):
+            engine: InferenceEngine | NetworkEngine = model.engine
+        elif isinstance(model, Network):
+            engine = NetworkEngine(model, cache_size=4)
+        elif isinstance(model, (InferenceEngine, NetworkEngine)):
+            engine = model
+        else:
+            raise TypeError(
+                "model must be a MultiExitBayesNet, InferenceEngine, "
+                f"NetworkEngine or Network, got {type(model).__name__}"
+            )
+        if self.early_exit_threshold is not None and not isinstance(
+            engine, InferenceEngine
+        ):
+            raise ValueError("early-exit serving requires a multi-exit model")
+        old_shape = self.input_shape
+        new_shape = self._engine_input_shape(engine)
+        if old_shape is not None and new_shape is not None and old_shape != new_shape:
+            raise ValueError(
+                f"swapped model must keep the input shape {old_shape}, "
+                f"got {new_shape}"
+            )
+        generation = await self._pool.swap_engine(engine)
+        self.engine = engine
+        return generation
 
     async def __aenter__(self) -> "ServingEngine":
         await self.start()
@@ -463,4 +605,8 @@ class ServingEngine:
             ),
             transport_ring_batches=self._pool.ring_batches,
             transport_pipe_batches=self._pool.pipe_batches,
+            workers_respawned=self._pool.workers_respawned,
+            scale_events=self._pool.scale_events,
+            current_workers=self._pool.current_workers,
+            arena_generation=self._pool.generation,
         )

@@ -160,14 +160,38 @@ def assemble_results(out: BatchOutput) -> list[UncertaintyResult]:
 class WorkerPool:
     """Lifecycle contract between :class:`ServingEngine` and its workers.
 
-    Subclasses own ``workers`` engine replicas and guarantee that
+    Subclasses own a fleet of engine replicas and guarantee that
     :meth:`run` never executes two batches on the same replica at once.
     ``start``/``stop`` bracket the serving engine's lifecycle; ``stop``
     must be idempotent and leave the wrapped engine fully usable.
+
+    Beyond the original start/run/stop triple, pools expose the *fleet*
+    surface that :mod:`repro.serving.fleet` drives:
+
+    * :meth:`ensure_healthy` — detect replicas that died since the last
+      check, reclaim their resources and respawn replacements up to the
+      current target size (a no-op for backends whose replicas cannot
+      die, e.g. threads).
+    * :meth:`scale_to` — grow or shrink the fleet between batches.
+      Shrinking must *drain before retiring*: a replica with a batch in
+      flight finishes it and is only then released.
+    * :meth:`swap_engine` — replace the served engine with a new one
+      (weights **and shapes** may differ) via a rolling generation swap:
+      no request ever fails, no reader ever sees a torn update, and
+      :attr:`generation` increments exactly once per swap.
+
+    The counters below feed ``ServingStats``; they are plain ints mutated
+    only on the event loop (or under the GIL from executor threads).
     """
 
     #: dead workers observed so far (process backend; threads cannot die)
     worker_crashes: int = 0
+    #: dead workers replaced by the supervisor (process backend)
+    workers_respawned: int = 0
+    #: completed grow/shrink transitions (either backend)
+    scale_events: int = 0
+    #: current model/arena generation; bumped once per ``swap_engine``
+    generation: int = 0
     #: batches delivered over a shared-memory ring / over the pickle pipe
     #: (process backend; the thread backend never crosses a boundary)
     ring_batches: int = 0
@@ -192,6 +216,19 @@ class WorkerPool:
         #: the historical stack-per-batch behaviour
         self.max_batch_size = max_batch_size
         self.input_shape = tuple(input_shape) if input_shape is not None else None
+        #: desired fleet size; ``scale_to`` moves it, ``ensure_healthy``
+        #: restores it after crashes
+        self.target_workers = self.workers
+        #: set by a :class:`~repro.serving.fleet.WorkerSupervisor` when it
+        #: takes ownership of crash recovery: with a supervisor attached, a
+        #: transiently dead fleet *waits* for respawns instead of failing
+        #: submissions with :class:`WorkerCrashed`
+        self.supervised = False
+
+    @property
+    def current_workers(self) -> int:
+        """Replicas currently able to take a batch (excludes retiring/dead)."""
+        return self.workers
 
     async def start(self, executor) -> None:
         raise NotImplementedError
@@ -201,4 +238,21 @@ class WorkerPool:
 
     async def run(self, seq: int, payloads: list) -> list[UncertaintyResult]:
         """Serve one assembled batch; safe to call ``workers``-way concurrently."""
+        raise NotImplementedError
+
+    async def ensure_healthy(self) -> int:
+        """Reap dead replicas and respawn up to ``target_workers``.
+
+        Returns how many replicas were respawned.  The default is a no-op:
+        backends whose replicas cannot die independently (threads) are
+        always healthy.
+        """
+        return 0
+
+    async def scale_to(self, target: int) -> None:
+        """Grow or shrink the fleet to ``target`` replicas (drain on shrink)."""
+        raise NotImplementedError
+
+    async def swap_engine(self, engine: Engine) -> int:
+        """Roll the fleet onto ``engine`` (new weights/shapes); new generation."""
         raise NotImplementedError

@@ -36,13 +36,34 @@ in its **own process**:
   sibling (each worker has its own ring, so a batch staged into a dead
   worker's slot is simply re-staged into the sibling's), the dead
   worker's ring segment is unlinked with it, and the death is surfaced
-  via ``worker_crashes`` (the ``WorkerCrashed`` error reaches callers
-  only when no worker is left).
+  via ``worker_crashes``.  Without a supervisor, ``WorkerCrashed``
+  reaches callers once no worker is left; with one
+  (:class:`~repro.serving.fleet.WorkerSupervisor`), dead workers are
+  respawned attached to the current arena + a fresh ring, and a
+  transiently empty fleet parks batches until a respawn lands.
+* **Elasticity:** :meth:`ProcessWorkerPool.scale_to` grows the fleet by
+  spawning extra workers over the same arena and shrinks it by *marking*
+  workers retiring — a retiring worker finishes its in-flight batch,
+  takes no new ones, and is shut down on check-in (drain-before-retire).
+* **Generations:** :meth:`ProcessWorkerPool.swap_engine` rolls the fleet
+  onto a *new* engine — weights **and shapes** may differ — by building
+  a successor :class:`~repro.nn.shm.SharedParameterArena` (generation
+  n+1), spawning a same-size cohort attached to it, draining and
+  retiring the old cohort, then releasing the old arena.  No request
+  fails, and no worker ever reads a half-updated parameter: a
+  generation's segment is immutable-in-shape for its whole lifetime.
 
 Workers are spawned (not forked): forking a process that already runs an
 asyncio loop plus BLAS threads is unsound, and spawn keeps the backend
 portable.  Startup therefore costs a Python interpreter + import per
 worker — amortised over a serving lifetime, irrelevant per request.
+
+For deterministic crash-path testing the pool accepts a
+:class:`~repro.serving.fleet.FaultPlan`: the parent consumes one
+injection per delivery attempt keyed on the batch sequence number and
+either kills the victim before the doorbell or poisons the message so
+the worker traps and dies at the requested lifecycle point (the
+``fault`` field riding every request frame; ``None`` in production).
 """
 
 from __future__ import annotations
@@ -119,7 +140,14 @@ def _worker_main(
             kind = msg[0]
             if kind == "stop":
                 break
-            _, seq, token, payload = msg
+            _, seq, token, payload, fault = msg
+            if fault == "mid_compute":
+                # poisoned doorbell (FaultPlan, test-only): die holding the
+                # request exactly as a real mid-compute crash would —
+                # after mapping the slot, before producing any response
+                if kind == "ring":
+                    ring.read_request(payload)
+                os._exit(70)
             try:
                 if token != seen_token:
                     # weights changed in the parent: sync version counters
@@ -155,6 +183,10 @@ def _worker_main(
                         conn.send(("ok", out))
                 else:
                     conn.send(("ok", out))
+                if fault == "post_response":
+                    # die *after* answering, before the parent recycles the
+                    # slot: a silent death only a liveness scan can find
+                    os._exit(71)
     except (EOFError, OSError, KeyboardInterrupt):
         pass  # parent went away (or interactive interrupt): just exit
     finally:
@@ -167,12 +199,27 @@ def _worker_main(
 class _WorkerHandle:
     """Parent-side endpoint of one worker process."""
 
-    def __init__(self, index: int, process, conn, ring: BatchRing | None) -> None:
+    def __init__(
+        self, index: int, process, conn, ring: BatchRing | None, generation: int = 0
+    ) -> None:
         self.index = index
         self.process = process
         self.conn = conn
         self.ring = ring
         self.alive = True
+        #: which arena generation this worker attached at spawn; retired
+        #: (never mutated) by a generation swap
+        self.generation = generation
+        #: drain-before-retire flag: a retiring worker finishes its
+        #: in-flight batch but is shut down instead of re-entering checkout
+        self.retiring = False
+        #: whether an executor thread is currently inside execute(); the
+        #: supervisor's liveness scan skips in-flight handles (their own
+        #: exchange surfaces the death) to avoid reaping under a live drain
+        self.in_flight = False
+        #: crash accounting guard: the executing batch and the liveness
+        #: scan may both observe one death; it must count once
+        self.crash_counted = False
         #: transport breakdown for this worker's batches, summed by the pool
         self.ring_batches = 0
         self.pipe_batches = 0
@@ -184,7 +231,7 @@ class _WorkerHandle:
 
     def _stage(self, payloads: list) -> tuple[int | None, np.ndarray | None]:
         """Claim a slot and stage the batch into it; (None, None) = pipe."""
-        if self.ring is None or not self._free_slots:
+        if self.ring is None or self.ring.closed or not self._free_slots:
             return None, None
         shape = payloads[0].shape
         if any(
@@ -201,17 +248,25 @@ class _WorkerHandle:
             dest[i] = payload
         return slot, dest
 
-    def execute(self, seq: int, token: int, payloads: list) -> list[UncertaintyResult]:
+    def execute(
+        self, seq: int, token: int, payloads: list, fault: str | None = None
+    ) -> list[UncertaintyResult]:
         """Blocking request/response exchange; runs on an executor thread."""
         with self._lock:
             slot = None
             try:
                 slot, _ = self._stage(payloads)
+                if fault == "pre_doorbell":
+                    # FaultPlan (test-only): deterministic crash *between*
+                    # staging and the doorbell — the batch dies holding a
+                    # ring slot and must be re-staged on a sibling
+                    self.process.kill()
+                    self.process.join(5.0)
                 if slot is not None:
-                    self.conn.send(("ring", seq, token, slot))
+                    self.conn.send(("ring", seq, token, slot, fault))
                     self.ring_batches += 1
                 else:
-                    self.conn.send(("predict", seq, token, payloads))
+                    self.conn.send(("predict", seq, token, payloads, fault))
                     self.pipe_batches += 1
                 while not self.conn.poll(_POLL_INTERVAL_S):
                     if not self.process.is_alive():
@@ -311,6 +366,8 @@ class ProcessWorkerPool(WorkerPool):
         ring_response_bytes: int | None = None,
         max_batch_size: int | None = None,
         input_shape: tuple[int, ...] | None = None,
+        fault_plan=None,
+        respawn_wait: float = 60.0,
     ) -> None:
         super().__init__(
             engine,
@@ -330,11 +387,26 @@ class ProcessWorkerPool(WorkerPool):
         self._ring_response_bytes = ring_response_bytes
         self._mp_context = mp_context
         self._start_timeout = start_timeout
+        #: test-only deterministic kill schedule (see repro.serving.fleet)
+        self._fault_plan = fault_plan
+        #: supervised mode: how long a batch waits on an all-dead fleet
+        #: for the supervisor to deliver a respawn before giving up
+        self._respawn_wait = float(respawn_wait)
         self._arena: SharedParameterArena | None = None
         self._handles: list[_WorkerHandle] = []
         self._checkout: asyncio.Queue | None = None
         self._executor = None
+        self._loop: asyncio.AbstractEventLoop | None = None
         self._published_token: int | None = None
+        #: monotonically increasing worker index (respawns/grows get fresh
+        #: indices, so logs and crash messages never alias two lifetimes)
+        self._next_index = 0
+        #: in-progress retire shutdowns; stop() waits for these
+        self._retire_futures: set = set()
+        #: serializes fleet mutations (respawn / scale / swap) against each
+        #: other — the supervisor's health and scale loops are separate
+        #: tasks, and two concurrent spawns would race the roster
+        self._fleet_lock = asyncio.Lock()
 
     # ------------------------------------------------------------------ #
     # transport stats
@@ -391,73 +463,122 @@ class ProcessWorkerPool(WorkerPool):
         if self._checkout is not None:
             return
         self._executor = executor
-        loop = asyncio.get_running_loop()
+        self._loop = asyncio.get_running_loop()
         # spawning + the ready handshake block on process startup; keep the
         # event loop responsive meanwhile
-        await loop.run_in_executor(executor, self._start_sync)
+        await self._loop.run_in_executor(executor, self._start_sync)
         self._checkout = asyncio.Queue()
         for handle in self._handles:
             self._checkout.put_nowait(handle)
 
-    def _start_sync(self) -> None:
-        params = list(engine_parameters(self.engine))
-        arena = SharedParameterArena.create(params)
+    def _spawn_worker(self, config: _WorkerConfig) -> _WorkerHandle:
+        """Spawn one worker process (no ready-wait); blocking, off-loop."""
         ctx = multiprocessing.get_context(self._mp_context)
-        config = _WorkerConfig(
+        geometry = self._ring_geometry()
+        ring = (
+            BatchRing.create(self._ring_slots, *geometry)
+            if geometry is not None
+            else None
+        )
+        index = self._next_index
+        self._next_index += 1
+        parent_conn, child_conn = ctx.Pipe()
+        process = ctx.Process(
+            target=_worker_main,
+            args=(
+                child_conn,
+                config,
+                ring.manifest if ring is not None else None,
+            ),
+            daemon=True,
+            name=f"repro-serving-worker-{index}",
+        )
+        process.start()
+        child_conn.close()
+        return _WorkerHandle(
+            index, process, parent_conn, ring, generation=self.generation
+        )
+
+    @staticmethod
+    def _await_ready(handle: _WorkerHandle, deadline: float) -> None:
+        """Block until the worker's ready handshake (or fail); off-loop."""
+        remaining = deadline - time.monotonic()
+        if remaining <= 0 or not handle.conn.poll(remaining):
+            raise RuntimeError(
+                f"serving worker {handle.index} did not become ready in time"
+            )
+        msg = handle.conn.recv()  # EOFError if it died during import
+        if msg[0] != "ready":  # pragma: no cover - protocol violation
+            raise RuntimeError(f"unexpected handshake from worker: {msg!r}")
+
+    def _current_config(self) -> _WorkerConfig:
+        """The spawn config for the *current* engine + arena generation."""
+        return _WorkerConfig(
             engine=self.engine,
             num_samples=self.num_samples,
             early_exit_threshold=self.early_exit_threshold,
-            manifest=arena.manifest,
+            manifest=self._arena.manifest,
         )
-        geometry = self._ring_geometry()
+
+    def _start_sync(self) -> None:
+        params = list(engine_parameters(self.engine))
+        arena = SharedParameterArena.create(params, generation=self.generation)
+        self._arena = arena
         handles: list[_WorkerHandle] = []
         try:
-            for i in range(self.workers):
-                ring = (
-                    BatchRing.create(self._ring_slots, *geometry)
-                    if geometry is not None
-                    else None
-                )
-                parent_conn, child_conn = ctx.Pipe()
-                process = ctx.Process(
-                    target=_worker_main,
-                    args=(
-                        child_conn,
-                        config,
-                        ring.manifest if ring is not None else None,
-                    ),
-                    daemon=True,
-                    name=f"repro-serving-worker-{i}",
-                )
-                process.start()
-                child_conn.close()
-                handles.append(_WorkerHandle(i, process, parent_conn, ring))
+            config = self._current_config()
+            for _ in range(self.workers):
+                handles.append(self._spawn_worker(config))
             deadline = time.monotonic() + self._start_timeout
             for handle in handles:
-                remaining = deadline - time.monotonic()
-                if remaining <= 0 or not handle.conn.poll(remaining):
-                    raise RuntimeError(
-                        f"serving worker {handle.index} did not become ready "
-                        f"within {self._start_timeout}s"
-                    )
-                msg = handle.conn.recv()  # EOFError if it died during import
-                if msg[0] != "ready":  # pragma: no cover - protocol violation
-                    raise RuntimeError(f"unexpected handshake from worker: {msg!r}")
+                self._await_ready(handle, deadline)
         except BaseException:
             for handle in handles:
                 handle.shutdown(timeout=1.0)
+            self._arena = None
             arena.release()
             raise
-        self._arena = arena
         self._published_token = self.engine.weights_token()
         self._handles = handles
+
+    def _spawn_ready_handle(self) -> _WorkerHandle:
+        """Spawn + handshake one worker and register it; blocking, off-loop.
+
+        Used by respawn (supervisor), grow (autoscaler) and generation
+        swaps.  Registration happens *here*, in the worker thread — the
+        handle joins the roster immediately and checkout enqueue is
+        marshalled onto the event loop with ``call_soon_threadsafe`` — so
+        a cancelled awaiting task can never orphan a spawned process:
+        once this function returns, stop() knows about the worker.
+        """
+        handle = self._spawn_worker(self._current_config())
+        try:
+            self._await_ready(handle, time.monotonic() + self._respawn_wait)
+        except BaseException:
+            handle.shutdown(timeout=1.0)
+            raise
+        self._handles.append(handle)  # GIL-atomic; roster owns it now
+        loop = self._loop
+        if loop is not None:
+            loop.call_soon_threadsafe(self._enqueue_handle, handle)
+        return handle
+
+    def _enqueue_handle(self, handle: _WorkerHandle) -> None:
+        """Event-loop callback: offer a freshly spawned worker for checkout."""
+        if self._checkout is not None and handle.alive and not handle.retiring:
+            self._checkout.put_nowait(handle)
 
     async def stop(self) -> None:
         if self._checkout is None and not self._handles:
             return
         self._checkout = None
+        if self._retire_futures:
+            # let in-progress drain-before-retire shutdowns finish first;
+            # they run on the executor we are about to drop
+            await asyncio.gather(*list(self._retire_futures), return_exceptions=True)
         loop = asyncio.get_running_loop()
         executor, self._executor = self._executor, None
+        self._loop = None
         await loop.run_in_executor(executor, self._stop_sync)
 
     def _stop_sync(self) -> None:
@@ -469,6 +590,172 @@ class ProcessWorkerPool(WorkerPool):
             # unlinks the segment — the model stays fully usable afterwards
             self._arena.release()
             self._arena = None
+
+    # ------------------------------------------------------------------ #
+    # fleet surface (supervisor / autoscaler / generation swaps)
+    # ------------------------------------------------------------------ #
+    @property
+    def current_workers(self) -> int:
+        """Live, non-retiring workers (falls back to K when not serving)."""
+        if self._checkout is None and not self._handles:
+            return self.workers
+        return sum(1 for h in self._handles if h.alive and not h.retiring)
+
+    def _note_crash(self, handle: _WorkerHandle) -> None:
+        """Count one worker death exactly once (batch path vs. health scan)."""
+        if not handle.crash_counted:
+            handle.crash_counted = True
+            self.worker_crashes += 1
+
+    def _check_in(self, handle: _WorkerHandle) -> None:
+        """Return a worker after a batch: back to checkout, or retire it."""
+        if handle.retiring:
+            self._retire_handle(handle)
+        elif self._checkout is not None:
+            self._checkout.put_nowait(handle)
+
+    def _retire_handle(self, handle: _WorkerHandle) -> None:
+        """Drop a drained worker from the roster and shut it down off-loop."""
+        if handle in self._handles:
+            self._handles.remove(handle)
+        if self._executor is None:  # stopping anyway; _stop_sync got it
+            return
+        loop = asyncio.get_running_loop()
+        fut = loop.run_in_executor(self._executor, handle.shutdown)
+        self._retire_futures.add(fut)
+        fut.add_done_callback(self._reap_retire_future)
+
+    def _reap_retire_future(self, fut) -> None:
+        self._retire_futures.discard(fut)
+        if not fut.cancelled():
+            fut.exception()  # consume; shutdown() failures are best-effort
+
+    def _drain_idle_retirees(self) -> None:
+        """Retire every *idle* retiring worker parked in the checkout queue.
+
+        In-flight retirees are retired by their own check-in.  Dead poison
+        tokens are preserved only in unsupervised mode, where parked
+        waiters rely on them to observe a total-pool death.
+        """
+        if self._checkout is None:
+            return
+        keep: list[_WorkerHandle] = []
+        while True:
+            try:
+                handle = self._checkout.get_nowait()
+            except asyncio.QueueEmpty:
+                break
+            if handle.alive and handle.retiring:
+                self._retire_handle(handle)
+            elif handle.alive or not self.supervised:
+                keep.append(handle)
+        for handle in keep:
+            self._checkout.put_nowait(handle)
+
+    async def ensure_healthy(self) -> int:
+        """Reap silently dead workers and respawn up to ``target_workers``.
+
+        A worker that dies *between* batches never fails a pipe exchange,
+        so only this liveness scan can find it.  In-flight handles are
+        skipped — their own exchange surfaces the death — which keeps the
+        scan from reaping a worker mid-drain.
+        """
+        if self._checkout is None:
+            return 0
+        async with self._fleet_lock:
+            if self._checkout is None:  # stopped while waiting on the lock
+                return 0
+            loop = asyncio.get_running_loop()
+            silent = [
+                h
+                for h in self._handles
+                if h.alive and not h.in_flight and not h.process.is_alive()
+            ]
+            for handle in silent:
+                self._note_crash(handle)
+                # reap blocks (join + ring unlink); keep it off the loop
+                await loop.run_in_executor(self._executor, handle.reap)
+            # prune corpses (both silent deaths and batch-path reaps)
+            self._handles = [h for h in self._handles if h.alive]
+            respawned = 0
+            while (
+                sum(1 for h in self._handles if h.alive and not h.retiring)
+                < self.target_workers
+            ):
+                if self._checkout is None or self._executor is None:
+                    break
+                await loop.run_in_executor(self._executor, self._spawn_ready_handle)
+                respawned += 1
+            self.workers_respawned += respawned
+            return respawned
+
+    async def scale_to(self, target: int) -> None:
+        """Grow or shrink the live fleet to ``target`` (drain on shrink)."""
+        target = max(1, int(target))
+        if self._checkout is None:
+            self.workers = self.target_workers = target
+            return
+        async with self._fleet_lock:
+            self.target_workers = target
+            live = [h for h in self._handles if h.alive and not h.retiring]
+            if target == len(live):
+                return
+            loop = asyncio.get_running_loop()
+            if target > len(live):
+                for _ in range(target - len(live)):
+                    await loop.run_in_executor(
+                        self._executor, self._spawn_ready_handle
+                    )
+            else:
+                for handle in live[target:]:
+                    handle.retiring = True
+                self._drain_idle_retirees()
+            self.scale_events += 1
+
+    async def swap_engine(self, engine) -> int:
+        """Roll the fleet onto ``engine`` via a new arena generation.
+
+        Weights **and shapes** may differ from the current engine.  The
+        rollout is: build arena ``n+1`` → spawn a same-size cohort attached
+        to it → mark the old cohort retiring (each finishes its in-flight
+        batch, then shuts down) → release arena ``n`` once nothing reads
+        it.  Requests keep flowing throughout; every response comes from a
+        worker whose arena was complete and immutable at attach time, so
+        no reader ever sees a torn update.
+        """
+        if self._checkout is None:
+            self.engine = engine
+            self.generation += 1
+            return self.generation
+        async with self._fleet_lock:
+            loop = asyncio.get_running_loop()
+            old_arena = self._arena
+            old_cohort = [h for h in self._handles if h.alive and not h.retiring]
+            params = list(engine_parameters(engine))
+            new_gen = self.generation + 1
+            new_arena = await loop.run_in_executor(
+                self._executor,
+                lambda: SharedParameterArena.create(params, generation=new_gen),
+            )
+            # from here on every spawn (including supervisor respawns)
+            # attaches to generation n+1 with the new engine
+            self.engine = engine
+            self._arena = new_arena
+            self.generation = new_gen
+            self._published_token = engine.weights_token()
+            for _ in range(max(len(old_cohort), 1)):
+                await loop.run_in_executor(self._executor, self._spawn_ready_handle)
+            for handle in old_cohort:
+                handle.retiring = True
+            self._drain_idle_retirees()
+            # wait out the drain: in-flight old-generation workers retire
+            # on check-in; alive flips false once shutdown() runs off-loop
+            while any(h.alive for h in old_cohort) or self._retire_futures:
+                self._drain_idle_retirees()
+                await asyncio.sleep(0.01)
+            if old_arena is not None:
+                await loop.run_in_executor(self._executor, old_arena.release)
+            return self.generation
 
     # ------------------------------------------------------------------ #
     # serving
@@ -483,26 +770,54 @@ class ProcessWorkerPool(WorkerPool):
         while True:
             # fail fast once the whole pool is gone — without this check a
             # batch would park on the (then permanently empty) checkout
-            # queue forever, wedging drain-on-stop along with it
+            # queue forever, wedging drain-on-stop along with it.  Under a
+            # supervisor a transiently empty fleet is survivable: park on
+            # checkout (bounded) until a respawn lands.
             if not any(h.alive for h in self._handles):
-                raise WorkerCrashed(
-                    f"all {self.workers} serving worker processes have died"
-                )
-            handle = await self._checkout.get()
+                if not self.supervised:
+                    raise WorkerCrashed(
+                        f"all {self.workers} serving worker processes have died"
+                    )
+                try:
+                    handle = await asyncio.wait_for(
+                        self._checkout.get(), self._respawn_wait
+                    )
+                except asyncio.TimeoutError:
+                    if any(h.alive for h in self._handles):
+                        continue  # respawn landed but was snatched; retry
+                    raise WorkerCrashed(
+                        f"all serving workers died and no respawn arrived "
+                        f"within {self._respawn_wait}s"
+                    ) from None
+            else:
+                handle = await self._checkout.get()
             if not handle.alive:
+                if self.supervised:
+                    # the supervisor owns recovery: swallow the stale token
+                    # so the queue only ever hands out live workers
+                    continue
                 # a poison token from a total-pool death: pass the wake-up
                 # on to any other parked waiter, then raise at the loop top
                 self._checkout.put_nowait(handle)
                 continue
+            if handle.retiring:
+                # drain-before-retire: a retiring worker takes no new work
+                self._retire_handle(handle)
+                continue
+            fault = (
+                self._fault_plan.take(seq) if self._fault_plan is not None else None
+            )
+            handle.in_flight = True
             try:
                 result = await loop.run_in_executor(
-                    self._executor, handle.execute, seq, token, payloads
+                    self._executor, handle.execute, seq, token, payloads, fault
                 )
             except _WorkerDied as exc:
-                self.worker_crashes += 1
+                handle.in_flight = False
+                self._note_crash(handle)
                 # reap blocks (terminate + join); keep it off the event loop
                 await loop.run_in_executor(self._executor, handle.reap)
-                if not any(h.alive for h in self._handles):
+                if not any(h.alive for h in self._handles) and not self.supervised:
                     # poison the queue so waiters parked in get() wake up
                     # and observe the total death instead of hanging
                     self._checkout.put_nowait(handle)
@@ -510,9 +825,11 @@ class ProcessWorkerPool(WorkerPool):
                         f"all {self.workers} serving worker processes have "
                         f"died (last: {exc})"
                     ) from exc
-                continue  # retry the batch on a live sibling
+                continue  # retry the batch on a live sibling (or a respawn)
             except BaseException:
-                self._checkout.put_nowait(handle)
+                handle.in_flight = False
+                self._check_in(handle)
                 raise
-            self._checkout.put_nowait(handle)
+            handle.in_flight = False
+            self._check_in(handle)
             return result

@@ -146,6 +146,17 @@ class BatchRing:
         )
 
     @property
+    def closed(self) -> bool:
+        """Whether :meth:`release` ran — a closed ring must not be staged into.
+
+        The supervisor unlinks a dead worker's ring and builds a fresh one
+        for the respawn; any stale reference racing that hand-off sees
+        ``closed`` and falls back to the pipe instead of writing into a
+        segment whose backing file is already gone.
+        """
+        return self._released
+
+    @property
     def manifest(self) -> RingManifest:
         return RingManifest(
             segment_name=self._segment.name,
@@ -252,8 +263,11 @@ class BatchRing:
         The caller assembles the microbatch by writing rows directly into
         the returned view — there is no intermediate stacked array.
         ``None`` means the batch does not fit this ring (oversized payload
-        fallback: send it down the pipe instead).
+        fallback: send it down the pipe instead), or that the ring was
+        already released (a recycled worker slot racing a respawn).
         """
+        if self._released:
+            return None
         views = self._write_region(slot, response=False, arrays=[(shape, np.float64)])
         return views[0] if views is not None else None
 

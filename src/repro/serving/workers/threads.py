@@ -13,6 +13,14 @@ When the serving engine knows the batch geometry, each replica carries a
 :class:`~repro.serving.batcher.BatchStager` — a pre-pinned assembly buffer
 that replaces the per-batch ``np.stack`` allocation.  Staged and stacked
 batches have identical layout, so responses stay bit-identical either way.
+
+The fleet surface is implemented in-process: threads cannot die, so
+:meth:`~WorkerPool.ensure_healthy` stays the base no-op, but the pool
+scales (:meth:`ThreadWorkerPool.scale_to` replicates or drain-retires)
+and swaps engines (:meth:`ThreadWorkerPool.swap_engine` builds a fresh
+replica cohort over the new engine, retires the old one as each replica
+finishes its in-flight batch, and bumps :attr:`~WorkerPool.generation`).
+By the spawn-key rule, none of this changes any response bit.
 """
 
 from __future__ import annotations
@@ -24,6 +32,17 @@ from ..batcher import BatchStager
 from .base import WorkerPool, assemble_results, compute_batch, compute_batch_array
 
 __all__ = ["ThreadWorkerPool"]
+
+
+class _Replica:
+    """One engine replica + its staging buffer + its drain-to-retire flag."""
+
+    __slots__ = ("engine", "stager", "retiring")
+
+    def __init__(self, engine, stager: BatchStager | None) -> None:
+        self.engine = engine
+        self.stager = stager
+        self.retiring = False
 
 
 class ThreadWorkerPool(WorkerPool):
@@ -48,19 +67,24 @@ class ThreadWorkerPool(WorkerPool):
             input_shape=input_shape,
         )
         # replica 0 is the caller's engine (shared activation cache);
-        # the rest share its parameters zero-copy but nothing per-call
-        self._engines = [engine] + [engine.replicate() for _ in range(workers - 1)]
-        # one pinned staging buffer per replica; checkout pairs them, so a
-        # buffer is never written while its previous batch is in flight
-        if self.max_batch_size is not None and self.input_shape is not None:
-            self._stagers = [
-                BatchStager(self.max_batch_size, self.input_shape)
-                for _ in self._engines
-            ]
-        else:
-            self._stagers = [None] * len(self._engines)
+        # the rest share its parameters zero-copy but nothing per-call.
+        # One pinned staging buffer per replica; checkout pairs them, so a
+        # buffer is never written while its previous batch is in flight.
+        self._replicas = [_Replica(engine, self._make_stager())] + [
+            _Replica(engine.replicate(), self._make_stager())
+            for _ in range(workers - 1)
+        ]
         self._checkout: asyncio.Queue | None = None
         self._executor = None
+
+    def _make_stager(self) -> BatchStager | None:
+        if self.max_batch_size is not None and self.input_shape is not None:
+            return BatchStager(self.max_batch_size, self.input_shape)
+        return None
+
+    @property
+    def current_workers(self) -> int:
+        return sum(1 for r in self._replicas if not r.retiring)
 
     async def start(self, executor) -> None:
         if self._checkout is not None:
@@ -69,34 +93,127 @@ class ThreadWorkerPool(WorkerPool):
             return
         self._executor = executor
         self._checkout = asyncio.Queue()
-        for replica in zip(self._engines, self._stagers):
+        for replica in self._replicas:
             self._checkout.put_nowait(replica)
 
     async def stop(self) -> None:
         self._checkout = None
         self._executor = None
+        self._replicas = [r for r in self._replicas if not r.retiring]
 
+    # ------------------------------------------------------------------ #
+    # fleet surface
+    # ------------------------------------------------------------------ #
+    def _discard(self, replica: _Replica) -> None:
+        if replica in self._replicas:
+            self._replicas.remove(replica)
+
+    def _drain_idle_retirees(self) -> None:
+        """Drop every retiring replica currently parked in checkout."""
+        if self._checkout is None:
+            self._replicas = [r for r in self._replicas if not r.retiring]
+            return
+        keep: list[_Replica] = []
+        while True:
+            try:
+                replica = self._checkout.get_nowait()
+            except asyncio.QueueEmpty:
+                break
+            if replica.retiring:
+                self._discard(replica)
+            else:
+                keep.append(replica)
+        for replica in keep:
+            self._checkout.put_nowait(replica)
+
+    async def scale_to(self, target: int) -> None:
+        """Grow (replicate) or shrink (drain-retire) to ``target`` replicas."""
+        target = max(1, int(target))
+        self.target_workers = target
+        live = [r for r in self._replicas if not r.retiring]
+        if target == len(live):
+            return
+        if target > len(live):
+            for _ in range(target - len(live)):
+                replica = _Replica(self.engine.replicate(), self._make_stager())
+                self._replicas.append(replica)
+                if self._checkout is not None:
+                    self._checkout.put_nowait(replica)
+        else:
+            for replica in live[target:]:
+                replica.retiring = True
+            self._drain_idle_retirees()
+        if self._checkout is None:
+            self.workers = target
+        self.scale_events += 1
+
+    async def swap_engine(self, engine) -> int:
+        """Swap in a new engine (weights/shapes may differ); new generation.
+
+        A fresh same-size replica cohort is built over ``engine`` and the
+        old cohort is marked retiring: an old replica with a batch in
+        flight finishes it on the *old* engine object (never a torn read —
+        each replica's engine is internally consistent) and is dropped on
+        check-in.  No request fails.
+        """
+        old = [r for r in self._replicas if not r.retiring]
+        self.engine = engine
+        cohort = [_Replica(engine, self._make_stager())] + [
+            _Replica(engine.replicate(), self._make_stager())
+            for _ in range(max(len(old), 1) - 1)
+        ]
+        self._replicas.extend(cohort)
+        for replica in old:
+            replica.retiring = True
+        if self._checkout is not None:
+            for replica in cohort:
+                self._checkout.put_nowait(replica)
+        self._drain_idle_retirees()
+        self.generation += 1
+        return self.generation
+
+    # ------------------------------------------------------------------ #
+    # serving
+    # ------------------------------------------------------------------ #
     async def run(self, seq: int, payloads: list) -> list[UncertaintyResult]:
         assert self._checkout is not None, "pool is not started"
-        engine, stager = await self._checkout.get()
-        try:
-            loop = asyncio.get_running_loop()
-            return await loop.run_in_executor(
-                self._executor, self._serve, engine, stager, seq, payloads
-            )
-        finally:
-            self._checkout.put_nowait((engine, stager))
+        while True:
+            replica = await self._checkout.get()
+            if replica.retiring:
+                self._discard(replica)
+                continue
+            try:
+                loop = asyncio.get_running_loop()
+                return await loop.run_in_executor(
+                    self._executor, self._serve, replica, seq, payloads
+                )
+            finally:
+                # drain-before-retire: a replica marked retiring while this
+                # batch was in flight is dropped instead of re-enqueued
+                if replica.retiring:
+                    self._discard(replica)
+                elif self._checkout is not None:
+                    self._checkout.put_nowait(replica)
 
     def _serve(
-        self, engine, stager: BatchStager | None, seq: int, payloads: list
+        self, replica: _Replica, seq: int, payloads: list
     ) -> list[UncertaintyResult]:
+        stager = replica.stager
         batch = stager.stage(payloads) if stager is not None else None
         if batch is None:
             out = compute_batch(
-                engine, seq, payloads, self.num_samples, self.early_exit_threshold
+                replica.engine,
+                seq,
+                payloads,
+                self.num_samples,
+                self.early_exit_threshold,
             )
         else:
             out = compute_batch_array(
-                engine, seq, batch, self.num_samples, self.early_exit_threshold
+                replica.engine,
+                seq,
+                batch,
+                self.num_samples,
+                self.early_exit_threshold,
             )
         return assemble_results(out)

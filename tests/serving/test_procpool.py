@@ -283,3 +283,129 @@ def test_stop_releases_segment_and_model_stays_usable():
 def test_worker_backend_validated():
     with pytest.raises(ValueError, match="worker_backend"):
         ServingEngine(_model(), worker_backend="fiber")
+
+
+# --------------------------------------------------------------------------- #
+# crash-retry unhappy edges (deterministic via FaultPlan)
+# --------------------------------------------------------------------------- #
+@pytest.mark.timeout(120)
+def test_crash_holding_ring_slot_retried_then_crashed_again_on_sibling():
+    """A batch whose first AND second workers die still completes on a third.
+
+    Both kills fire ``pre_doorbell`` — the victim dies *after* the batch
+    was staged into its ring slot — so the retry path must release the
+    dead worker's slot, re-stage the same payloads into the sibling's
+    ring, and (when that sibling is killed too) do it all again.  The
+    survivor's response must be bit-identical to an undisturbed run: the
+    batch seq, not the worker, seeds the RNG context.
+    """
+    from repro.serving import FaultPlan
+
+    plan = FaultPlan([(1, "pre_doorbell"), (1, "pre_doorbell")])
+
+    async def main():
+        async with ServingEngine(
+            _model(),
+            num_samples=NUM_SAMPLES,
+            workers=3,
+            worker_backend="process",
+            fault_plan=plan,
+        ) as server:
+            first = await server.submit(X[0])  # seq 0: undisturbed
+            second = await server.submit(X[1])  # seq 1: killed twice
+            return first, second, server.stats()
+
+    first, second, stats = asyncio.run(main())
+    oracle, _ = _serve_sequentially("thread", 1)
+    np.testing.assert_array_equal(first.probs, oracle[0].probs)
+    np.testing.assert_array_equal(second.probs, oracle[1].probs)
+    assert stats.worker_crashes == 2
+    assert len(plan) == 0
+
+
+@pytest.mark.timeout(120)
+def test_double_crash_with_two_workers_exhausts_pool():
+    """Two scheduled kills against K=2 leave no sibling: WorkerCrashed."""
+    from repro.serving import FaultPlan
+
+    plan = FaultPlan([(0, "mid_compute"), (0, "mid_compute")])
+
+    async def main():
+        async with ServingEngine(
+            _model(),
+            num_samples=4,
+            workers=2,
+            worker_backend="process",
+            fault_plan=plan,
+        ) as server:
+            with pytest.raises(WorkerCrashed):
+                await server.submit(X[0])
+            return server.stats()
+
+    stats = asyncio.run(main())
+    assert stats.worker_crashes == 2
+
+
+@pytest.mark.timeout(120)
+def test_worker_crash_during_stop_drain_still_answers_queued_requests():
+    """A kill landing on a batch served during ``stop(drain=True)`` is retried.
+
+    The queued requests behind the crashed batch must all be answered by
+    the drain — a crash mid-shutdown must not strand the queue or wedge
+    ``stop``.
+    """
+    from repro.serving import FaultPlan
+
+    plan = FaultPlan([(2, "mid_compute")])
+
+    async def main():
+        server = ServingEngine(
+            _model(),
+            num_samples=4,
+            workers=2,
+            worker_backend="process",
+            max_batch_size=1,
+            fault_plan=plan,
+        )
+        await server.start()
+        pending = [asyncio.ensure_future(server.submit(X[i])) for i in range(6)]
+        await asyncio.sleep(0)  # let the submissions enqueue
+        await server.stop(drain=True)
+        results = await asyncio.gather(*pending)
+        return results, server.stats()
+
+    results, stats = asyncio.run(main())
+    assert len(results) == 6
+    assert stats.requests_completed == 6
+    assert stats.worker_crashes == 1
+    for res in results:
+        assert res.probs.shape == (5,)
+
+
+@pytest.mark.timeout(120)
+@pytest.mark.parametrize("backend", ["thread", "process"])
+def test_stop_is_idempotent_across_backends(backend):
+    """Double stop, stop-after-drain and serve-after-restart all behave."""
+    model = _model()
+
+    async def main():
+        server = ServingEngine(
+            model, num_samples=4, workers=2, worker_backend=backend
+        )
+        await server.start()
+        first = await server.submit(X[0])
+        await server.stop(drain=True)
+        await server.stop(drain=True)  # second stop: clean no-op
+        await server.stop(drain=False)  # and with the other drain mode
+        # a stopped engine restarts cleanly and serves again
+        await server.start()
+        second = await server.submit(X[1])
+        await server.stop()
+        await server.stop()
+        return first, second
+
+    first, second = asyncio.run(main())
+    assert first.probs.shape == (5,)
+    assert second.probs.shape == (5,)
+    # the model came back to private storage exactly once
+    assert not any(p.is_shared for p in model.parameters())
