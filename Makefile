@@ -2,7 +2,7 @@
 
 PYTHON ?= python
 
-.PHONY: test bench parallel chaos lint docs quickstart serve-demo all
+.PHONY: test bench parallel chaos lint docs quickstart serve-demo serve loadgen all
 
 # Tier-1: full test suite (pytest config lives in pyproject.toml)
 test:
@@ -48,5 +48,14 @@ quickstart:
 # Smoke-run the async serving demo
 serve-demo:
 	$(PYTHON) examples/serving_demo.py
+
+# Boot the HTTP front end over the demo model (Ctrl-C to stop); pair
+# with `make loadgen` from a second shell.  Override flags via ARGS=.
+serve:
+	PYTHONPATH=src $(PYTHON) -m repro.serving.server $(ARGS)
+
+# Open-loop load against a running `make serve` (Poisson by default)
+loadgen:
+	PYTHONPATH=src $(PYTHON) -m repro.serving.loadgen $(ARGS)
 
 all: test bench docs quickstart

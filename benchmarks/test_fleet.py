@@ -26,9 +26,15 @@ import pytest
 
 from repro.core import MultiExitBayesNet, MultiExitConfig
 from repro.nn.architectures import lenet5_spec
-from repro.serving import FaultPlan, FleetConfig, ServingEngine
+from repro.serving import FaultPlan, FleetConfig, ServingConfig, ServingEngine
 
 from . import reporting
+
+
+def cfg(**kwargs):
+    """Shorthand: flat serving kwargs -> a validated ServingConfig."""
+    return ServingConfig.from_kwargs(**kwargs)
+
 
 NUM_SAMPLES = 6
 NUM_REQUESTS = 150
@@ -54,13 +60,15 @@ def test_respawn_gap_latency_is_recorded_and_bounded():
     async def main():
         async with ServingEngine(
             model,
-            num_samples=NUM_SAMPLES,
-            workers=WORKERS,
-            worker_backend="process",
-            max_batch_size=1,
-            max_queue_size=2 * NUM_REQUESTS,
-            fleet=FleetConfig(health_interval=0.02),
-            fault_plan=plan,
+            cfg(
+                num_samples=NUM_SAMPLES,
+                workers=WORKERS,
+                worker_backend="process",
+                max_batch_size=1,
+                max_queue_size=2 * NUM_REQUESTS,
+                fleet=FleetConfig(health_interval=0.02),
+                fault_plan=plan,
+            ),
         ) as server:
             latencies = np.empty(NUM_REQUESTS)
             for i in range(NUM_REQUESTS):

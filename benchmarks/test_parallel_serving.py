@@ -31,9 +31,15 @@ import pytest
 
 from repro.core import MultiExitBayesNet, MultiExitConfig
 from repro.nn.architectures import lenet5_spec
-from repro.serving import ServingEngine
+from repro.serving import ServingConfig, ServingEngine
 
 from . import reporting
+
+
+def cfg(**kwargs):
+    """Shorthand: flat serving kwargs -> a validated ServingConfig."""
+    return ServingConfig.from_kwargs(**kwargs)
+
 
 NUM_SAMPLES = 8
 NUM_REQUESTS = 128
@@ -63,11 +69,13 @@ def _serve_flood_seconds(workers: int, x: np.ndarray, repeats: int = 3) -> float
     async def main() -> float:
         async with ServingEngine(
             model,
-            num_samples=NUM_SAMPLES,
-            workers=workers,
-            max_batch_size=MAX_BATCH,
-            max_batch_latency=0.002,
-            max_queue_size=2 * NUM_REQUESTS,
+            cfg(
+                num_samples=NUM_SAMPLES,
+                workers=workers,
+                max_batch_size=MAX_BATCH,
+                max_batch_latency=0.002,
+                max_queue_size=2 * NUM_REQUESTS,
+            ),
         ) as server:
             await server.submit_many(x)  # warmup wave (threads, caches)
             times = []
@@ -128,11 +136,13 @@ def test_multiworker_flood_is_correct_under_load():
     async def main():
         async with ServingEngine(
             model,
-            num_samples=4,
-            workers=WORKERS,
-            max_batch_size=MAX_BATCH,
-            max_batch_latency=0.002,
-            max_queue_size=96,
+            cfg(
+                num_samples=4,
+                workers=WORKERS,
+                max_batch_size=MAX_BATCH,
+                max_batch_latency=0.002,
+                max_queue_size=96,
+            ),
         ) as server:
             results = await server.submit_many(x)
             return results, server.stats()

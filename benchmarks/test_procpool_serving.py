@@ -31,9 +31,15 @@ import pytest
 
 from repro.core import MultiExitBayesNet, MultiExitConfig
 from repro.nn.architectures import lenet5_spec
-from repro.serving import ServingEngine
+from repro.serving import ServingConfig, ServingEngine
 
 from . import reporting
+
+
+def cfg(**kwargs):
+    """Shorthand: flat serving kwargs -> a validated ServingConfig."""
+    return ServingConfig.from_kwargs(**kwargs)
+
 
 NUM_SAMPLES = 8
 NUM_REQUESTS = 96
@@ -70,13 +76,15 @@ def _serve_flood_seconds(
     async def main() -> float:
         async with ServingEngine(
             model,
-            num_samples=NUM_SAMPLES,
-            workers=workers,
-            worker_backend=backend,
-            worker_transport=transport,
-            max_batch_size=MAX_BATCH,
-            max_batch_latency=0.002,
-            max_queue_size=2 * NUM_REQUESTS,
+            cfg(
+                num_samples=NUM_SAMPLES,
+                workers=workers,
+                worker_backend=backend,
+                worker_transport=transport,
+                max_batch_size=MAX_BATCH,
+                max_batch_latency=0.002,
+                max_queue_size=2 * NUM_REQUESTS,
+            ),
         ) as server:
             await server.submit_many(x)  # warmup wave (workers, caches)
             times = []
@@ -184,12 +192,14 @@ def test_process_flood_is_correct_under_load():
     async def main():
         async with ServingEngine(
             model,
-            num_samples=4,
-            workers=2,
-            worker_backend="process",
-            max_batch_size=MAX_BATCH,
-            max_batch_latency=0.002,
-            max_queue_size=64,
+            cfg(
+                num_samples=4,
+                workers=2,
+                worker_backend="process",
+                max_batch_size=MAX_BATCH,
+                max_batch_latency=0.002,
+                max_queue_size=64,
+            ),
         ) as server:
             results = await server.submit_many(x)
             return results, server.stats()

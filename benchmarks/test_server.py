@@ -1,0 +1,130 @@
+"""Open-loop serving benchmark through the network front end.
+
+Every other serving benchmark is closed-loop: coroutine clients await
+their responses, so the offered rate silently adapts to the server and
+queueing delay never accumulates (coordinated omission).  This suite
+drives the full network boundary — HTTP/1.1 parse, JSON decode, dynamic
+batcher, **process** worker pool, JSON encode — with
+:class:`repro.serving.LoadGenerator`'s fixed arrival schedules instead:
+
+* ``open_loop_steady`` — Poisson arrivals (seeded, replayable) at a rate
+  a 1-core CI runner sustains with headroom;
+* ``open_loop_bursty`` — the same average rate arriving in back-to-back
+  bursts, the adversarial pattern for a latency-triggered batcher.
+
+Both sections land in ``BENCH_serving.json`` with achieved-vs-offered
+throughput and the p50/p95/p99 latency tail.  The gates are
+correctness-shaped, not speed-shaped (shared runners are noisy): **zero
+failed requests**, every scheduled arrival accounted for, and a sane
+latency ordering.
+"""
+
+from __future__ import annotations
+
+import asyncio
+
+from repro.core import MultiExitBayesNet, MultiExitConfig
+from repro.nn.architectures import lenet5_spec
+from repro.serving import (
+    BatcherConfig,
+    LoadGenerator,
+    ServingConfig,
+    ServingEngine,
+    ServingServer,
+)
+
+from . import reporting
+
+NUM_SAMPLES = 8
+RATE = 40.0  # offered req/s — well inside a 1-core runner's capacity
+DURATION = 2.0
+
+
+def _model() -> MultiExitBayesNet:
+    spec = lenet5_spec(input_shape=(1, 12, 12), num_classes=5, width_multiplier=0.5)
+    return MultiExitBayesNet(
+        spec, MultiExitConfig(num_exits=2, mcd_layers_per_exit=1, seed=0)
+    )
+
+
+def _config() -> ServingConfig:
+    return ServingConfig(
+        num_samples=NUM_SAMPLES,
+        workers=2,
+        worker_backend="process",
+        batcher=BatcherConfig(max_batch_size=16, max_batch_latency=0.002),
+    )
+
+
+def _drive(process: str, **gen_kwargs):
+    async def main():
+        engine = ServingEngine(_model(), _config())
+        async with ServingServer(engine) as server:
+            warm = LoadGenerator(
+                server.host, server.port, process="trace", schedule=[0.0] * 4
+            )
+            await warm.run()  # spawn workers / prime caches off the clock
+            gen = LoadGenerator(
+                server.host,
+                server.port,
+                rate=RATE,
+                duration=DURATION,
+                process=process,
+                seed=0,
+                **gen_kwargs,
+            )
+            report = await gen.run()
+            stats = engine.stats()
+        return report, stats
+
+    return asyncio.run(main())
+
+
+def _check_and_record(section: str, report, stats) -> None:
+    print(
+        f"\n{section}: offered {report.offered_rate:.1f} req/s, "
+        f"achieved {report.achieved_rate:.1f} req/s, "
+        f"{report.ok}/{report.scheduled} ok "
+        f"(p50 {report.latency_p50_s * 1e3:.1f} ms, "
+        f"p95 {report.latency_p95_s * 1e3:.1f} ms, "
+        f"p99 {report.latency_p99_s * 1e3:.1f} ms), "
+        f"mean batch {stats.mean_batch_size:.1f}"
+    )
+    reporting.record(
+        section,
+        num_samples=NUM_SAMPLES,
+        workers=2,
+        worker_backend="process",
+        offered_rate_rps=report.offered_rate,
+        achieved_rate_rps=report.achieved_rate,
+        scheduled=report.scheduled,
+        ok=report.ok,
+        failed=report.failed,
+        dropped=report.dropped,
+        latency_p50_s=report.latency_p50_s,
+        latency_p95_s=report.latency_p95_s,
+        latency_p99_s=report.latency_p99_s,
+        mean_batch_size=stats.mean_batch_size,
+    )
+    assert report.failed == 0, f"open-loop requests failed: {report.errors}"
+    assert report.ok + report.dropped == report.scheduled
+    assert report.ok > 0
+    assert (
+        report.latency_p50_s <= report.latency_p95_s <= report.latency_p99_s
+    )
+    # the server must not collapse under its own schedule: every request
+    # completed, so achieved-vs-offered only diverges by trailing drain time
+    assert report.achieved_rate >= 0.3 * report.offered_rate
+
+
+def test_open_loop_steady_poisson_through_http():
+    report, stats = _drive("poisson")
+    _check_and_record("open_loop_steady", report, stats)
+
+
+def test_open_loop_bursty_through_http():
+    report, stats = _drive("burst", burst_size=8)
+    _check_and_record("open_loop_bursty", report, stats)
+    # a burst has to actually exercise batching: 8 simultaneous arrivals
+    # against a 16-deep batch must form multi-request batches
+    assert stats.mean_batch_size > 1.0

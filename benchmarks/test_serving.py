@@ -26,9 +26,15 @@ import numpy as np
 
 from repro.core import MultiExitBayesNet, MultiExitConfig
 from repro.nn.architectures import lenet5_spec
-from repro.serving import ServerOverloaded, ServingEngine
+from repro.serving import ServerOverloaded, ServingConfig, ServingEngine
 
 from . import reporting
+
+
+def cfg(**kwargs):
+    """Shorthand: flat serving kwargs -> a validated ServingConfig."""
+    return ServingConfig.from_kwargs(**kwargs)
+
 
 NUM_SAMPLES = 10
 NUM_REQUESTS = 64
@@ -73,10 +79,12 @@ def test_dynamic_batching_3x_sequential_throughput():
         # loop, worker thread) is paid once per deployment, not per request
         async with ServingEngine(
             engine,
-            num_samples=NUM_SAMPLES,
-            max_batch_size=32,
-            max_batch_latency=0.005,
-            max_queue_size=2 * NUM_REQUESTS,
+            cfg(
+                num_samples=NUM_SAMPLES,
+                max_batch_size=32,
+                max_batch_latency=0.005,
+                max_queue_size=2 * NUM_REQUESTS,
+            ),
         ) as server:
             await server.submit_many(x)  # warmup wave
             times = []
@@ -126,11 +134,13 @@ def test_backpressure_under_overload():
     async def flood_rejecting():
         server = ServingEngine(
             model.engine,
-            num_samples=NUM_SAMPLES,
-            max_batch_size=8,
-            max_batch_latency=0.001,
-            max_queue_size=8,
-            reject_on_full=True,
+            cfg(
+                num_samples=NUM_SAMPLES,
+                max_batch_size=8,
+                max_batch_latency=0.001,
+                max_queue_size=8,
+                reject_on_full=True,
+            ),
         )
         async with server:
             outcomes = await asyncio.gather(
@@ -153,11 +163,13 @@ def test_backpressure_under_overload():
     async def flood_awaiting():
         server = ServingEngine(
             model.engine,
-            num_samples=NUM_SAMPLES,
-            max_batch_size=8,
-            max_batch_latency=0.001,
-            max_queue_size=8,
-            reject_on_full=False,
+            cfg(
+                num_samples=NUM_SAMPLES,
+                max_batch_size=8,
+                max_batch_latency=0.001,
+                max_queue_size=8,
+                reject_on_full=False,
+            ),
         )
         async with server:
             await server.submit_many(x)

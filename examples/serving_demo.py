@@ -22,7 +22,15 @@ engine directly:
    mid-batch under live traffic, the batch is retried on a sibling, the
    supervisor respawns the dead worker back to full strength, and a
    zero-downtime ``swap_model`` rolls a new arena generation — all
-   invisible to the clients.
+   invisible to the clients;
+8. the network front end (``ServingServer``): the same engine behind a
+   stdlib HTTP/1.1 boundary, driven by an *open-loop* Poisson arrival
+   schedule (``LoadGenerator``) with offered-vs-achieved-rate and
+   p50/p95/p99 reporting.
+
+Every engine is configured through the frozen, serializable
+``ServingConfig`` / ``BatcherConfig`` pair — the same object the CLI
+server accepts as ``--config-json``.
 
 Run with:  python examples/serving_demo.py
 """
@@ -36,7 +44,15 @@ import numpy as np
 
 from repro.core import MultiExitBayesNet, MultiExitConfig
 from repro.nn.architectures import lenet5_spec
-from repro.serving import FaultPlan, FleetConfig, ServerOverloaded
+from repro.serving import (
+    BatcherConfig,
+    FaultPlan,
+    FleetConfig,
+    LoadGenerator,
+    ServerOverloaded,
+    ServingConfig,
+    ServingServer,
+)
 
 NUM_CLIENTS = 96
 MC_SAMPLES = 8
@@ -73,9 +89,11 @@ async def main() -> None:
     # ------------------------------------------------------------------ #
     # 1. Monte-Carlo serving with dynamic batching
     # ------------------------------------------------------------------ #
-    async with model.serving_engine(
-        num_samples=MC_SAMPLES, max_batch_size=32, max_batch_latency=0.005
-    ) as server:
+    config = ServingConfig(
+        num_samples=MC_SAMPLES,
+        batcher=BatcherConfig(max_batch_size=32, max_batch_latency=0.005),
+    )
+    async with model.serving_engine(config) as server:
         results: list = []
         await asyncio.gather(*(client(server, ex, results) for ex in examples))
         stats = server.stats()
@@ -100,13 +118,16 @@ async def main() -> None:
     # ------------------------------------------------------------------ #
     # 2. overload: bounded queue + fail-fast rejection
     # ------------------------------------------------------------------ #
-    async with model.serving_engine(
+    config = ServingConfig(
         num_samples=MC_SAMPLES,
-        max_batch_size=8,
-        max_batch_latency=0.001,
-        max_queue_size=8,
-        reject_on_full=True,
-    ) as server:
+        batcher=BatcherConfig(
+            max_batch_size=8,
+            max_batch_latency=0.001,
+            max_queue_size=8,
+            reject_on_full=True,
+        ),
+    )
+    async with model.serving_engine(config) as server:
         results = []
         await asyncio.gather(*(client(server, ex, results) for ex in examples))
         stats = server.stats()
@@ -121,9 +142,11 @@ async def main() -> None:
     # ------------------------------------------------------------------ #
     # 3. early-exit serving: easy inputs answered from shallow exits
     # ------------------------------------------------------------------ #
-    async with model.serving_engine(
-        early_exit_threshold=0.6, max_batch_size=32, max_batch_latency=0.005
-    ) as server:
+    config = ServingConfig(
+        early_exit_threshold=0.6,
+        batcher=BatcherConfig(max_batch_size=32, max_batch_latency=0.005),
+    )
+    async with model.serving_engine(config) as server:
         results = []
         await asyncio.gather(*(client(server, ex, results) for ex in examples))
         stats = server.stats()
@@ -143,12 +166,12 @@ async def main() -> None:
     # 4. multi-worker serving: K engine replicas over shared parameters
     # ------------------------------------------------------------------ #
     workers = min(4, os.cpu_count() or 1)
-    async with model.serving_engine(
+    config = ServingConfig(
         num_samples=MC_SAMPLES,
         workers=workers,
-        max_batch_size=8,
-        max_batch_latency=0.002,
-    ) as server:
+        batcher=BatcherConfig(max_batch_size=8, max_batch_latency=0.002),
+    )
+    async with model.serving_engine(config) as server:
         results = []
         # urgent requests carry a deadline: under backlog they are scheduled
         # earliest-deadline-first ahead of the deadline-less crowd
@@ -171,14 +194,17 @@ async def main() -> None:
     # ------------------------------------------------------------------ #
     # 5. process-pool serving: shared-memory replicas past the GIL
     # ------------------------------------------------------------------ #
-    async with model.serving_engine(
+    config = ServingConfig(
         num_samples=MC_SAMPLES,
         workers=2,
         worker_backend="process",
-        max_batch_size=8,
-        max_batch_latency=0.002,
-        admission_timeout=5.0,  # opt-in: shed requests that miss deadlines
-    ) as server:
+        batcher=BatcherConfig(
+            max_batch_size=8,
+            max_batch_latency=0.002,
+            admission_timeout=5.0,  # opt-in: shed requests that miss deadlines
+        ),
+    )
+    async with model.serving_engine(config) as server:
         results = []
         await asyncio.gather(*(client(server, ex, results) for ex in examples))
         stats = server.stats()
@@ -203,15 +229,15 @@ async def main() -> None:
     # is retried on the sibling, the supervisor respawns the corpse, and a
     # swap_model mid-stream rolls everyone onto a fresh arena generation.
     plan = FaultPlan([(4, "mid_compute")])
-    async with model.serving_engine(
+    config = ServingConfig(
         num_samples=MC_SAMPLES,
         workers=2,
         worker_backend="process",
-        max_batch_size=8,
-        max_batch_latency=0.002,
+        batcher=BatcherConfig(max_batch_size=8, max_batch_latency=0.002),
         fleet=FleetConfig(health_interval=0.02),
         fault_plan=plan,
-    ) as server:
+    )
+    async with model.serving_engine(config) as server:
         results = []
         await asyncio.gather(*(client(server, ex, results) for ex in examples))
         generation = await server.swap_model(build_model())  # zero downtime
@@ -231,6 +257,38 @@ async def main() -> None:
         f"{generation} (stats agree: {stats.arena_generation}) without "
         f"dropping a request"
     )
+
+    # ------------------------------------------------------------------ #
+    # 7. network front end: HTTP boundary + open-loop load
+    # ------------------------------------------------------------------ #
+    # Everything above was closed-loop (clients await their responses).
+    # The front end puts the engine behind HTTP/1.1 and an *open-loop*
+    # Poisson arrival schedule fires regardless of how the server keeps
+    # up — the regime where queueing delay actually shows in the tail.
+    config = ServingConfig(
+        num_samples=MC_SAMPLES,
+        batcher=BatcherConfig(max_batch_size=16, max_batch_latency=0.002),
+    )
+    engine = model.serving_engine(config)
+    async with ServingServer(engine) as http:  # port=0: picks a free port
+        gen = LoadGenerator(
+            http.host, http.port, rate=60.0, duration=1.0, process="poisson", seed=0
+        )
+        report = await gen.run()
+        status, health = await gen._request("GET", "/v1/health")
+
+    print(f"\n--- network front end (http://{http.host}:{http.port}) ---")
+    print(
+        f"open-loop poisson: offered {report.offered_rate:.0f} req/s, "
+        f"achieved {report.achieved_rate:.0f} req/s, "
+        f"{report.ok} ok / {report.failed} failed / {report.dropped} dropped"
+    )
+    print(
+        f"latency p50 {report.latency_p50_s * 1e3:.2f} ms, "
+        f"p95 {report.latency_p95_s * 1e3:.2f} ms, "
+        f"p99 {report.latency_p99_s * 1e3:.2f} ms"
+    )
+    print(f"health: {health['status']} ({health['alive_workers']} worker(s) alive)")
 
 
 if __name__ == "__main__":

@@ -323,23 +323,23 @@ class MultiExitBayesNet:
             self._engine = InferenceEngine(self)
         return self._engine
 
-    def serving_engine(self, **kwargs):
+    def serving_engine(self, config=None, **kwargs):
         """Build a :class:`repro.serving.ServingEngine` over this model.
 
         The serving engine wraps :attr:`engine` (sharing its activation
         cache) and adds asyncio dynamic batching with backpressure::
 
-            async with model.serving_engine(num_samples=8) as server:
+            config = ServingConfig(num_samples=8)
+            async with model.serving_engine(config) as server:
                 result = await server.submit(example)
 
-        Keyword arguments are forwarded to
-        :class:`repro.serving.ServingEngine` (``num_samples``,
-        ``early_exit_threshold``, ``max_batch_size``, ``max_batch_latency``,
-        ``max_queue_size``, ``reject_on_full``, ``executor``).
+        ``config`` is a :class:`repro.serving.ServingConfig`; the
+        historical flat kwargs (``num_samples``, ``max_batch_size``, …)
+        still work through ``ServingEngine``'s deprecation shim.
         """
         from ..serving import ServingEngine
 
-        return ServingEngine(self, **kwargs)
+        return ServingEngine(self, config, **kwargs)
 
     def exit_probabilities(
         self, x: np.ndarray, stochastic: bool | None = None

@@ -31,6 +31,18 @@ two with classic dynamic batching:
   :class:`FaultPlan` injects deterministic worker kills for the chaos
   suite.  Enable with ``ServingEngine(fleet=FleetConfig(...))``; hot-swap
   models with ``ServingEngine.swap_model``.
+* :class:`ServingConfig` / :class:`BatcherConfig` — the serializable
+  configuration surface: one frozen, validated object instead of 15 flat
+  kwargs; ``ServingEngine(model, config=ServingConfig(...))`` is the
+  primary constructor and the dicts round-trip as JSON across the wire.
+* :class:`ServingServer` — the network front end: a stdlib asyncio
+  HTTP/1.1 server exposing ``POST /v1/predict``, ``GET /v1/stats`` and
+  ``GET /v1/health``, with typed error mapping (``ServerOverloaded`` →
+  503, ``DeadlineExceeded`` → 504, bad payload → 400).
+* :class:`LoadGenerator` / :class:`LoadReport` — the open-loop load
+  harness: Poisson / burst / replayable-trace arrival schedules, a
+  bounded outstanding-request budget, and achieved-vs-offered-rate plus
+  p50/p95/p99 latency reporting.
 * :class:`ServingStats` / :class:`BatcherStats` — throughput, latency
   percentiles, batch-size, exit-distribution, shed, crash and fleet
   counters.
@@ -39,7 +51,10 @@ See ``docs/architecture.md`` for the request dataflow and
 ``examples/serving_demo.py`` for an end-to-end run.
 """
 
+from importlib import import_module
+
 from .batcher import BatcherStats, DeadlineExceeded, DynamicBatcher, ServerOverloaded
+from .config import BatcherConfig, ServingConfig
 from .engine import ServingEngine, ServingStats
 from .fleet import (
     Autoscaler,
@@ -54,10 +69,15 @@ from .workers import ProcessWorkerPool, ThreadWorkerPool, WorkerCrashed
 __all__ = [
     "DynamicBatcher",
     "BatcherStats",
+    "BatcherConfig",
+    "ServingConfig",
     "ServerOverloaded",
     "DeadlineExceeded",
     "ServingEngine",
+    "ServingServer",
     "ServingStats",
+    "LoadGenerator",
+    "LoadReport",
     "ThreadWorkerPool",
     "ProcessWorkerPool",
     "WorkerCrashed",
@@ -68,3 +88,22 @@ __all__ = [
     "FleetSignals",
     "WorkerSupervisor",
 ]
+
+# ``server`` and ``loadgen`` double as CLI entry points
+# (``python -m repro.serving.server`` / ``...loadgen``); importing them
+# eagerly here would make runpy warn about the module being half-imported.
+# PEP 562 lazy attributes keep ``from repro.serving import ServingServer``
+# working without the package init pulling the CLI modules in.
+_LAZY_EXPORTS = {
+    "ServingServer": ".server",
+    "LoadGenerator": ".loadgen",
+    "LoadReport": ".loadgen",
+}
+
+
+def __getattr__(name: str):
+    if name in _LAZY_EXPORTS:
+        value = getattr(import_module(_LAZY_EXPORTS[name], __name__), name)
+        globals()[name] = value
+        return value
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

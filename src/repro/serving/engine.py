@@ -47,9 +47,10 @@ from __future__ import annotations
 
 import asyncio
 import time
+import warnings
 from collections import deque
 from concurrent.futures import Executor, ThreadPoolExecutor
-from dataclasses import dataclass
+from dataclasses import asdict, dataclass
 from typing import Iterable, Sequence
 
 import numpy as np
@@ -59,7 +60,8 @@ from ..inference.engine import InferenceEngine, NetworkEngine
 from ..nn.model import Network
 from ..uncertainty.metrics import UncertaintyResult
 from .batcher import BatcherStats, DynamicBatcher
-from .fleet import FaultPlan, FleetConfig, FleetSignals, WorkerSupervisor
+from .config import ServingConfig
+from .fleet import FleetSignals, WorkerSupervisor
 from .workers import ProcessWorkerPool, ThreadWorkerPool
 
 __all__ = ["ServingEngine", "ServingStats"]
@@ -141,8 +143,15 @@ class ServingStats:
     scale_events: int = 0
     #: replicas currently able to take a batch (tracks scaling live)
     current_workers: int = 0
+    #: replicas whose worker probes alive *right now* (process liveness;
+    #: a silent death shows here before the supervisor reaps it)
+    alive_workers: int = 0
     #: shared-arena generation; +1 per zero-downtime ``swap_model``
     arena_generation: int = 0
+
+    def to_dict(self) -> dict:
+        """JSON-ready plain-dict form — the ``GET /v1/stats`` wire payload."""
+        return asdict(self)
 
 
 class ServingEngine:
@@ -156,81 +165,41 @@ class ServingEngine:
         shared with batch callers), an :class:`InferenceEngine` /
         :class:`NetworkEngine`, or a flat :class:`~repro.nn.model.Network`
         (wrapped in a :class:`NetworkEngine`).
-    num_samples:
-        MC samples per prediction in sampling mode (``None`` = the model's
-        ``default_mc_samples`` for multi-exit models, 1 otherwise).
-    early_exit_threshold:
-        When set, batches run the active-set early-exit path instead of MC
-        sampling and responses carry ``exit_index`` (multi-exit models
-        only).  Note the engine's activation-cache reuse in
-        ``early_exit_predict`` keys batches by array identity, so it
-        benefits direct engine callers re-submitting the same array — a
-        served microbatch is a freshly stacked array and always takes the
-        cold active-set path.
-    max_batch_size / max_batch_latency / max_queue_size / reject_on_full /
-    admission_timeout:
-        Dynamic-batching, backpressure and deadline-shedding knobs, passed
-        to :class:`~repro.serving.batcher.DynamicBatcher`.  With
-        ``admission_timeout`` set, requests that miss their deadline (or
-        wait longer than the timeout) before dispatch fail fast with
-        :class:`~repro.serving.batcher.DeadlineExceeded` instead of
-        consuming a batch slot.
-    workers:
-        Engine replicas serving batches concurrently.  ``1`` (default) is
-        the historical single-lane server; ``K > 1`` runs up to ``K``
-        batches in flight while the batcher pipelines assembly of the
-        next.  Per-batch spawned RNG contexts make each batch's results
-        independent of worker scheduling, so servers that form the same
-        batches respond bit-identically regardless of worker count (see
-        the module docstring for the exact guarantee).
-    worker_backend:
-        ``"thread"`` (default): ``K - 1`` additional replicas via
-        ``engine.replicate()`` share parameters zero-copy in-process;
-        scales while the GIL-released GEMMs dominate.  ``"process"``: K
-        spawned worker processes reconstruct replicas over a
-        shared-memory parameter arena
-        (:class:`~repro.nn.shm.SharedParameterArena`) — true multi-core
-        scaling even for glue-bound small models, crash isolation
-        included.  Semantics are identical: same responses, bit for bit,
-        under identical batch formation; weight updates propagate through
-        the shared storage and the ``weights_version`` token.
-    worker_transport:
-        Process backend only: how batches cross the process boundary.
-        ``"ring"`` (default) stages each microbatch directly into a
-        per-worker shared-memory ring slot
-        (:class:`~repro.serving.workers.ring.BatchRing`) and uses the pipe
-        as a slot-index doorbell — arrays are never pickled; anything
-        that does not fit falls back to the pipe transparently.
-        ``"pipe"`` is the legacy pickle-everything channel.  Responses
-        are bit-identical either way; ignored by the thread backend.
+    config:
+        A :class:`~repro.serving.config.ServingConfig` describing
+        everything else: inference mode (``num_samples`` /
+        ``early_exit_threshold``), the nested
+        :class:`~repro.serving.config.BatcherConfig` (batching,
+        backpressure, deadline shedding), the worker fleet (``workers``,
+        ``worker_backend``, ``worker_transport``), an optional
+        :class:`~repro.serving.fleet.FleetConfig` and the test-only
+        :class:`~repro.serving.fleet.FaultPlan`.  Field semantics are
+        documented on the config classes; the config round-trips through
+        :meth:`~repro.serving.config.ServingConfig.to_dict` /
+        ``from_dict`` so the network front end
+        (:mod:`repro.serving.server`) can carry it as JSON.  ``None``
+        serves with all defaults.
     executor:
         Executor for the parent-side work (NumPy for threads, channel I/O
         for processes).  Defaults to a private ``workers``-thread pool.
         A custom executor must provide at least ``workers`` threads;
         worker checkout still guarantees no replica runs two batches at
-        once.
-    fleet:
-        A :class:`~repro.serving.fleet.FleetConfig` turns the static pool
-        into a supervised fleet: a :class:`~repro.serving.fleet
-        .WorkerSupervisor` respawns dead process workers re-attached to
-        the current arena generation (crash recovery becomes invisible to
-        callers), and — when the config describes a ``min_workers`` /
-        ``max_workers`` range — an :class:`~repro.serving.fleet
-        .Autoscaler` grows and shrinks K from live queue/shed signals,
-        draining a retiring worker's in-flight batch before releasing it.
-        Responses stay bit-identical across respawns and scale events by
-        the spawn-key rule.  See also :meth:`swap_model` for zero-downtime
-        weight/shape rollouts.
-    fault_plan:
-        Test-only :class:`~repro.serving.fleet.FaultPlan`: a deterministic
-        schedule of worker kills keyed on batch sequence numbers, used by
-        the chaos suite to pin crash paths without racy wall-clock kills.
-        Process backend only; default off.
+        once.  Deliberately *not* part of the config: an executor is a
+        live resource, not serializable policy.
+    **legacy_kwargs:
+        The historical flat keyword surface (``num_samples=...,
+        max_batch_size=..., workers=..., fleet=...,`` …) keeps working
+        through a deprecation shim: the kwargs are folded into a
+        :class:`ServingConfig` via
+        :meth:`~repro.serving.config.ServingConfig.from_kwargs` and a
+        :class:`DeprecationWarning` is emitted.  Mixing ``config=`` with
+        flat kwargs is an error.
 
     Examples
     --------
     >>> # doctest: +SKIP
-    >>> async with model.serving_engine(num_samples=8, workers=4) as server:
+    >>> config = ServingConfig(num_samples=8, workers=4)
+    >>> async with model.serving_engine(config=config) as server:
     ...     result = await server.submit(example, deadline=0.050)
     ...     print(result.label, result.confidence, result.latency_s)
     """
@@ -238,20 +207,31 @@ class ServingEngine:
     def __init__(
         self,
         model: MultiExitBayesNet | InferenceEngine | NetworkEngine | Network,
-        num_samples: int | None = None,
-        early_exit_threshold: float | None = None,
-        max_batch_size: int = 32,
-        max_batch_latency: float = 0.002,
-        max_queue_size: int = 128,
-        reject_on_full: bool = False,
-        admission_timeout: float | None = None,
-        workers: int = 1,
-        worker_backend: str = "thread",
-        worker_transport: str = "ring",
+        config: ServingConfig | None = None,
+        *,
         executor: Executor | None = None,
-        fleet: FleetConfig | None = None,
-        fault_plan: FaultPlan | None = None,
+        **legacy_kwargs,
     ) -> None:
+        if legacy_kwargs:
+            if config is not None:
+                raise TypeError(
+                    "pass either config=ServingConfig(...) or the legacy flat "
+                    f"kwargs, not both (got {sorted(legacy_kwargs)})"
+                )
+            warnings.warn(
+                "ServingEngine's flat keyword arguments are deprecated; build "
+                "a repro.serving.ServingConfig and pass "
+                "ServingEngine(model, config=...)",
+                DeprecationWarning,
+                stacklevel=2,
+            )
+            config = ServingConfig.from_kwargs(**legacy_kwargs)
+        elif config is None:
+            config = ServingConfig()
+        elif not isinstance(config, ServingConfig):
+            raise TypeError(
+                f"config must be a ServingConfig, got {type(config).__name__}"
+            )
         if isinstance(model, MultiExitBayesNet):
             self.engine: InferenceEngine | NetworkEngine = model.engine
         elif isinstance(model, Network):
@@ -263,58 +243,43 @@ class ServingEngine:
                 "model must be a MultiExitBayesNet, InferenceEngine, "
                 f"NetworkEngine or Network, got {type(model).__name__}"
             )
-        if early_exit_threshold is not None:
-            if not isinstance(self.engine, InferenceEngine):
-                raise ValueError(
-                    "early-exit serving requires a multi-exit model "
-                    "(InferenceEngine); flat networks have a single exit"
-                )
-            if not 0.0 < early_exit_threshold < 1.0:
-                raise ValueError("early_exit_threshold must be in (0, 1)")
-        if num_samples is not None and num_samples <= 0:
-            raise ValueError("num_samples must be positive")
-        if workers <= 0:
-            raise ValueError("workers must be positive")
-        if worker_backend not in _POOL_BACKENDS:
+        # the one validation the config cannot do alone: early exit needs
+        # a model that actually has exits
+        if config.early_exit_threshold is not None and not isinstance(
+            self.engine, InferenceEngine
+        ):
             raise ValueError(
-                f"worker_backend must be one of {sorted(_POOL_BACKENDS)}, "
-                f"got {worker_backend!r}"
+                "early-exit serving requires a multi-exit model "
+                "(InferenceEngine); flat networks have a single exit"
             )
-        if worker_transport not in ("ring", "pipe"):
-            raise ValueError(
-                f"worker_transport must be 'ring' or 'pipe', "
-                f"got {worker_transport!r}"
-            )
-        if fault_plan is not None and worker_backend != "process":
-            raise ValueError(
-                "fault_plan injects worker-process deaths and requires "
-                "worker_backend='process'"
-            )
-        self.num_samples = num_samples
-        self.early_exit_threshold = early_exit_threshold
-        self.workers = int(workers)
-        self.worker_backend = worker_backend
-        self.worker_transport = worker_transport
-        self.fleet = fleet
+        self.config = config
+        self.num_samples = config.num_samples
+        self.early_exit_threshold = config.early_exit_threshold
+        self.workers = int(config.workers)
+        self.worker_backend = config.worker_backend
+        self.worker_transport = config.worker_transport
+        self.fleet = config.fleet
+        fleet = config.fleet
+        batcher_config = config.batcher
         #: largest fleet size this engine may reach (executor sizing)
         self._max_fleet = (
             fleet.resolve_bounds(self.workers)[1] if fleet is not None else self.workers
         )
         pool_kwargs = dict(
             workers=self.workers,
-            num_samples=num_samples,
-            early_exit_threshold=early_exit_threshold,
+            num_samples=config.num_samples,
+            early_exit_threshold=config.early_exit_threshold,
             # batch geometry enables pre-pinned staging buffers (thread
             # backend) and ring-slot sizing (process backend)
-            max_batch_size=int(max_batch_size),
+            max_batch_size=int(batcher_config.max_batch_size),
             input_shape=self.input_shape,
         )
-        if worker_backend == "process":
-            pool_kwargs["transport"] = worker_transport
-            pool_kwargs["fault_plan"] = fault_plan
+        if config.worker_backend == "process":
+            pool_kwargs["transport"] = config.worker_transport
+            pool_kwargs["fault_plan"] = config.fault_plan
             if fleet is not None:
                 pool_kwargs["respawn_wait"] = fleet.respawn_wait
-        self._pool = _POOL_BACKENDS[worker_backend](self.engine, **pool_kwargs)
+        self._pool = _POOL_BACKENDS[config.worker_backend](self.engine, **pool_kwargs)
         self.supervisor: WorkerSupervisor | None = None
         # autoscaler signal deltas (shed/completed since last evaluation)
         self._shed_seen = 0
@@ -322,11 +287,11 @@ class ServingEngine:
         self._batch_seq = 0
         self._batcher = DynamicBatcher(
             self._dispatch,
-            max_batch_size=max_batch_size,
-            max_batch_latency=max_batch_latency,
-            max_queue_size=max_queue_size,
-            reject_on_full=reject_on_full,
-            admission_timeout=admission_timeout,
+            max_batch_size=batcher_config.max_batch_size,
+            max_batch_latency=batcher_config.max_batch_latency,
+            max_queue_size=batcher_config.max_queue_size,
+            reject_on_full=batcher_config.reject_on_full,
+            admission_timeout=batcher_config.admission_timeout,
             max_concurrent_batches=self.workers,
         )
         self._executor = executor
@@ -335,7 +300,7 @@ class ServingEngine:
         # request forever; percentiles are over the most recent window
         self._latencies: deque[float] = deque(maxlen=16384)
         self._exit_counts: list[int] | None = None
-        if early_exit_threshold is not None and isinstance(
+        if config.early_exit_threshold is not None and isinstance(
             self.engine, InferenceEngine
         ):
             self._exit_counts = [0] * self.engine.model.num_exits
@@ -547,12 +512,32 @@ class ServingEngine:
         return result
 
     async def submit_many(
-        self, xs: np.ndarray | Iterable[np.ndarray]
+        self,
+        xs: np.ndarray | Iterable[np.ndarray],
+        deadline: float | Sequence[float | None] | None = None,
     ) -> list[UncertaintyResult]:
-        """Serve many examples concurrently; results keep submission order."""
-        if isinstance(xs, np.ndarray):
-            xs = list(xs)
-        return list(await asyncio.gather(*(self.submit(x) for x in xs)))
+        """Serve many examples concurrently; results keep submission order.
+
+        ``deadline`` mirrors :meth:`submit`'s parameter: a scalar applies
+        one latency budget to every example, a sequence supplies one
+        budget per example (``None`` entries leave that example
+        deadline-less) and must match ``xs`` in length.
+        """
+        xs = list(xs)
+        if deadline is None or isinstance(deadline, (int, float)):
+            deadlines: list[float | None] = [deadline] * len(xs)
+        else:
+            deadlines = list(deadline)
+            if len(deadlines) != len(xs):
+                raise ValueError(
+                    f"deadline sequence has {len(deadlines)} entries "
+                    f"for {len(xs)} examples"
+                )
+        return list(
+            await asyncio.gather(
+                *(self.submit(x, deadline=d) for x, d in zip(xs, deadlines))
+            )
+        )
 
     # ------------------------------------------------------------------ #
     # batch execution (runs on the event loop + worker executor)
@@ -608,5 +593,11 @@ class ServingEngine:
             workers_respawned=self._pool.workers_respawned,
             scale_events=self._pool.scale_events,
             current_workers=self._pool.current_workers,
+            alive_workers=self._pool.alive_workers,
             arena_generation=self._pool.generation,
         )
+
+    @property
+    def alive_workers(self) -> int:
+        """Workers that probe alive right now (see ``WorkerPool.alive_workers``)."""
+        return self._pool.alive_workers

@@ -230,6 +230,20 @@ class WorkerPool:
         """Replicas currently able to take a batch (excludes retiring/dead)."""
         return self.workers
 
+    @property
+    def alive_workers(self) -> int:
+        """Replicas whose worker is verifiably alive *right now*.
+
+        Unlike :attr:`current_workers` (the roster view, updated when the
+        supervisor reaps a corpse), this probes the underlying workers —
+        the process backend checks ``process.is_alive()`` — so a silent
+        death is visible immediately.  It feeds the network front end's
+        ``/v1/health`` endpoint, which must flip before the supervisor's
+        next scan, not after.  Thread replicas cannot die independently,
+        so the default mirrors the roster.
+        """
+        return self.current_workers
+
     async def start(self, executor) -> None:
         raise NotImplementedError
 

@@ -601,6 +601,24 @@ class ProcessWorkerPool(WorkerPool):
             return self.workers
         return sum(1 for h in self._handles if h.alive and not h.retiring)
 
+    @property
+    def alive_workers(self) -> int:
+        """Workers whose *process* answers ``is_alive()`` right now.
+
+        Stricter than :attr:`current_workers`: a silently dead worker
+        stays on the roster (``h.alive``) until a liveness scan reaps it,
+        but its process already reads dead here — this is what lets the
+        ``/v1/health`` endpoint flip the moment a worker dies instead of
+        one supervisor interval later.
+        """
+        if self._checkout is None and not self._handles:
+            return self.workers
+        return sum(
+            1
+            for h in self._handles
+            if h.alive and not h.retiring and h.process.is_alive()
+        )
+
     def _note_crash(self, handle: _WorkerHandle) -> None:
         """Count one worker death exactly once (batch path vs. health scan)."""
         if not handle.crash_counted:

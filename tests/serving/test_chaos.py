@@ -35,7 +35,13 @@ import pytest
 
 from repro.core import MultiExitBayesNet, MultiExitConfig
 from repro.nn.architectures import lenet5_spec
-from repro.serving import FaultPlan, FleetConfig, ServingEngine
+from repro.serving import FaultPlan, FleetConfig, ServingConfig, ServingEngine
+
+
+def cfg(**kwargs):
+    """Shorthand: flat serving kwargs -> a validated ServingConfig."""
+    return ServingConfig.from_kwargs(**kwargs)
+
 
 pytestmark = pytest.mark.chaos
 
@@ -68,7 +74,7 @@ def _thread_oracle(model_factory, n: int) -> list:
 
     async def main():
         async with ServingEngine(
-            model_factory(), num_samples=NUM_SAMPLES, workers=1, max_batch_size=1
+            model_factory(), cfg(num_samples=NUM_SAMPLES, workers=1, max_batch_size=1)
         ) as server:
             return [await server.submit(X[i % len(X)]) for i in range(n)]
 
@@ -95,13 +101,15 @@ def _run_chaos_flood(n: int, kills, workers: int) -> tuple[list, object, int]:
     async def main():
         async with ServingEngine(
             _model(),
-            num_samples=NUM_SAMPLES,
-            workers=workers,
-            worker_backend="process",
-            max_batch_size=1,
-            max_queue_size=max(2 * n, 128),
-            fleet=FleetConfig(health_interval=0.02),
-            fault_plan=plan,
+            cfg(
+                num_samples=NUM_SAMPLES,
+                workers=workers,
+                worker_backend="process",
+                max_batch_size=1,
+                max_queue_size=max(2 * n, 128),
+                fleet=FleetConfig(health_interval=0.02),
+                fault_plan=plan,
+            ),
         ) as server:
             results = await asyncio.gather(
                 *(server.submit(X[i % len(X)]) for i in range(n))
@@ -167,12 +175,14 @@ def test_chaos_generation_swap_mid_traffic_never_tears():
     async def main():
         async with ServingEngine(
             _model(seed=0, width=0.5),
-            num_samples=NUM_SAMPLES,
-            workers=2,
-            worker_backend="process",
-            max_batch_size=1,
-            max_queue_size=2 * n,
-            fleet=FleetConfig(health_interval=0.02),
+            cfg(
+                num_samples=NUM_SAMPLES,
+                workers=2,
+                worker_backend="process",
+                max_batch_size=1,
+                max_queue_size=2 * n,
+                fleet=FleetConfig(health_interval=0.02),
+            ),
         ) as server:
             flood = [
                 asyncio.ensure_future(server.submit(X[i % len(X)]))

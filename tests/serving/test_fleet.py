@@ -30,8 +30,15 @@ from repro.serving import (
     FaultPlan,
     FleetConfig,
     FleetSignals,
+    ServingConfig,
     ServingEngine,
 )
+
+
+def cfg(**kwargs):
+    """Shorthand: flat serving kwargs -> a validated ServingConfig."""
+    return ServingConfig.from_kwargs(**kwargs)
+
 
 NUM_SAMPLES = 6
 
@@ -90,7 +97,7 @@ def test_fault_plan_accepts_injection_objects():
 
 def test_fault_plan_requires_process_backend():
     with pytest.raises(ValueError, match="process"):
-        ServingEngine(_model(), fault_plan=FaultPlan([(0, "pre_doorbell")]))
+        ServingEngine(_model(), cfg(fault_plan=FaultPlan([(0, "pre_doorbell")])))
 
 
 # --------------------------------------------------------------------------- #
@@ -165,10 +172,12 @@ def test_supervisor_respawns_killed_worker_and_restores_k():
     async def main():
         async with ServingEngine(
             model,
-            num_samples=4,
-            workers=2,
-            worker_backend="process",
-            fleet=FleetConfig(health_interval=0.02),
+            cfg(
+                num_samples=4,
+                workers=2,
+                worker_backend="process",
+                fleet=FleetConfig(health_interval=0.02),
+            ),
         ) as server:
             await server.submit(X[0])
             victim = _next_victim(server)
@@ -201,10 +210,12 @@ def test_supervised_total_death_recovers_instead_of_failing():
     async def serve(kill: bool):
         async with ServingEngine(
             _model(),
-            num_samples=NUM_SAMPLES,
-            workers=1,
-            worker_backend="process",
-            fleet=FleetConfig(health_interval=0.02),
+            cfg(
+                num_samples=NUM_SAMPLES,
+                workers=1,
+                worker_backend="process",
+                fleet=FleetConfig(health_interval=0.02),
+            ),
         ) as server:
             first = await server.submit(X[0])
             if kill:
@@ -234,7 +245,7 @@ def test_scale_to_grows_and_drains_back(backend):
 
     async def main():
         async with ServingEngine(
-            model, num_samples=4, workers=1, worker_backend=backend
+            model, cfg(num_samples=4, workers=1, worker_backend=backend)
         ) as server:
             await server.submit(X[0])
             await server._pool.scale_to(3)
@@ -266,11 +277,13 @@ def test_autoscaler_grows_under_pressure_and_shrinks_when_idle():
     async def main():
         async with ServingEngine(
             model,
-            num_samples=32,
-            workers=1,
-            max_batch_size=1,
-            max_queue_size=256,
-            fleet=fleet,
+            cfg(
+                num_samples=32,
+                workers=1,
+                max_batch_size=1,
+                max_queue_size=256,
+                fleet=fleet,
+            ),
         ) as server:
             assert server.supervisor is not None and server.supervisor.running
             # sustained backlog: many singleton batches behind one worker
@@ -306,7 +319,7 @@ def test_swap_model_changes_weights_and_shapes_without_downtime(backend):
 
     async def serve_plain(model_factory, seqs):
         async with ServingEngine(
-            model_factory(), num_samples=NUM_SAMPLES, workers=1
+            model_factory(), cfg(num_samples=NUM_SAMPLES, workers=1)
         ) as server:
             return [await server.submit(X[i]) for i in range(seqs)]
 
@@ -315,9 +328,7 @@ def test_swap_model_changes_weights_and_shapes_without_downtime(backend):
         oracle_new = await serve_plain(lambda: _model(seed=3, width=0.75), 8)
         async with ServingEngine(
             _model(seed=0, width=0.5),
-            num_samples=NUM_SAMPLES,
-            workers=2,
-            worker_backend=backend,
+            cfg(num_samples=NUM_SAMPLES, workers=2, worker_backend=backend),
         ) as server:
             before = [await server.submit(X[i]) for i in range(4)]
             generation = await server.swap_model(_model(seed=3, width=0.75))
@@ -341,7 +352,7 @@ def test_swap_releases_old_arena_segment():
 
     async def main():
         async with ServingEngine(
-            model, num_samples=4, workers=2, worker_backend="process"
+            model, cfg(num_samples=4, workers=2, worker_backend="process")
         ) as server:
             await server.submit(X[0])
             old_segment = server._pool._arena.manifest.segment_name
@@ -370,7 +381,7 @@ def test_swap_model_to_live_model_keeps_parameters_shared():
 
     async def oracle_main():
         async with ServingEngine(
-            _model(), num_samples=NUM_SAMPLES, workers=1, max_batch_size=1
+            _model(), cfg(num_samples=NUM_SAMPLES, workers=1, max_batch_size=1)
         ) as server:
             return [await server.submit(X[0]) for _ in range(3)]
 
@@ -379,10 +390,12 @@ def test_swap_model_to_live_model_keeps_parameters_shared():
     async def main():
         async with ServingEngine(
             model,
-            num_samples=NUM_SAMPLES,
-            workers=2,
-            worker_backend="process",
-            max_batch_size=1,
+            cfg(
+                num_samples=NUM_SAMPLES,
+                workers=2,
+                worker_backend="process",
+                max_batch_size=1,
+            ),
         ) as server:
             before = await server.submit(X[0])
             generation = await server.swap_model(model)
@@ -411,7 +424,7 @@ def test_swap_model_rejects_input_shape_change():
     model = _model()
 
     async def main():
-        async with ServingEngine(model, num_samples=4, workers=1) as server:
+        async with ServingEngine(model, cfg(num_samples=4, workers=1)) as server:
             wrong = MultiExitBayesNet(
                 lenet5_spec(
                     input_shape=(1, 16, 16), num_classes=5, width_multiplier=0.5

@@ -20,7 +20,13 @@ import pytest
 from repro.core import MultiExitBayesNet, MultiExitConfig
 from repro.nn import ForwardContext
 from repro.nn.architectures import lenet5_spec
-from repro.serving import DynamicBatcher, ServingEngine
+from repro.serving import DynamicBatcher, ServingConfig, ServingEngine
+
+
+def cfg(**kwargs):
+    """Shorthand: flat serving kwargs -> a validated ServingConfig."""
+    return ServingConfig.from_kwargs(**kwargs)
+
 
 NUM_SAMPLES = 6
 
@@ -44,7 +50,7 @@ def _serve_sequentially(workers: int) -> list:
 
     async def main():
         async with ServingEngine(
-            model, num_samples=NUM_SAMPLES, workers=workers
+            model, cfg(num_samples=NUM_SAMPLES, workers=workers)
         ) as server:
             return [await server.submit(x) for x in X]
 
@@ -90,10 +96,7 @@ def test_multiworker_serving_matches_direct_engine_for_deterministic_model():
     async def main():
         async with ServingEngine(
             model,
-            num_samples=2,
-            workers=4,
-            max_batch_size=4,
-            max_batch_latency=0.005,
+            cfg(num_samples=2, workers=4, max_batch_size=4, max_batch_latency=0.005),
         ) as server:
             return await server.submit_many(X)
 
@@ -232,7 +235,7 @@ def test_serving_engine_accepts_deadlines():
     model = _model(mcd=0)
 
     async def main():
-        async with ServingEngine(model, num_samples=1, workers=2) as server:
+        async with ServingEngine(model, cfg(num_samples=1, workers=2)) as server:
             results = await asyncio.gather(
                 *(server.submit(x, deadline=0.5) for x in X[:4])
             )
@@ -361,7 +364,7 @@ def test_pipelined_stop_without_drain_cancels_in_flight():
 def test_workers_validated():
     model = _model(mcd=0)
     with pytest.raises(ValueError, match="workers"):
-        ServingEngine(model, workers=0)
+        ServingEngine(model, cfg(workers=0))
     with pytest.raises(ValueError, match="max_concurrent_batches"):
         DynamicBatcher(lambda p: p, max_concurrent_batches=0)
 
@@ -376,7 +379,7 @@ def test_start_is_idempotent_while_serving():
     model = _model(mcd=1)
 
     async def main():
-        server = ServingEngine(model, num_samples=NUM_SAMPLES, workers=2)
+        server = ServingEngine(model, cfg(num_samples=NUM_SAMPLES, workers=2))
         await server.start()
         first = asyncio.ensure_future(server.submit(X[0]))
         await asyncio.sleep(0)  # the first batch is in flight

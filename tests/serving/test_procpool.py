@@ -24,7 +24,13 @@ import pytest
 
 from repro.core import MultiExitBayesNet, MultiExitConfig
 from repro.nn.architectures import lenet5_spec
-from repro.serving import ServingEngine, WorkerCrashed
+from repro.serving import ServingConfig, ServingEngine, WorkerCrashed
+
+
+def cfg(**kwargs):
+    """Shorthand: flat serving kwargs -> a validated ServingConfig."""
+    return ServingConfig.from_kwargs(**kwargs)
+
 
 NUM_SAMPLES = 6
 
@@ -45,9 +51,7 @@ def _serve_sequentially(backend: str, workers: int, **kwargs) -> list:
     async def main():
         async with ServingEngine(
             model,
-            num_samples=NUM_SAMPLES,
-            workers=workers,
-            worker_backend=backend,
+            cfg(num_samples=NUM_SAMPLES, workers=workers, worker_backend=backend),
             **kwargs,
         ) as server:
             results = [await server.submit(x) for x in X]
@@ -102,10 +106,7 @@ def test_early_exit_mode_matches_thread_backend():
 
         async def main():
             async with ServingEngine(
-                model,
-                early_exit_threshold=0.5,
-                workers=2,
-                worker_backend=backend,
+                model, cfg(early_exit_threshold=0.5, workers=2, worker_backend=backend)
             ) as server:
                 return [await server.submit(x) for x in X]
 
@@ -129,7 +130,7 @@ def test_flat_network_engine_served_by_process_backend():
 
     async def main():
         async with ServingEngine(
-            net, num_samples=4, workers=2, worker_backend="process"
+            net, cfg(num_samples=4, workers=2, worker_backend="process")
         ) as server:
             return await server.submit_many(X[:4])
 
@@ -159,10 +160,7 @@ def test_weight_updates_propagate_and_match_thread_backend():
 
         async def main():
             async with ServingEngine(
-                model,
-                num_samples=NUM_SAMPLES,
-                workers=2,
-                worker_backend=backend,
+                model, cfg(num_samples=NUM_SAMPLES, workers=2, worker_backend=backend)
             ) as server:
                 before = await server.submit(X[0])
                 for p in model.parameters():
@@ -184,7 +182,7 @@ def test_same_input_changes_after_weight_update():
 
     async def main():
         async with ServingEngine(
-            model, num_samples=NUM_SAMPLES, workers=1, worker_backend="process"
+            model, cfg(num_samples=NUM_SAMPLES, workers=1, worker_backend="process")
         ) as server:
             before = await server.submit(X[0])
             for p in model.parameters():
@@ -205,7 +203,7 @@ def test_dead_workers_batch_retried_on_live_sibling():
 
     async def main():
         async with ServingEngine(
-            model, num_samples=4, workers=2, worker_backend="process"
+            model, cfg(num_samples=4, workers=2, worker_backend="process")
         ) as server:
             await server.submit(X[0])  # warm both ends of the channel
             victim = _next_victim(server)
@@ -235,7 +233,7 @@ def test_all_workers_dead_raises_worker_crashed():
 
     async def main():
         async with ServingEngine(
-            model, num_samples=4, workers=1, worker_backend="process"
+            model, cfg(num_samples=4, workers=1, worker_backend="process")
         ) as server:
             await server.submit(X[0])
             victim = _next_victim(server)
@@ -262,7 +260,7 @@ def test_stop_releases_segment_and_model_stays_usable():
 
     async def main():
         async with ServingEngine(
-            model, num_samples=4, workers=2, worker_backend="process"
+            model, cfg(num_samples=4, workers=2, worker_backend="process")
         ) as server:
             await server.submit(X[0])
             return server._pool._arena.manifest.segment_name
@@ -282,7 +280,7 @@ def test_stop_releases_segment_and_model_stays_usable():
 @pytest.mark.timeout(120)
 def test_worker_backend_validated():
     with pytest.raises(ValueError, match="worker_backend"):
-        ServingEngine(_model(), worker_backend="fiber")
+        ServingEngine(_model(), cfg(worker_backend="fiber"))
 
 
 # --------------------------------------------------------------------------- #
@@ -306,10 +304,12 @@ def test_crash_holding_ring_slot_retried_then_crashed_again_on_sibling():
     async def main():
         async with ServingEngine(
             _model(),
-            num_samples=NUM_SAMPLES,
-            workers=3,
-            worker_backend="process",
-            fault_plan=plan,
+            cfg(
+                num_samples=NUM_SAMPLES,
+                workers=3,
+                worker_backend="process",
+                fault_plan=plan,
+            ),
         ) as server:
             first = await server.submit(X[0])  # seq 0: undisturbed
             second = await server.submit(X[1])  # seq 1: killed twice
@@ -333,10 +333,7 @@ def test_double_crash_with_two_workers_exhausts_pool():
     async def main():
         async with ServingEngine(
             _model(),
-            num_samples=4,
-            workers=2,
-            worker_backend="process",
-            fault_plan=plan,
+            cfg(num_samples=4, workers=2, worker_backend="process", fault_plan=plan),
         ) as server:
             with pytest.raises(WorkerCrashed):
                 await server.submit(X[0])
@@ -361,11 +358,13 @@ def test_worker_crash_during_stop_drain_still_answers_queued_requests():
     async def main():
         server = ServingEngine(
             _model(),
-            num_samples=4,
-            workers=2,
-            worker_backend="process",
-            max_batch_size=1,
-            fault_plan=plan,
+            cfg(
+                num_samples=4,
+                workers=2,
+                worker_backend="process",
+                max_batch_size=1,
+                fault_plan=plan,
+            ),
         )
         await server.start()
         pending = [asyncio.ensure_future(server.submit(X[i])) for i in range(6)]
@@ -390,7 +389,7 @@ def test_stop_is_idempotent_across_backends(backend):
 
     async def main():
         server = ServingEngine(
-            model, num_samples=4, workers=2, worker_backend=backend
+            model, cfg(num_samples=4, workers=2, worker_backend=backend)
         )
         await server.start()
         first = await server.submit(X[0])

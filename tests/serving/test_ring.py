@@ -19,8 +19,14 @@ import pytest
 
 from repro.core import MultiExitBayesNet, MultiExitConfig
 from repro.nn.architectures import lenet5_spec
-from repro.serving import ServingEngine
+from repro.serving import ServingConfig, ServingEngine
 from repro.serving.workers.ring import BatchRing
+
+
+def cfg(**kwargs):
+    """Shorthand: flat serving kwargs -> a validated ServingConfig."""
+    return ServingConfig.from_kwargs(**kwargs)
+
 
 NUM_SAMPLES = 6
 
@@ -39,10 +45,7 @@ def _serve_sequentially(backend: str, workers: int = 2, shrink=None, **kwargs):
     model = _model()
     server = ServingEngine(
         model,
-        num_samples=NUM_SAMPLES,
-        workers=workers,
-        worker_backend=backend,
-        **kwargs,
+        cfg(num_samples=NUM_SAMPLES, workers=workers, worker_backend=backend, **kwargs),
     )
     if shrink is not None:
         server._pool._ring_request_bytes = shrink[0]
@@ -168,7 +171,7 @@ def test_slot_exhaustion_under_pipelined_dispatch_falls_back():
     """No free slot ⇒ the batch ships over the pipe; service is unaffected."""
     model = _model()
     server = ServingEngine(
-        model, num_samples=NUM_SAMPLES, workers=2, worker_backend="process"
+        model, cfg(num_samples=NUM_SAMPLES, workers=2, worker_backend="process")
     )
 
     async def main():
@@ -195,7 +198,7 @@ def test_worker_crash_mid_slot_retries_and_unlinks_its_ring():
 
     async def main():
         async with ServingEngine(
-            model, num_samples=4, workers=2, worker_backend="process"
+            model, cfg(num_samples=4, workers=2, worker_backend="process")
         ) as server:
             await server.submit(X[0])
             victim = _next_victim(server)
@@ -221,7 +224,7 @@ def test_stop_releases_every_ring_segment():
 
     async def main():
         async with ServingEngine(
-            model, num_samples=4, workers=2, worker_backend="process"
+            model, cfg(num_samples=4, workers=2, worker_backend="process")
         ) as server:
             await server.submit(X[0])
             return [h.ring.manifest.segment_name for h in server._pool._handles]
@@ -235,4 +238,4 @@ def test_stop_releases_every_ring_segment():
 
 def test_worker_transport_validated():
     with pytest.raises(ValueError, match="worker_transport"):
-        ServingEngine(_model(), worker_transport="telepathy")
+        ServingEngine(_model(), cfg(worker_transport="telepathy"))

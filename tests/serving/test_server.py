@@ -1,0 +1,324 @@
+"""Network front end tests: wire fidelity, error mapping, lifecycle.
+
+The contract under test is :class:`repro.serving.ServingServer`:
+
+* a served ``/v1/predict`` response is **bit-identical** to a direct
+  ``ServingEngine.submit`` under the same config and batch formation
+  (JSON carries repr-faithful float64);
+* engine failures map to typed HTTP statuses (``ServerOverloaded`` → 503,
+  ``DeadlineExceeded`` → 504), payload problems to 400/413/404/405;
+* ``/v1/health`` flips the moment a supervised worker is killed — before
+  the supervisor's next scan — and recovers after the respawn;
+* ``stop(drain=True)`` lets in-flight requests finish with a response.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+
+import numpy as np
+import pytest
+
+from repro.core import MultiExitBayesNet, MultiExitConfig
+from repro.nn.architectures import lenet5_spec
+from repro.serving import (
+    FleetConfig,
+    LoadGenerator,
+    ServingConfig,
+    ServingEngine,
+    ServingServer,
+)
+
+
+def cfg(**kwargs):
+    return ServingConfig.from_kwargs(**kwargs)
+
+
+def _model(seed=0):
+    spec = lenet5_spec(input_shape=(1, 12, 12), num_classes=5, width_multiplier=0.5)
+    return MultiExitBayesNet(
+        spec, MultiExitConfig(num_exits=2, mcd_layers_per_exit=1, seed=seed)
+    )
+
+
+RNG = np.random.default_rng(11)
+X = RNG.normal(size=(6, 1, 12, 12))
+
+
+async def _request(server, method, path, payload=None, raw: bytes | None = None):
+    """One HTTP exchange against ``server`` (optionally with a raw body)."""
+    reader, writer = await asyncio.open_connection(server.host, server.port)
+    try:
+        body = raw if raw is not None else (
+            b"" if payload is None else json.dumps(payload).encode()
+        )
+        head = (
+            f"{method} {path} HTTP/1.1\r\n"
+            f"Host: {server.host}\r\nContent-Length: {len(body)}\r\n"
+            f"Connection: close\r\n\r\n"
+        )
+        writer.write(head.encode() + body)
+        await writer.drain()
+        status_line = await reader.readline()
+        status = int(status_line.split()[1])
+        length = 0
+        while True:
+            line = await reader.readline()
+            if line in (b"\r\n", b"\n", b""):
+                break
+            name, _, value = line.decode().partition(":")
+            if name.strip().lower() == "content-length":
+                length = int(value)
+        data = await reader.readexactly(length)
+        return status, json.loads(data) if data else {}
+    finally:
+        writer.close()
+        try:
+            await writer.wait_closed()
+        except (ConnectionResetError, BrokenPipeError, OSError):
+            pass
+
+
+# --------------------------------------------------------------------- #
+# wire fidelity
+# --------------------------------------------------------------------- #
+def test_served_response_bit_identical_to_direct_submit():
+    # same model seed + same config + one-at-a-time submission => identical
+    # batch formation => the spawn-key rule makes the bits equal; JSON must
+    # not perturb them on the way through
+    config = cfg(num_samples=4, max_batch_size=4)
+
+    async def main():
+        direct = []
+        async with ServingEngine(_model(), config) as ref:
+            for x in X:
+                direct.append(await ref.submit(x))
+        async with ServingServer(ServingEngine(_model(), config)) as server:
+            for i, x in enumerate(X):
+                status, resp = await _request(
+                    server, "POST", "/v1/predict", {"x": x.tolist()}
+                )
+                assert status == 200
+                probs = np.asarray(resp["probs"], dtype=np.float64)
+                assert probs.tobytes() == direct[i].probs.tobytes()
+                assert resp["label"] == direct[i].label
+                assert resp["num_samples"] == direct[i].num_samples
+
+    asyncio.run(main())
+
+
+def test_stats_and_health_endpoints():
+    async def main():
+        async with ServingServer(ServingEngine(_model(), cfg(num_samples=2))) as srv:
+            status, health = await _request(srv, "GET", "/v1/health")
+            assert status == 200
+            assert health["status"] == "ok"
+            assert health["alive_workers"] == 1
+            assert health["input_shape"] == [1, 12, 12]
+            assert health["num_classes"] == 5
+
+            await _request(srv, "POST", "/v1/predict", {"x": X[0].tolist()})
+            status, stats = await _request(srv, "GET", "/v1/stats")
+            assert status == 200
+            assert stats["requests_completed"] == 1
+            # the full ServingStats surface crosses the wire
+            assert srv.engine.stats().to_dict().keys() == stats.keys()
+
+    asyncio.run(main())
+
+
+# --------------------------------------------------------------------- #
+# typed error mapping
+# --------------------------------------------------------------------- #
+def test_bad_payloads_map_to_400():
+    async def main():
+        async with ServingServer(ServingEngine(_model(), cfg(num_samples=1))) as srv:
+            for payload, raw in [
+                (None, b"{not json"),  # malformed JSON
+                ({"y": 1}, None),  # missing x
+                ({"x": "strings"}, None),  # non-numeric
+                ({"x": X[0].tolist(), "deadline_ms": -5}, None),  # bad deadline
+                ({"x": [[1.0, 2.0]]}, None),  # wrong shape for the model
+            ]:
+                status, body = await _request(
+                    srv, "POST", "/v1/predict", payload, raw=raw
+                )
+                assert status == 400, (payload, raw, body)
+                assert body["error"] == "bad_request"
+            status, body = await _request(srv, "GET", "/v1/missing")
+            assert status == 404
+            status, body = await _request(srv, "GET", "/v1/predict")
+            assert status == 405
+
+    asyncio.run(main())
+
+
+def test_oversized_body_maps_to_413():
+    async def main():
+        engine = ServingEngine(_model(), cfg(num_samples=1))
+        async with ServingServer(engine, max_body_bytes=1024) as srv:
+            status, body = await _request(
+                srv, "POST", "/v1/predict", raw=b"x" * 2048
+            )
+            assert status == 413
+            assert body["error"] == "payload_too_large"
+
+    asyncio.run(main())
+
+
+def test_overload_maps_to_503():
+    # queue of 1 + fail-fast policy + a storm of concurrent requests:
+    # the queue is guaranteed full for most arrivals
+    config = cfg(
+        num_samples=4, max_batch_size=1, max_queue_size=1, reject_on_full=True
+    )
+
+    async def main():
+        async with ServingServer(ServingEngine(_model(), config)) as srv:
+            results = await asyncio.gather(
+                *(
+                    _request(srv, "POST", "/v1/predict", {"x": X[0].tolist()})
+                    for _ in range(24)
+                )
+            )
+            statuses = [status for status, _ in results]
+            assert set(statuses) <= {200, 503}
+            assert 503 in statuses
+            assert 200 in statuses
+            for status, body in results:
+                if status == 503:
+                    assert body["error"] == "overloaded"
+
+    asyncio.run(main())
+
+
+def test_missed_deadline_maps_to_504():
+    # a 1 us budget has always lapsed by the time assembly re-checks the
+    # backlog (the enqueue->assembly hop alone costs microseconds), so the
+    # shed is deterministic however fast this host drains the fillers
+    config = cfg(num_samples=512, max_batch_size=1, admission_timeout=5.0)
+
+    async def main():
+        async with ServingServer(ServingEngine(_model(), config)) as srv:
+            fillers = [
+                asyncio.ensure_future(
+                    _request(srv, "POST", "/v1/predict", {"x": X[i].tolist()})
+                )
+                for i in range(4)
+            ]
+            await asyncio.sleep(0.005)  # let a filler reach the worker
+            status, body = await _request(
+                srv,
+                "POST",
+                "/v1/predict",
+                {"x": X[5].tolist(), "deadline_ms": 0.001},
+            )
+            assert status == 504
+            assert body["error"] == "deadline_exceeded"
+            for status_f, _ in await asyncio.gather(*fillers):
+                assert status_f == 200
+
+    asyncio.run(main())
+
+
+# --------------------------------------------------------------------- #
+# lifecycle
+# --------------------------------------------------------------------- #
+def test_health_flips_during_supervised_worker_kill():
+    config = cfg(
+        num_samples=2,
+        workers=1,
+        worker_backend="process",
+        fleet=FleetConfig(health_interval=0.05, respawn_wait=10.0),
+    )
+
+    async def main():
+        engine = ServingEngine(_model(), config)
+        async with ServingServer(engine) as srv:
+            status, health = await _request(srv, "GET", "/v1/health")
+            assert (status, health["status"]) == (200, "ok")
+
+            # kill the only worker out from under the supervisor
+            engine._pool._handles[0].process.kill()
+            for _ in range(100):
+                status, health = await _request(srv, "GET", "/v1/health")
+                if status == 503:
+                    break
+                await asyncio.sleep(0.01)
+            assert status == 503
+            assert health["status"] == "down"
+
+            # the supervisor respawns; health must recover on its own
+            for _ in range(400):
+                status, health = await _request(srv, "GET", "/v1/health")
+                if status == 200 and health["status"] == "ok":
+                    break
+                await asyncio.sleep(0.02)
+            assert (status, health["status"]) == (200, "ok")
+
+            # and the fleet still serves
+            status, _ = await _request(
+                srv, "POST", "/v1/predict", {"x": X[0].tolist()}
+            )
+            assert status == 200
+
+    asyncio.run(main())
+
+
+def test_graceful_stop_drains_in_flight_requests():
+    config = cfg(num_samples=16, max_batch_size=1)
+
+    async def main():
+        engine = ServingEngine(_model(), config)
+        server = ServingServer(engine)
+        await server.start()
+        inflight = asyncio.ensure_future(
+            _request(server, "POST", "/v1/predict", {"x": X[0].tolist()})
+        )
+        await asyncio.sleep(0.02)  # the request is past its request line
+        await server.stop(drain=True)
+        status, resp = await inflight
+        assert status == 200
+        assert resp["label"] in range(5)
+        assert not server.running
+        assert not engine.running  # server-started engine is server-stopped
+        # listener really closed
+        with pytest.raises(OSError):
+            await asyncio.open_connection(server.host, server.port)
+
+    asyncio.run(main())
+
+
+def test_server_leaves_caller_owned_engine_running():
+    async def main():
+        async with ServingEngine(_model(), cfg(num_samples=1)) as engine:
+            async with ServingServer(engine) as srv:
+                status, _ = await _request(
+                    srv, "POST", "/v1/predict", {"x": X[0].tolist()}
+                )
+                assert status == 200
+            assert engine.running  # not ours to stop
+            await engine.submit(X[1])  # still serving directly
+
+    asyncio.run(main())
+
+
+def test_loadgen_trace_replay_and_reports():
+    # a trace schedule is replayed exactly; the report accounts for every
+    # scheduled arrival
+    async def main():
+        async with ServingServer(ServingEngine(_model(), cfg(num_samples=1))) as srv:
+            gen = LoadGenerator(
+                srv.host,
+                srv.port,
+                process="trace",
+                schedule=[0.0, 0.0, 0.01, 0.02, 0.05],
+            )
+            report = await gen.run()
+            assert report.scheduled == 5
+            assert report.ok + report.failed + report.dropped == 5
+            assert report.failed == 0
+            assert len(gen.latencies) == report.ok
+
+    asyncio.run(main())

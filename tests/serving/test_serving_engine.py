@@ -16,7 +16,12 @@ import pytest
 
 from repro.core import MultiExitBayesNet, MultiExitConfig, single_exit_bayesnet
 from repro.nn.architectures import lenet5_spec
-from repro.serving import ServerOverloaded, ServingEngine
+from repro.serving import ServerOverloaded, ServingConfig, ServingEngine
+
+
+def cfg(**kwargs):
+    """Shorthand: flat serving kwargs -> a validated ServingConfig."""
+    return ServingConfig.from_kwargs(**kwargs)
 
 
 def _small_spec():
@@ -42,7 +47,7 @@ def test_served_predictions_match_batch_engine_for_deterministic_model():
 
     async def main():
         async with model.serving_engine(
-            num_samples=2, max_batch_size=5, max_batch_latency=0.01
+            cfg(num_samples=2, max_batch_size=5, max_batch_latency=0.01)
         ) as server:
             return await server.submit_many(X)
 
@@ -63,7 +68,7 @@ def test_bayesian_serving_returns_uncertainty():
     model = _model(mcd=1)
 
     async def main():
-        async with model.serving_engine(num_samples=8, max_batch_size=8) as server:
+        async with model.serving_engine(cfg(num_samples=8, max_batch_size=8)) as server:
             return await server.submit_many(X[:4])
 
     results = asyncio.run(main())
@@ -83,7 +88,11 @@ def test_early_exit_serving_mode():
 
     async def main_det():
         async with model_det.serving_engine(
-            early_exit_threshold=0.5, max_batch_size=X.shape[0], max_batch_latency=0.02
+            cfg(
+                early_exit_threshold=0.5,
+                max_batch_size=X.shape[0],
+                max_batch_latency=0.02,
+            ),
         ) as server:
             results = await server.submit_many(X)
             return results, server.stats()
@@ -103,14 +112,14 @@ def test_early_exit_serving_mode():
 def test_early_exit_requires_multi_exit_model():
     net = single_exit_bayesnet(_small_spec(), num_mcd_layers=1, seed=0)
     with pytest.raises(ValueError, match="multi-exit"):
-        ServingEngine(net, early_exit_threshold=0.5)
+        ServingEngine(net, cfg(early_exit_threshold=0.5))
 
 
 def test_serving_flat_network():
     net = single_exit_bayesnet(_small_spec(), num_mcd_layers=1, seed=0)
 
     async def main():
-        async with ServingEngine(net, num_samples=4, max_batch_size=4) as server:
+        async with ServingEngine(net, cfg(num_samples=4, max_batch_size=4)) as server:
             return await server.submit_many(X[:6])
 
     results = asyncio.run(main())
@@ -125,11 +134,13 @@ def test_overload_rejection_policy():
 
     async def main():
         server = model.serving_engine(
-            num_samples=1,
-            max_batch_size=1,
-            max_batch_latency=0.001,
-            max_queue_size=4,
-            reject_on_full=True,
+            cfg(
+                num_samples=1,
+                max_batch_size=1,
+                max_batch_latency=0.001,
+                max_queue_size=4,
+                reject_on_full=True,
+            ),
         )
         async with server:
             outcomes = await asyncio.gather(
@@ -153,11 +164,13 @@ def test_overload_await_policy_completes_everything():
 
     async def main():
         async with model.serving_engine(
-            num_samples=1,
-            max_batch_size=4,
-            max_batch_latency=0.001,
-            max_queue_size=2,
-            reject_on_full=False,
+            cfg(
+                num_samples=1,
+                max_batch_size=4,
+                max_batch_latency=0.001,
+                max_queue_size=2,
+                reject_on_full=False,
+            ),
         ) as server:
             results = await asyncio.gather(*(server.submit(x) for x in X))
             return results, server.stats()
@@ -173,7 +186,7 @@ def test_mis_shaped_request_fails_fast_without_poisoning_batch():
     model = _model(mcd=0)
 
     async def main():
-        async with model.serving_engine(num_samples=1, max_batch_size=4) as server:
+        async with model.serving_engine(cfg(num_samples=1, max_batch_size=4)) as server:
             good = server.submit(X[0])
             with pytest.raises(ValueError, match="expected a single example"):
                 await server.submit(np.zeros((3, 3)))
@@ -187,7 +200,7 @@ def test_stats_surface():
     model = _model(mcd=1)
 
     async def main():
-        async with model.serving_engine(num_samples=4, max_batch_size=6) as server:
+        async with model.serving_engine(cfg(num_samples=4, max_batch_size=6)) as server:
             await server.submit_many(X)
             return server.stats()
 
@@ -203,8 +216,49 @@ def test_stats_surface():
 def test_serving_engine_rejects_bad_arguments():
     model = _model()
     with pytest.raises(ValueError, match="num_samples"):
-        ServingEngine(model, num_samples=0)
+        ServingEngine(model, cfg(num_samples=0))
     with pytest.raises(ValueError, match="early_exit_threshold"):
-        ServingEngine(model, early_exit_threshold=1.5)
+        ServingEngine(model, cfg(early_exit_threshold=1.5))
     with pytest.raises(TypeError, match="model must be"):
         ServingEngine(object())
+
+
+def test_submit_many_propagates_deadlines():
+    # regression: submit_many used to drop deadlines silently — under the
+    # shed policy a lapsed per-example budget must now surface as
+    # DeadlineExceeded for exactly the deadlined examples
+    from repro.serving import DeadlineExceeded
+
+    model = _model(mcd=1)
+    config = cfg(num_samples=512, max_batch_size=1, admission_timeout=5.0)
+
+    async def main():
+        async with ServingEngine(model, config) as server:
+            # occupy the single batch slot with fillers, then ask for a
+            # nanosecond budget: it has always lapsed by the time assembly
+            # re-checks the backlog, however fast this host computes
+            fillers = asyncio.ensure_future(server.submit_many(X[:3]))
+            await asyncio.sleep(0.001)
+            results = await asyncio.gather(
+                server.submit_many(X[3:5], deadline=[None, 1e-9]),
+                return_exceptions=True,
+            )
+            await fillers
+            return results[0]
+
+    outcome = asyncio.run(main())
+    assert isinstance(outcome, DeadlineExceeded)
+
+
+def test_submit_many_scalar_deadline_and_length_check():
+    model = _model(mcd=1)
+
+    async def main():
+        async with ServingEngine(model, cfg(num_samples=2)) as server:
+            # a generous scalar budget applies to all and all complete
+            results = await server.submit_many(X[:3], deadline=30.0)
+            assert len(results) == 3
+            with pytest.raises(ValueError, match="deadline sequence has 2"):
+                await server.submit_many(X[:3], deadline=[1.0, 1.0])
+
+    asyncio.run(main())
