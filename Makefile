@@ -15,14 +15,16 @@ bench:
 
 # Reentrancy/shared-memory/concurrency suites + the K=4 scaling gates
 # (threads >= 1.8x, processes >= 2.5x; gates skip below 4 cores; BLAS
-# pinned so the workers scale, not the libraries)
+# pinned so the workers scale, not the libraries) + the hot-path glue
+# gates (fused suffix >= 1.3x, per-batch glue <= 40 us)
 parallel:
 	OMP_NUM_THREADS=1 OPENBLAS_NUM_THREADS=1 MKL_NUM_THREADS=1 $(PYTHON) -m pytest -q -p no:randomly \
 		tests/nn/test_forward_context.py tests/nn/test_shm_params.py \
 		tests/serving/test_parallel_serving.py tests/serving/test_procpool.py \
 		tests/serving/test_fleet.py \
 		benchmarks/test_parallel_serving.py benchmarks/test_procpool_serving.py \
-		benchmarks/test_fleet.py
+		benchmarks/test_fleet.py \
+		benchmarks/test_fused_suffix.py benchmarks/test_glue_breakdown.py
 
 # Fault-injection chaos suite: deterministic kill schedules under live
 # traffic, gated on bit-identical responses and a clean /dev/shm.  Opt-in

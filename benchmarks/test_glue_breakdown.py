@@ -3,13 +3,24 @@
 A served request's latency is compute plus *glue*: assembling payloads
 into a batch, moving the batch to a worker, and fanning the output back
 out into per-request results.  This microbenchmark times each stage in
-isolation, for both the legacy mechanisms (``np.stack`` assembly, pickle
-pipe transport) and the zero-copy replacements this PR introduces
+isolation, for the legacy mechanisms (``np.stack`` assembly, pickle pipe
+transport, allocating MC assembly), the PR 6 zero-copy replacements
 (:class:`~repro.serving.batcher.BatchStager` pinned staging,
-:class:`~repro.serving.workers.ring.BatchRing` shm slots), so
-``BENCH_serving.json`` documents what the hot-path rework actually buys
-stage by stage.  No gate: per-stage microseconds are host-dependent; the
-end-to-end gates live in ``test_procpool_serving.py``.
+:class:`~repro.serving.workers.ring.BatchRing` shm slots), and the
+ISSUE 9 hot-path stages: **direct-to-ring** staging (payload rows land
+straight in the shm slot, no stager hop), **response-side staging**
+(:class:`~repro.serving.workers.base.ResponseStager` pre-pinned MC
+assembly), the **fused stochastic suffix** (mask folded into the GEMM
+operand), and the **content-keyed cache hit path** (repeated bytes skip
+the backbone forward).  All of it lands in ``BENCH_serving.json`` so the
+report documents what the rework buys stage by stage.
+
+Unlike its earlier no-gate incarnation, the *glue budget* is now gated:
+assembly + transport on the hot path (one term, since direct-to-ring
+staging makes assembly the transport) must fit in :data:`GLUE_BUDGET_US`
+per batch — the ISSUE 9 acceptance bar, ~40 us down from the ~55 us the
+PR 6 stager-hop-plus-slot path measured.  The other stages stay ungated:
+individually they are host-dependent noise; the sum is the promise.
 """
 
 from __future__ import annotations
@@ -21,8 +32,14 @@ import numpy as np
 
 from repro.core import MultiExitBayesNet, MultiExitConfig
 from repro.nn.architectures import lenet5_spec
+from repro.nn.context import ForwardContext
+from repro.nn.layers import Dense, MCDropout
 from repro.serving.batcher import BatchStager
-from repro.serving.workers.base import assemble_results, compute_batch_array
+from repro.serving.workers.base import (
+    ResponseStager,
+    assemble_results,
+    compute_batch_array,
+)
 from repro.serving.workers.ring import BatchRing
 
 from . import reporting
@@ -31,6 +48,8 @@ BATCH = 32
 SHAPE = (1, 12, 12)
 NUM_SAMPLES = 8
 LOOPS = 200
+#: per-batch glue ceiling (assemble + transport + disassemble), ISSUE 9 bar
+GLUE_BUDGET_US = 40.0
 
 
 def _best_seconds_per_call(fn, loops=LOOPS, repeats=5):
@@ -64,7 +83,15 @@ def test_glue_breakdown_records_per_stage_times():
 
     ring = BatchRing.create(slots=1, request_bytes=batch.nbytes, response_bytes=4096)
 
-    def _ring_roundtrip():
+    def _two_hop_ring():
+        # PR 6 shape: stage into the pinned buffer, then copy to the slot
+        staged = stager.stage(payloads)
+        dest = ring.stage_request(0, staged.shape)
+        dest[...] = staged
+        return ring.read_request(0)
+
+    def _direct_to_ring():
+        # ISSUE 9 shape: payload rows land straight in the shm slot
         dest = ring.stage_request(0, batch.shape)
         for i, payload in enumerate(payloads):
             dest[i] = payload
@@ -72,33 +99,85 @@ def test_glue_breakdown_records_per_stage_times():
 
     try:
         t_pipe = _best_seconds_per_call(_pipe_roundtrip)
-        t_ring = _best_seconds_per_call(_ring_roundtrip)
+        t_ring_two_hop = _best_seconds_per_call(_two_hop_ring)
+        t_ring_direct = _best_seconds_per_call(_direct_to_ring)
     finally:
         parent_conn.close()
         child_conn.close()
         ring.release()
 
-    # -- compute + disassemble: shared by every transport ----------------- #
+    # -- compute: cold forward vs content-keyed cache hit ----------------- #
     model = MultiExitBayesNet(
         lenet5_spec(input_shape=SHAPE, num_classes=10, width_multiplier=0.5),
         MultiExitConfig(num_exits=2, mcd_layers_per_exit=1, seed=0),
     )
-    out = compute_batch_array(model.engine, 0, batch, NUM_SAMPLES, None)
-    t_compute = _best_seconds_per_call(
-        lambda: compute_batch_array(model.engine, 0, batch, NUM_SAMPLES, None),
-        loops=5,
+    engine = model.engine
+
+    def _compute_cold():
+        engine.invalidate_cache()
+        return compute_batch_array(engine, 0, batch, NUM_SAMPLES, None)
+
+    def _compute_cached():
+        # same bytes every call: the deterministic backbone prefix hits
+        return compute_batch_array(engine, 0, batch, NUM_SAMPLES, None)
+
+    out = _compute_cold()
+    t_compute_cold = _best_seconds_per_call(_compute_cold, loops=5)
+    t_compute_hit = _best_seconds_per_call(_compute_cached, loops=5)
+    hits, misses = engine.cache_stats()
+    assert hits > 0, "cache-hit stage never hit; the timing would be a lie"
+
+    # -- disassemble: allocating MC assembly vs pre-pinned ResponseStager - #
+    response_stager = ResponseStager(
+        max_batch_size=BATCH, num_samples=NUM_SAMPLES, num_classes=10
     )
     t_disassemble = _best_seconds_per_call(lambda: assemble_results(out), loops=50)
+    t_response_staged = _best_seconds_per_call(
+        lambda: assemble_results(out, response_stager), loops=50
+    )
 
+    # -- fused stochastic suffix at the served width ---------------------- #
+    rng = np.random.default_rng(1)
+    features = 256
+    dense = Dense(10, name="classifier")
+    dense.build((features,), rng)
+    mcd = MCDropout(0.25, seed=3, name="mcd0")
+    mcd.build((features,), rng)
+    xs = rng.normal(size=(NUM_SAMPLES * BATCH, features))
+
+    def _suffix_unfused():
+        ctx = ForwardContext()
+        return dense.forward_folded(mcd.forward(xs, ctx=ctx), NUM_SAMPLES)
+
+    def _suffix_fused():
+        ctx = ForwardContext()
+        scaled = mcd.folded_scaled_mask(xs, ctx)
+        return dense.forward_folded(xs, NUM_SAMPLES, scaled_mask=scaled)
+
+    np.testing.assert_array_equal(_suffix_unfused(), _suffix_fused())
+    t_suffix_unfused = _best_seconds_per_call(_suffix_unfused, loops=20)
+    t_suffix_fused = _best_seconds_per_call(_suffix_fused, loops=20)
+
+    # glue = assemble + transport, the definition the PR 6 numbers used
+    # (~104 us legacy -> ~55 us staged ring); disassembly and compute are
+    # recorded alongside but were never part of the glue sum.  With
+    # direct-to-ring staging, assembly *is* the transport: one sum term.
     glue_legacy = t_stack + t_pipe
-    glue_ring = t_stage + t_ring
+    glue_ring = t_stage + t_ring_direct  # PR 6 shape: stager hop + slot
+    glue_hotpath = t_ring_direct
     print(
         f"\nglue breakdown (batch={BATCH}x{SHAPE}, S={NUM_SAMPLES}): "
         f"assemble stack {t_stack * 1e6:.1f} us vs stage {t_stage * 1e6:.1f} us; "
-        f"transport pipe {t_pipe * 1e6:.1f} us vs ring {t_ring * 1e6:.1f} us; "
-        f"compute {t_compute * 1e3:.2f} ms; "
-        f"disassemble {t_disassemble * 1e6:.1f} us; "
-        f"glue legacy {glue_legacy * 1e6:.1f} us vs ring {glue_ring * 1e6:.1f} us"
+        f"transport pipe {t_pipe * 1e6:.1f} us vs two-hop ring "
+        f"{t_ring_two_hop * 1e6:.1f} us vs direct {t_ring_direct * 1e6:.1f} us; "
+        f"compute cold {t_compute_cold * 1e3:.2f} ms vs cache hit "
+        f"{t_compute_hit * 1e3:.2f} ms; "
+        f"disassemble {t_disassemble * 1e6:.1f} us vs staged "
+        f"{t_response_staged * 1e6:.1f} us; "
+        f"suffix unfused {t_suffix_unfused * 1e6:.1f} us vs fused "
+        f"{t_suffix_fused * 1e6:.1f} us; "
+        f"glue legacy {glue_legacy * 1e6:.1f} us vs ring {glue_ring * 1e6:.1f} us "
+        f"vs hot path {glue_hotpath * 1e6:.1f} us (budget {GLUE_BUDGET_US} us)"
     )
     reporting.record(
         "serving_glue_breakdown",
@@ -107,9 +186,26 @@ def test_glue_breakdown_records_per_stage_times():
         assemble_stack_us=t_stack * 1e6,
         assemble_staged_us=t_stage * 1e6,
         transport_pipe_us=t_pipe * 1e6,
-        transport_ring_us=t_ring * 1e6,
-        compute_ms=t_compute * 1e3,
+        transport_ring_two_hop_us=t_ring_two_hop * 1e6,
+        transport_ring_direct_us=t_ring_direct * 1e6,
+        compute_cold_ms=t_compute_cold * 1e3,
+        compute_cache_hit_ms=t_compute_hit * 1e3,
         disassemble_us=t_disassemble * 1e6,
+        disassemble_staged_us=t_response_staged * 1e6,
+        suffix_unfused_us=t_suffix_unfused * 1e6,
+        suffix_fused_us=t_suffix_fused * 1e6,
+        glue_legacy_us=glue_legacy * 1e6,
+        glue_ring_us=glue_ring * 1e6,
+        glue_hotpath_us=glue_hotpath * 1e6,
+        glue_budget_us=GLUE_BUDGET_US,
         glue_speedup_ring_vs_legacy=glue_legacy / glue_ring,
+        glue_speedup_hotpath_vs_legacy=glue_legacy / glue_hotpath,
     )
     assert stager.stage(payloads) is not None  # staging actually engaged
+    # the strict glue gate (ISSUE 9): the hot path fits the per-batch budget
+    assert glue_hotpath * 1e6 <= GLUE_BUDGET_US, (
+        f"hot-path glue {glue_hotpath * 1e6:.1f} us exceeds the "
+        f"{GLUE_BUDGET_US} us per-batch budget"
+    )
+    # and the cache-hit path must actually be cheaper than a cold forward
+    assert t_compute_hit < t_compute_cold

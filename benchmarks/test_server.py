@@ -80,6 +80,43 @@ def _drive(process: str, **gen_kwargs):
     return asyncio.run(main())
 
 
+def test_open_loop_keep_alive_before_after():
+    """Connection churn vs reuse on the same Poisson schedule.
+
+    The before/after the ISSUE-9 keep-alive satellite asks for: the same
+    seeded arrivals driven once with a fresh dial per request (the old
+    behaviour) and once with the pooled default.  The gate is on
+    *connections*, not rate — at 40 req/s a loopback handshake is cheap
+    enough that the rates tie; what reuse buys at this scale is dialling
+    a handful of sockets instead of one per request.
+    """
+    before, _ = _drive("poisson", keep_alive=False)
+    after, _ = _drive("poisson")
+    print(
+        f"\nopen_loop_keep_alive: before (per-request conns) "
+        f"{before.achieved_rate:.1f} req/s over {before.connections_opened} "
+        f"connections; after (keep-alive) {after.achieved_rate:.1f} req/s "
+        f"over {after.connections_opened} connections"
+    )
+    reporting.record(
+        "open_loop_keep_alive",
+        offered_rate_rps=RATE,
+        achieved_rate_before_rps=before.achieved_rate,
+        achieved_rate_after_rps=after.achieved_rate,
+        connections_before=before.connections_opened,
+        connections_after=after.connections_opened,
+        latency_p99_before_s=before.latency_p99_s,
+        latency_p99_after_s=after.latency_p99_s,
+    )
+    for report in (before, after):
+        assert report.failed == 0, f"open-loop requests failed: {report.errors}"
+        assert report.ok + report.dropped == report.scheduled
+        assert report.ok > 0
+    assert before.connections_opened == before.sent + 1  # one dial per request
+    assert after.connections_opened < before.connections_opened
+    assert after.connections_opened <= after.ok
+
+
 def _check_and_record(section: str, report, stats) -> None:
     print(
         f"\n{section}: offered {report.offered_rate:.1f} req/s, "

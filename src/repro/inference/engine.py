@@ -26,8 +26,9 @@ batch is already cached.  The request/response serving layer in
 from __future__ import annotations
 
 import asyncio
+import hashlib
 import math
-import weakref
+from collections import OrderedDict
 from concurrent.futures import Executor
 from typing import TYPE_CHECKING, AsyncIterable, AsyncIterator, Iterable, Iterator
 
@@ -49,49 +50,90 @@ __all__ = ["NetworkEngine", "InferenceEngine"]
 
 
 class _ActivationCache:
-    """Small identity-keyed memo of activations for repeated inputs.
+    """Content-keyed LRU memo of activations for repeated inputs.
 
-    Keys are ``weakref``s to the input arrays, so entries die with their
-    inputs and an ``id()`` recycled by the allocator can never produce a
-    false hit.  Every entry additionally records a *weights-version token*
-    (see :attr:`Network.weights_version`, derived from the per-parameter
-    mutation counters): entries stored under an older token are treated as
-    misses, so optimizer steps, ``Parameter.assign``, ``set_weights`` and
-    post-training quantization all invalidate the cache without having to
-    know about it.  Only a raw ``param.value[...]`` write without a
-    following ``param.bump_version()`` goes unnoticed — such code must call
-    ``engine.invalidate_cache()`` itself; mutating a cached *input* array in
-    place is likewise undetectable.
+    Keys are ``(weights token, shape, dtype, blake2b(bytes))`` — the cheap
+    content digest the ISSUE-9 serving path needs: staged batches and ring
+    views are *fresh array objects* every time, so the historical
+    identity-keyed cache could never hit under serving.  Content keying
+    gives replicas hot-path hits for repeated inputs regardless of which
+    buffer the bytes arrive in, and makes in-place mutation of a cached
+    *input* safe by construction (the digest changes with the bytes).
+
+    Every key embeds a *weights-version token* (see
+    :attr:`Network.weights_version`, derived from the per-parameter
+    mutation counters): entries stored under an older token are pruned on
+    the next store, so optimizer steps, ``Parameter.assign``,
+    ``set_weights`` and post-training quantization all invalidate the
+    cache without having to know about it.  Only a raw
+    ``param.value[...]`` write without a following ``param.bump_version()``
+    goes unnoticed — such code must call ``engine.invalidate_cache()``
+    itself.  Non-C-contiguous inputs bypass the cache (hashing them would
+    need a materialising copy); ``hits``/``misses`` count every lookup and
+    feed ``ServingStats``.
     """
 
     def __init__(self, maxsize: int) -> None:
         self.maxsize = int(maxsize)
-        self._entries: list[tuple[weakref.ref, object, object]] = []
+        self._entries: OrderedDict[tuple, object] = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+        # the key of the last get() miss, so the put() that follows a cold
+        # lookup does not hash the same bytes twice (id() is stable here:
+        # the caller holds x alive between its get and put)
+        self._miss_key: tuple | None = None
+
+    @staticmethod
+    def _key(x: np.ndarray, token: object) -> tuple | None:
+        if not x.flags.c_contiguous:
+            return None
+        digest = hashlib.blake2b(x, digest_size=16).digest()
+        return (token, x.shape, x.dtype.str, digest)
 
     def get(self, x: np.ndarray, token: object):
-        for ref, entry_token, value in self._entries:
-            if ref() is x and entry_token == token:
-                return value
-        return None
+        if self.maxsize <= 0:
+            return None
+        key = self._key(x, token)
+        if key is None:
+            self.misses += 1
+            return None
+        value = self._entries.get(key)
+        if value is None:
+            self.misses += 1
+            self._miss_key = (id(x), token, key)
+            return None
+        self._entries.move_to_end(key)
+        self.hits += 1
+        return value
 
     def put(self, x: np.ndarray, token: object, value: object) -> None:
         if self.maxsize <= 0:
             return
-        self._entries = [
-            (r, t, v) for r, t, v in self._entries if r() is not None and t == token
-        ]
-        self._entries.append((weakref.ref(x), token, value))
-        if len(self._entries) > self.maxsize:
-            del self._entries[: len(self._entries) - self.maxsize]
+        miss_key, self._miss_key = self._miss_key, None
+        if miss_key is not None and miss_key[0] == id(x) and miss_key[1] == token:
+            key = miss_key[2]
+        else:
+            key = self._key(x, token)
+        if key is None:
+            return
+        # a weights bump invalidates everything stored under older tokens
+        stale = [k for k in self._entries if k[0] != token]
+        for k in stale:
+            del self._entries[k]
+        self._entries[key] = value
+        self._entries.move_to_end(key)
+        while len(self._entries) > self.maxsize:
+            self._entries.popitem(last=False)
 
     def clear(self) -> None:
-        self._entries = []
+        self._entries.clear()
+        self._miss_key = None
 
 
 def _engine_getstate(engine) -> dict:
     """Shared pickling rule of both engines: per-process state stays home.
 
-    The private :class:`ForwardContext` and the weak-keyed activation cache
+    The private :class:`ForwardContext` and the content-keyed activation cache
     are process-local by design; what crosses the boundary is the model
     (pickle-light when its parameters are shared-memory backed — see
     :class:`repro.nn.shm.SharedParameterArena`) plus the engine's
@@ -192,6 +234,10 @@ class NetworkEngine:
 
     def invalidate_cache(self) -> None:
         self._cache.clear()
+
+    def cache_stats(self) -> tuple[int, int]:
+        """``(hits, misses)`` of the content-keyed activation cache so far."""
+        return self._cache.hits, self._cache.misses
 
     def weights_token(self) -> int:
         """Current weights-version token the activation cache is keyed on."""
@@ -371,6 +417,10 @@ class InferenceEngine:
         """Drop cached backbone activations (call after mutating weights)."""
         self._cache.clear()
 
+    def cache_stats(self) -> tuple[int, int]:
+        """``(hits, misses)`` of the content-keyed activation cache so far."""
+        return self._cache.hits, self._cache.misses
+
     def weights_token(self) -> int:
         """Current weights-version token the activation cache is keyed on."""
         return self.model.backbone.weights_version
@@ -539,8 +589,10 @@ class InferenceEngine:
         mostly-easy batch never pays for the deep exits.
 
         When the batch's backbone activations are already memoised (a prior
-        :meth:`predict_mc` / :meth:`backbone_activations` call on the *same*
-        array under the current weights), the backbone is not re-run at all:
+        :meth:`predict_mc` / :meth:`backbone_activations` call on a batch
+        with *identical bytes* under the current weights — the cache is
+        content-keyed, so staged buffers and ring views hit like the
+        original array), the backbone is not re-run at all:
         each exit reads the still-active rows straight out of the cached
         per-segment activations.  Cache hits may differ from the cold path
         by a few ULPs (GEMMs over a row subset are not bit-stable against

@@ -32,6 +32,13 @@ refactor is observationally invisible.  Three facts make that possible:
   and :class:`ResidualBlock` by folding each constituent convolution the
   same way.  Any remaining parameterised layer (custom layers) falls back
   to a per-slice loop.
+* An :class:`MCDropout` directly feeding a :class:`Dense` runs as a **fused
+  stochastic-suffix kernel**: the scaled keep-mask is drawn once (same RNG
+  consumption as the standalone layer) and folded into the GEMM operand one
+  sample block at a time, so the masked ``(S·N, F)`` intermediate is never
+  materialised.  Every element still sees the identical multiply and the
+  identical per-sample GEMM shape, so the fusion stays inside the bit-
+  exactness contract (see :meth:`~repro.nn.layers.dense.Dense.forward_folded`).
 
 Passing ``exact=False`` trades the guarantee for speed: every layer then runs
 directly on the flat ``(S·N, …)`` fold (results still agree to within a few
@@ -109,12 +116,7 @@ def unfold_samples(y: np.ndarray, num_samples: int) -> np.ndarray:
 
 def _dense_folded(layer: Dense, x: np.ndarray, num_samples: int) -> np.ndarray:
     """Evaluate a Dense layer on the fold as a stacked per-sample GEMM."""
-    n = x.shape[0] // num_samples
-    stacked = x.reshape(num_samples, n, x.shape[1])
-    out = np.matmul(stacked, layer.weight.value)
-    if layer.use_bias:
-        out = out + layer.bias.value
-    return out.reshape(num_samples * n, layer.units)
+    return layer.forward_folded(x, num_samples)
 
 
 def _sliced_forward(
@@ -161,16 +163,37 @@ def folded_forward_range(
             f"num_samples={num_samples}"
         )
     ctx = resolve_context(ctx)
+    layers = network.layers
     out = x
-    for layer in network.layers[start:stop]:
+    i = start
+    while i < stop:
+        layer = layers[i]
+        # Fused stochastic suffix: an MCDropout feeding a Dense folds its
+        # scaled mask straight into the GEMM operand — the (S·N, F) masked
+        # intermediate is never materialised.  The mask draw and every
+        # arithmetic step match the unfused pair bit for bit (see
+        # Dense.forward_folded), so the fusion is observationally invisible.
+        if (
+            exact
+            and isinstance(layer, MCDropout)
+            and layer.rate > 0.0
+            and i + 1 < stop
+            and isinstance(layers[i + 1], Dense)
+            and out.ndim == 2
+        ):
+            scaled = layer.folded_scaled_mask(out, ctx)
+            out = layers[i + 1].forward_folded(out, num_samples, scaled_mask=scaled)
+            i += 2
+            continue
         if not exact or isinstance(layer, ROWWISE_LAYERS):
             out = layer.forward(out, training=False, ctx=ctx)
         elif isinstance(layer, Dense):
-            out = _dense_folded(layer, out, num_samples)
+            out = layer.forward_folded(out, num_samples)
         elif isinstance(layer, Conv2D):
             out = layer.forward_folded(out, num_samples)
         elif isinstance(layer, ResidualBlock):
             out = layer.forward_folded(out, num_samples, ctx=ctx)
         else:
             out = _sliced_forward(layer, out, num_samples, ctx)
+        i += 1
     return out

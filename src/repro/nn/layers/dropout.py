@@ -104,6 +104,42 @@ class _DropoutBase(Layer):
         ctx.save(self, scaled)
         return x * scaled
 
+    def folded_scaled_mask(self, x: np.ndarray, ctx: ForwardContext) -> np.ndarray | None:
+        """Draw the scaled keep-mask for ``x`` without applying it.
+
+        The fused stochastic-suffix kernel (see
+        :func:`repro.inference.folding.folded_forward_range`) folds the mask
+        into the following GEMM's operand instead of materialising
+        ``x * scaled`` as a separate full-width pass.  The draw consumes the
+        layer's RNG stream exactly like :meth:`_apply` — one ``rng.random``
+        call of the same shape — but skips two of its full-width
+        temporaries: the uniform draw is scaled *in place*, and the scalar
+        division is replaced by a multiply with the reciprocal.  Both are
+        bit-exact because the mask holds only 0.0 and 1.0:
+        ``0.0 * inv == 0.0 / keep`` and ``1.0 * inv == inv == 1.0 / keep``
+        (``inv = 1.0 / keep_prob`` is itself the correctly-rounded quotient).
+        The mask is saved in ``ctx`` exactly as :meth:`_apply` would.
+
+        Returns ``None`` when ``rate == 0`` (identity layer: nothing to
+        fold, and no stream is consumed — matching :meth:`_apply`).
+        """
+        if self.rate == 0.0:
+            ctx.save(self, np.ones((1,) * x.ndim, dtype=x.dtype))
+            return None
+        rng = ctx.rng(self)
+        if self.filter_wise and x.ndim == 4:
+            shape: tuple[int, ...] = (x.shape[0], x.shape[1], 1, 1)
+        else:
+            shape = x.shape
+        if x.dtype == np.float64:
+            u = rng.random(shape)
+            scaled = np.multiply(u < self.keep_prob, 1.0 / self.keep_prob, out=u)
+        else:
+            scaled = self._sample_mask(x, rng)
+            np.divide(scaled, self.keep_prob, out=scaled)
+        ctx.save(self, scaled)
+        return scaled
+
     def backward(
         self, grad_output: np.ndarray, ctx: ForwardContext | None = None
     ) -> np.ndarray:

@@ -78,6 +78,7 @@ __all__ = [
     "ServingStats",
     "LoadGenerator",
     "LoadReport",
+    "load_trace",
     "ThreadWorkerPool",
     "ProcessWorkerPool",
     "WorkerCrashed",
@@ -98,6 +99,7 @@ _LAZY_EXPORTS = {
     "ServingServer": ".server",
     "LoadGenerator": ".loadgen",
     "LoadReport": ".loadgen",
+    "load_trace": ".loadgen",
 }
 
 

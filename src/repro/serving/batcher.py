@@ -68,7 +68,25 @@ __all__ = [
     "BatcherStats",
     "ServerOverloaded",
     "DeadlineExceeded",
+    "payloads_conform",
 ]
+
+
+def payloads_conform(
+    payloads: Sequence[Any], example_shape: tuple[int, ...]
+) -> bool:
+    """Whether every payload is a float64 array of exactly ``example_shape``.
+
+    The conformance test shared by every staged transport — the pinned
+    :class:`BatchStager` buffers, the process backend's ring slots and its
+    pipe-side staging fallback.  Anything non-conforming takes the
+    allocating ``np.stack`` path instead; the answer is identical either
+    way.
+    """
+    return all(
+        isinstance(p, np.ndarray) and p.shape == example_shape and p.dtype == np.float64
+        for p in payloads
+    )
 
 
 class ServerOverloaded(RuntimeError):
@@ -134,12 +152,13 @@ class BatchStager:
     assembles each batch by writing request rows into its head — the
     only per-batch cost is the row copies that ``np.stack`` also paid.
 
-    :meth:`stage` returns a *fresh view object* over the buffer head each
-    call: downstream activation caches key on array identity, so a reused
-    buffer must never resurface as the same Python object.  The returned
-    view has exactly the layout ``np.stack`` would produce (C-contiguous,
-    same shape/strides), which keeps staged and stacked batches
-    bit-identical through BLAS.
+    :meth:`stage` returns a view over the buffer head whose layout is
+    exactly what ``np.stack`` would produce (C-contiguous, same
+    shape/strides), which keeps staged and stacked batches bit-identical
+    through BLAS.  Downstream activation caches are content-keyed, so a
+    staged buffer is indistinguishable from a fresh stack to them: same
+    bytes, same key — repeated inputs hit the cache even though the buffer
+    object is reused.
 
     One stager per worker replica — the view is invalidated by the next
     ``stage`` call on the same stager, so a replica must be done with a
@@ -165,13 +184,8 @@ class BatchStager:
         n = len(payloads)
         if not 0 < n <= self._buffer.shape[0]:
             return None
-        for payload in payloads:
-            if (
-                not isinstance(payload, np.ndarray)
-                or payload.shape != self.example_shape
-                or payload.dtype != np.float64
-            ):
-                return None
+        if not payloads_conform(payloads, self.example_shape):
+            return None
         batch = self._buffer[:n]
         for i, payload in enumerate(payloads):
             batch[i] = payload

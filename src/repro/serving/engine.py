@@ -111,6 +111,12 @@ class ServingStats:
         replaced by the supervisor, completed grow/shrink transitions,
         replicas currently able to take a batch, and the shared-arena
         generation (bumped once per zero-downtime model swap).
+    cache_hits / cache_misses:
+        Content-keyed activation-cache traffic summed over every replica
+        the pool has owned (thread replicas report directly, process
+        workers piggyback deltas on each batch acknowledgement).  A hit
+        means a batch's bytes were served before under the current
+        weights and the deterministic forward prefix was skipped.
     """
 
     requests_completed: int
@@ -148,6 +154,11 @@ class ServingStats:
     alive_workers: int = 0
     #: shared-arena generation; +1 per zero-downtime ``swap_model``
     arena_generation: int = 0
+    #: content-keyed activation-cache traffic summed over every replica the
+    #: pool has owned: a hit skips the deterministic forward prefix for a
+    #: batch whose bytes were served before under the current weights
+    cache_hits: int = 0
+    cache_misses: int = 0
 
     def to_dict(self) -> dict:
         """JSON-ready plain-dict form — the ``GET /v1/stats`` wire payload."""
@@ -595,6 +606,8 @@ class ServingEngine:
             current_workers=self._pool.current_workers,
             alive_workers=self._pool.alive_workers,
             arena_generation=self._pool.generation,
+            cache_hits=self._pool.cache_hits,
+            cache_misses=self._pool.cache_misses,
         )
 
     @property

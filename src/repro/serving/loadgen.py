@@ -27,6 +27,18 @@ loop).  Every completed request records its end-to-end latency; the
 :class:`LoadReport` summarises offered vs achieved rate and the
 p50/p95/p99 tail, in the style of huggingbench's ``ExperimentRunner``.
 
+Connections are **keep-alive by default**: idle sockets return to a pool
+and the next arrival reuses one, so the harness pays the TCP handshake
+per *concurrency slot* rather than per request and can offer rates near
+the engine's in-process throughput.  ``keep_alive=False`` restores the
+old connection-per-request behaviour; either way the report counts
+``connections_opened`` so the before/after is visible in the numbers.
+
+A run's arrival schedule is replayable: :meth:`LoadReport.save_trace`
+persists the offsets to JSON and :func:`load_trace` feeds them back as a
+``"trace"`` schedule — capture against one build, replay bit-for-bit
+against the next (``--trace-out`` / ``--trace-in`` on the CLI).
+
 ``python -m repro.serving.loadgen`` is the CLI twin of
 ``python -m repro.serving.server`` (the ``make loadgen`` target).
 """
@@ -37,11 +49,12 @@ import asyncio
 import json
 import math
 from dataclasses import dataclass, field
+from pathlib import Path
 from typing import Any, Sequence
 
 import numpy as np
 
-__all__ = ["LoadGenerator", "LoadReport"]
+__all__ = ["LoadGenerator", "LoadReport", "load_trace"]
 
 ARRIVAL_PROCESSES = ("poisson", "burst", "trace")
 
@@ -112,6 +125,10 @@ class LoadReport:
     latency_p50_s: float = float("nan")
     latency_p95_s: float = float("nan")
     latency_p99_s: float = float("nan")
+    keep_alive: bool = True  #: whether connections were pooled and reused
+    connections_opened: int = 0  #: TCP connections dialled over the run
+    #: the arrival offsets that were fired, for :meth:`save_trace`
+    schedule: list[float] = field(default_factory=list, repr=False)
 
     @property
     def failed(self) -> int:
@@ -134,7 +151,38 @@ class LoadReport:
             "latency_p50_s": self.latency_p50_s,
             "latency_p95_s": self.latency_p95_s,
             "latency_p99_s": self.latency_p99_s,
+            "keep_alive": self.keep_alive,
+            "connections_opened": self.connections_opened,
         }
+
+    def save_trace(self, path: str | Path) -> Path:
+        """Persist this run's arrival schedule for later replay.
+
+        The file is JSON — ``{"process", "offered_rate", "schedule"}`` —
+        and :func:`load_trace` turns it back into the offsets a
+        ``process="trace"`` generator replays bit-for-bit against a new
+        build (the ``--trace-out`` / ``--trace-in`` CLI round trip).
+        """
+        path = Path(path)
+        path.write_text(
+            json.dumps(
+                {
+                    "process": self.process,
+                    "offered_rate": self.offered_rate,
+                    "schedule": list(self.schedule),
+                }
+            )
+        )
+        return path
+
+
+def load_trace(path: str | Path) -> list[float]:
+    """Arrival offsets from a :meth:`LoadReport.save_trace` file."""
+    data = json.loads(Path(path).read_text())
+    schedule = data.get("schedule")
+    if not isinstance(schedule, list):
+        raise ValueError(f"{path} is not a saved trace (no schedule list)")
+    return [float(t) for t in schedule]
 
 
 class LoadGenerator:
@@ -157,6 +205,10 @@ class LoadGenerator:
         In-flight budget.  An arrival that fires while the budget is
         exhausted is dropped and counted (open-loop semantics), never
         queued client-side.
+    keep_alive:
+        Pool and reuse connections (default).  ``False`` dials a fresh
+        TCP connection per request — the pre-reuse behaviour, kept so
+        the harness can measure what connection churn costs.
     deadline_ms:
         Optional per-request latency budget forwarded to the server.
     examples:
@@ -177,6 +229,7 @@ class LoadGenerator:
         schedule: Sequence[float] | None = None,
         burst_size: int = 8,
         max_outstanding: int = 64,
+        keep_alive: bool = True,
         deadline_ms: float | None = None,
         examples: np.ndarray | None = None,
         request_timeout: float = 30.0,
@@ -210,6 +263,7 @@ class LoadGenerator:
         self.seed = int(seed)
         self.schedule = offsets
         self.max_outstanding = int(max_outstanding)
+        self.keep_alive = bool(keep_alive)
         self.deadline_ms = deadline_ms
         self.examples = examples
         self.request_timeout = float(request_timeout)
@@ -217,42 +271,111 @@ class LoadGenerator:
         self.offered_rate = len(offsets) / span if span > 0 else float(len(offsets))
         #: per-request end-to-end latencies of OK responses (seconds)
         self.latencies: list[float] = []
+        #: TCP connections dialled (pool misses included)
+        self.connections_opened = 0
+        # idle keep-alive connections; at most one per concurrency slot
+        self._idle: list[tuple[asyncio.StreamReader, asyncio.StreamWriter]] = []
 
     # ------------------------------------------------------------------ #
-    # one raw HTTP exchange (stdlib only, one connection per request)
+    # one raw HTTP exchange (stdlib only, pooled keep-alive connections)
     # ------------------------------------------------------------------ #
+    async def _open(self) -> tuple[asyncio.StreamReader, asyncio.StreamWriter]:
+        self.connections_opened += 1
+        return await asyncio.open_connection(self.host, self.port)
+
+    @staticmethod
+    async def _close(writer: asyncio.StreamWriter) -> None:
+        writer.close()
+        try:
+            await writer.wait_closed()
+        except (ConnectionResetError, BrokenPipeError, OSError):
+            pass
+
+    async def _close_idle(self) -> None:
+        """Drop every pooled connection (end of run)."""
+        idle, self._idle = self._idle, []
+        for _, writer in idle:
+            await self._close(writer)
+
+    async def _exchange(
+        self,
+        reader: asyncio.StreamReader,
+        writer: asyncio.StreamWriter,
+        method: str,
+        path: str,
+        payload: dict | None,
+    ) -> tuple[int, dict, bool]:
+        """One request/response on an open connection.
+
+        Returns ``(status, body, reusable)`` — ``reusable`` is False when
+        either side asked to close, so the caller knows whether the
+        connection may go back to the pool.
+        """
+        body = b"" if payload is None else json.dumps(payload).encode()
+        connection = "keep-alive" if self.keep_alive else "close"
+        head = (
+            f"{method} {path} HTTP/1.1\r\n"
+            f"Host: {self.host}:{self.port}\r\n"
+            f"Content-Length: {len(body)}\r\n"
+            f"Connection: {connection}\r\n\r\n"
+        )
+        writer.write(head.encode("latin-1") + body)
+        await writer.drain()
+        status_line = await reader.readline()
+        if not status_line:
+            raise ConnectionResetError("server closed the connection")
+        status = int(status_line.split()[1])
+        content_length = 0
+        server_close = not self.keep_alive
+        while True:
+            line = await reader.readline()
+            if line in (b"\r\n", b"\n", b""):
+                break
+            name, _, value = line.decode("latin-1").partition(":")
+            name = name.strip().lower()
+            if name == "content-length":
+                content_length = int(value)
+            elif name == "connection" and value.strip().lower() == "close":
+                server_close = True
+        raw = await reader.readexactly(content_length)
+        return status, json.loads(raw) if raw else {}, not server_close
+
     async def _request(
         self, method: str, path: str, payload: dict | None = None
     ) -> tuple[int, dict]:
-        reader, writer = await asyncio.open_connection(self.host, self.port)
+        pooled = bool(self._idle) and self.keep_alive
+        reader, writer = self._idle.pop() if pooled else await self._open()
         try:
-            body = b"" if payload is None else json.dumps(payload).encode()
-            head = (
-                f"{method} {path} HTTP/1.1\r\n"
-                f"Host: {self.host}:{self.port}\r\n"
-                f"Content-Length: {len(body)}\r\n"
-                f"Connection: close\r\n\r\n"
+            status, body, reusable = await self._exchange(
+                reader, writer, method, path, payload
             )
-            writer.write(head.encode("latin-1") + body)
-            await writer.drain()
-            status_line = await reader.readline()
-            status = int(status_line.split()[1])
-            content_length = 0
-            while True:
-                line = await reader.readline()
-                if line in (b"\r\n", b"\n", b""):
-                    break
-                name, _, value = line.decode("latin-1").partition(":")
-                if name.strip().lower() == "content-length":
-                    content_length = int(value)
-            raw = await reader.readexactly(content_length)
-            return status, json.loads(raw) if raw else {}
-        finally:
-            writer.close()
+        except (
+            ConnectionResetError,
+            BrokenPipeError,
+            asyncio.IncompleteReadError,
+        ):
+            await self._close(writer)
+            if not pooled:
+                raise
+            # a pooled connection can go stale between requests (the server
+            # closed it while idle); one retry on a fresh dial is safe
+            # because nothing of the request was processed
+            reader, writer = await self._open()
             try:
-                await writer.wait_closed()
-            except (ConnectionResetError, BrokenPipeError, OSError):
-                pass
+                status, body, reusable = await self._exchange(
+                    reader, writer, method, path, payload
+                )
+            except BaseException:
+                await self._close(writer)
+                raise
+        except BaseException:
+            await self._close(writer)
+            raise
+        if reusable and self.keep_alive:
+            self._idle.append((reader, writer))
+        else:
+            await self._close(writer)
+        return status, body
 
     async def _resolve_examples(self) -> np.ndarray:
         if self.examples is not None:
@@ -320,6 +443,7 @@ class LoadGenerator:
         if tasks:
             await asyncio.gather(*tasks)
         wall = loop.time() - start
+        await self._close_idle()
 
         lat = sorted(self.latencies)
         return LoadReport(
@@ -336,6 +460,9 @@ class LoadGenerator:
             latency_p50_s=_percentile(lat, 50),
             latency_p95_s=_percentile(lat, 95),
             latency_p99_s=_percentile(lat, 99),
+            keep_alive=self.keep_alive,
+            connections_opened=self.connections_opened,
+            schedule=list(self.schedule),
         )
 
 
@@ -361,30 +488,57 @@ def _build_parser():
     parser.add_argument("--deadline-ms", type=float, default=None)
     parser.add_argument("--max-outstanding", type=int, default=64)
     parser.add_argument(
+        "--no-keep-alive",
+        action="store_true",
+        help="dial a fresh connection per request (the pre-reuse behaviour)",
+    )
+    parser.add_argument(
+        "--trace-out",
+        default=None,
+        metavar="PATH",
+        help="save this run's arrival schedule for replay with --trace-in",
+    )
+    parser.add_argument(
+        "--trace-in",
+        default=None,
+        metavar="PATH",
+        help="replay a saved schedule (overrides --process/--rate/--duration)",
+    )
+    parser.add_argument(
         "--json", action="store_true", help="print the raw LoadReport dict"
     )
     return parser
 
 
 async def _main(args) -> None:
+    if args.trace_in is not None:
+        process, schedule = "trace", load_trace(args.trace_in)
+    else:
+        process, schedule = args.process, None
     gen = LoadGenerator(
         args.host,
         args.port,
         rate=args.rate,
         duration=args.duration,
-        process=args.process,
+        process=process,
+        schedule=schedule,
         burst_size=args.burst_size,
         seed=args.seed,
         deadline_ms=args.deadline_ms,
         max_outstanding=args.max_outstanding,
+        keep_alive=not args.no_keep_alive,
     )
     report = await gen.run()
+    if args.trace_out is not None:
+        report.save_trace(args.trace_out)
     if args.json:
         print(json.dumps(report.to_dict(), indent=2))
         return
     print(
         f"{report.process} arrivals: offered {report.offered_rate:.1f} req/s, "
-        f"achieved {report.achieved_rate:.1f} req/s over {report.duration_s:.2f}s"
+        f"achieved {report.achieved_rate:.1f} req/s over {report.duration_s:.2f}s "
+        f"({report.connections_opened} connections, "
+        f"keep-alive {'on' if report.keep_alive else 'off'})"
     )
     print(
         f"{report.ok} ok / {report.failed} failed / {report.dropped} dropped "

@@ -33,6 +33,7 @@ from ...inference.engine import InferenceEngine, NetworkEngine
 from ...nn.context import ForwardContext
 from ...nn.layers.base import Parameter
 from ...uncertainty.metrics import (
+    _EPS,
     UncertaintyResult,
     mc_uncertainty_results,
     predictive_entropy,
@@ -40,6 +41,7 @@ from ...uncertainty.metrics import (
 
 __all__ = [
     "BatchOutput",
+    "ResponseStager",
     "WorkerCrashed",
     "WorkerPool",
     "assemble_results",
@@ -140,9 +142,116 @@ def compute_batch_array(
     return BatchOutput(sample_probs=pred.sample_probs)
 
 
-def assemble_results(out: BatchOutput) -> list[UncertaintyResult]:
-    """Split a batch's raw arrays into one ``UncertaintyResult`` per request."""
+class ResponseStager:
+    """Pre-pinned scratch for MC response assembly, one per replica.
+
+    :func:`~repro.uncertainty.metrics.mc_uncertainty_results` allocates a
+    stack of full-width temporaries per batch — clip/log/product arrays at
+    both ``(N, C)`` and ``(S, N, C)`` plus the reduction vectors — mirroring
+    the request-side allocations the :class:`~repro.serving.batcher
+    .BatchStager` already eliminated.  A response stager owns those
+    temporaries once, sized for the pool's batch geometry, and re-runs the
+    identical arithmetic in-place on its buffers.
+
+    **What is deliberately *not* pinned:** ``mean_probs``.  Each
+    :class:`UncertaintyResult` carries a row *view* of it, owned by the
+    caller for the response's whole lifetime, so the mean must be a fresh
+    array per batch — pinning it would let the next batch overwrite
+    responses already delivered.
+
+    Bit-exactness: every in-place step runs the same ufunc on the same
+    values as the allocating path (``clip``/``log``/``multiply``/``sum``/
+    ``mean`` with ``out=`` change memory placement, never bits), the mean
+    is reused instead of recomputed (NumPy's pairwise mean is
+    deterministic, so the recompute is bit-identical anyway), and sliced
+    scratch views only change outer strides, which reductions over the
+    last axis never see.  :meth:`assemble` returns ``None`` for anything
+    that does not fit its geometry — the caller falls back to the
+    allocating path, so staging is an optimisation, never a constraint.
+    """
+
+    def __init__(self, max_batch_size: int, num_samples: int, num_classes: int) -> None:
+        if max_batch_size <= 0 or num_samples <= 0 or num_classes <= 0:
+            raise ValueError("response-stager geometry must be positive")
+        self.max_batch_size = int(max_batch_size)
+        self.num_samples = int(num_samples)
+        self.num_classes = int(num_classes)
+        shape3 = (self.num_samples, self.max_batch_size, self.num_classes)
+        shape2 = shape3[1:]
+        self._clip3 = np.empty(shape3)
+        self._log3 = np.empty(shape3)
+        self._clip2 = np.empty(shape2)
+        self._log2 = np.empty(shape2)
+        self._sample_ent = np.empty(shape3[:2])
+        self._entropy = np.empty(self.max_batch_size)
+        self._expected = np.empty(self.max_batch_size)
+
+    def assemble(self, sample_probs: np.ndarray) -> list[UncertaintyResult] | None:
+        """Per-example results from ``(S, N, C)`` MC samples; ``None`` = no fit."""
+        if (
+            sample_probs.ndim != 3
+            or sample_probs.dtype != np.float64
+            or sample_probs.shape[0] != self.num_samples
+            or sample_probs.shape[1] > self.max_batch_size
+            or sample_probs.shape[2] != self.num_classes
+        ):
+            return None
+        n = sample_probs.shape[1]
+        # fresh per batch: result rows are views of it (see class docstring)
+        mean_probs = sample_probs.mean(axis=0)
+
+        # predictive entropy of the mean, computed once and reused for the
+        # mutual information (the legacy path recomputes it bit-identically)
+        c2, l2 = self._clip2[:n], self._log2[:n]
+        np.clip(mean_probs, _EPS, 1.0, out=c2)
+        np.log(c2, out=l2)
+        np.multiply(c2, l2, out=c2)
+        entropy = np.sum(c2, axis=-1, out=self._entropy[:n])
+        np.negative(entropy, out=entropy)
+
+        # expected per-sample entropy, then MI = H[mean] - E[H].  The
+        # legacy path negates per-sample entropies before the mean; here
+        # the mean is taken first and negated on the contiguous (n,)
+        # result — bit-identical, since IEEE negation is exact and
+        # commutes with every partial sum and the final division.
+        c3, l3 = self._clip3[:, :n], self._log3[:, :n]
+        np.clip(sample_probs, _EPS, 1.0, out=c3)
+        np.log(c3, out=l3)
+        np.multiply(c3, l3, out=c3)
+        sample_ent = np.sum(c3, axis=-1, out=self._sample_ent[:, :n])
+        expected = np.mean(sample_ent, axis=0, out=self._expected[:n])
+        np.negative(expected, out=expected)
+        mi = entropy - expected
+
+        labels = mean_probs.argmax(axis=1)
+        confidence = mean_probs.max(axis=1)
+        return [
+            UncertaintyResult(
+                probs=mean_probs[i],
+                label=int(labels[i]),
+                confidence=float(confidence[i]),
+                entropy=float(entropy[i]),
+                mutual_information=float(mi[i]),
+                num_samples=self.num_samples,
+            )
+            for i in range(n)
+        ]
+
+
+def assemble_results(
+    out: BatchOutput, response_stager: ResponseStager | None = None
+) -> list[UncertaintyResult]:
+    """Split a batch's raw arrays into one ``UncertaintyResult`` per request.
+
+    ``response_stager`` (thread backend) assembles MC results on pre-pinned
+    scratch instead of fresh per-batch temporaries; batches outside its
+    geometry fall back to the allocating path, bit-identically.
+    """
     if out.sample_probs is not None:
+        if response_stager is not None:
+            results = response_stager.assemble(out.sample_probs)
+            if results is not None:
+                return results
         return mc_uncertainty_results(out.sample_probs)
     entropy = predictive_entropy(out.probs)
     return [
@@ -196,6 +305,10 @@ class WorkerPool:
     #: (process backend; the thread backend never crosses a boundary)
     ring_batches: int = 0
     pipe_batches: int = 0
+    #: content-keyed activation-cache hits/misses summed over every replica
+    #: the pool has ever owned (retired and crashed replicas included)
+    cache_hits: int = 0
+    cache_misses: int = 0
 
     def __init__(
         self,

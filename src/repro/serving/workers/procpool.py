@@ -18,8 +18,14 @@ in its **own process**:
   doorbell, and the worker reads the batch as a zero-copy view and writes
   the result arrays into the slot's response region.  Anything that does
   not fit — an oversized payload, exhausted slots, an over-long response —
-  transparently falls back to the legacy pickle pipe
-  (``("predict", seq, token, payloads)`` / ``("ok", out)``), which is also
+  transparently falls back to the pickle pipe.  Even there the batch is
+  pre-assembled when it conforms: a per-handle
+  :class:`~repro.serving.batcher.BatchStager` packs the rows into one
+  pinned buffer and ships a single ``("batch", seq, token, array)`` frame
+  (one pickled array instead of N, and no ``np.stack`` in the worker);
+  only non-conforming payloads take the legacy
+  ``("predict", seq, token, payloads)`` row-list frame.  Both pipe frames
+  answer ``("ok", out, cache_delta)``, and those three frames are also
   the whole protocol under ``transport="pipe"``.  Either way the channel
   carries inputs and probabilities only, never model state.
 * **Staleness:** weight mutations in the parent (optimizer steps,
@@ -79,6 +85,7 @@ import numpy as np
 
 from ...nn.shm import ArenaManifest, SharedParameterArena
 from ...uncertainty.metrics import UncertaintyResult
+from ..batcher import BatchStager, payloads_conform
 from .base import (
     BatchOutput,
     WorkerCrashed,
@@ -133,6 +140,9 @@ def _worker_main(
     arena.refresh()
     ring = BatchRing.attached(ring_manifest) if ring_manifest is not None else None
     seen_token = None
+    # cache counters already reported to the parent; each reply carries the
+    # delta since the previous one, so parent totals survive worker deaths
+    seen_hits = seen_misses = 0
     try:
         conn.send(("ready", os.getpid()))
         while True:
@@ -164,6 +174,17 @@ def _worker_main(
                         config.num_samples,
                         config.early_exit_threshold,
                     )
+                elif kind == "batch":
+                    # pipe fallback, pre-assembled: the parent staged the
+                    # rows into one pinned array before pickling — layout
+                    # identical to np.stack, so bit-identical results
+                    out = compute_batch_array(
+                        engine,
+                        seq,
+                        payload,
+                        config.num_samples,
+                        config.early_exit_threshold,
+                    )
                 else:
                     out = compute_batch(
                         engine,
@@ -175,14 +196,17 @@ def _worker_main(
             except Exception as exc:  # compute failed; the worker lives on
                 conn.send(("error", f"{type(exc).__name__}: {exc}"))
             else:
+                hits, misses = engine.cache_stats()
+                delta = (hits - seen_hits, misses - seen_misses)
+                seen_hits, seen_misses = hits, misses
                 if kind == "ring":
                     mode, arrays = _batch_output_arrays(out)
                     if ring.write_response(payload, arrays):
-                        conn.send(("ok_ring", payload, mode))
+                        conn.send(("ok_ring", payload, mode, delta))
                     else:  # response outgrew the slot: pickle it instead
-                        conn.send(("ok", out))
+                        conn.send(("ok", out, delta))
                 else:
-                    conn.send(("ok", out))
+                    conn.send(("ok", out, delta))
                 if fault == "post_response":
                     # die *after* answering, before the parent recycles the
                     # slot: a silent death only a liveness scan can find
@@ -200,12 +224,24 @@ class _WorkerHandle:
     """Parent-side endpoint of one worker process."""
 
     def __init__(
-        self, index: int, process, conn, ring: BatchRing | None, generation: int = 0
+        self,
+        index: int,
+        process,
+        conn,
+        ring: BatchRing | None,
+        generation: int = 0,
+        stager: BatchStager | None = None,
     ) -> None:
         self.index = index
         self.process = process
         self.conn = conn
         self.ring = ring
+        #: pipe-side staging fallback: when no ring slot is free the batch
+        #: is assembled into this pinned buffer and shipped as one pickled
+        #: array ("batch" frame) instead of a per-row list.  The pickle in
+        #: conn.send copies the bytes before returning, so the buffer is
+        #: free for reuse the moment the frame is on the wire.
+        self.stager = stager
         self.alive = True
         #: which arena generation this worker attached at spawn; retired
         #: (never mutated) by a generation swap
@@ -223,6 +259,10 @@ class _WorkerHandle:
         #: transport breakdown for this worker's batches, summed by the pool
         self.ring_batches = 0
         self.pipe_batches = 0
+        #: activation-cache traffic in the worker process, accumulated from
+        #: the per-reply deltas riding each acknowledgement
+        self.cache_hits = 0
+        self.cache_misses = 0
         self._free_slots = list(range(ring.slots)) if ring is not None else []
         # execute() is called from pool-executor threads; the lock keeps a
         # send/recv exchange atomic per worker even if a cancelled batch's
@@ -233,11 +273,10 @@ class _WorkerHandle:
         """Claim a slot and stage the batch into it; (None, None) = pipe."""
         if self.ring is None or self.ring.closed or not self._free_slots:
             return None, None
+        if not isinstance(payloads[0], np.ndarray):
+            return None, None
         shape = payloads[0].shape
-        if any(
-            not isinstance(p, np.ndarray) or p.shape != shape or p.dtype != np.float64
-            for p in payloads
-        ):
+        if not payloads_conform(payloads, shape):
             return None, None
         slot = self._free_slots.pop()
         dest = self.ring.stage_request(slot, (len(payloads),) + tuple(shape))
@@ -266,7 +305,18 @@ class _WorkerHandle:
                     self.conn.send(("ring", seq, token, slot, fault))
                     self.ring_batches += 1
                 else:
-                    self.conn.send(("predict", seq, token, payloads, fault))
+                    # pipe fallback: still stage when the batch conforms —
+                    # one pinned pre-assembled array pickles as a single
+                    # frame and spares the worker its np.stack
+                    batch = (
+                        self.stager.stage(payloads)
+                        if self.stager is not None
+                        else None
+                    )
+                    if batch is not None:
+                        self.conn.send(("batch", seq, token, batch, fault))
+                    else:
+                        self.conn.send(("predict", seq, token, payloads, fault))
                     self.pipe_batches += 1
                 while not self.conn.poll(_POLL_INTERVAL_S):
                     if not self.process.is_alive():
@@ -280,7 +330,9 @@ class _WorkerHandle:
                     # derives fresh arrays from the view immediately;
                     # early-exit results retain per-row views, so those
                     # arrays are copied out before the slot is recycled
-                    _, rslot, mode = reply
+                    _, rslot, mode, delta = reply
+                    self.cache_hits += delta[0]
+                    self.cache_misses += delta[1]
                     arrays = self.ring.read_response(rslot)
                     if mode == _MODE_MC:
                         out = BatchOutput(sample_probs=arrays[0])
@@ -297,9 +349,11 @@ class _WorkerHandle:
             finally:
                 if slot is not None:
                     self._free_slots.append(slot)
-        status, value = reply
-        if status == "error":
-            raise RuntimeError(f"serving worker {self.index} failed: {value}")
+        if reply[0] == "error":
+            raise RuntimeError(f"serving worker {self.index} failed: {reply[1]}")
+        _, value, delta = reply
+        self.cache_hits += delta[0]
+        self.cache_misses += delta[1]
         return assemble_results(value)
 
     def _release_ring(self) -> None:
@@ -419,6 +473,14 @@ class ProcessWorkerPool(WorkerPool):
     def pipe_batches(self) -> int:  # type: ignore[override]
         return sum(h.pipe_batches for h in self._handles)
 
+    @property
+    def cache_hits(self) -> int:  # type: ignore[override]
+        return sum(h.cache_hits for h in self._handles)
+
+    @property
+    def cache_misses(self) -> int:  # type: ignore[override]
+        return sum(h.cache_misses for h in self._handles)
+
     # ------------------------------------------------------------------ #
     # ring sizing
     # ------------------------------------------------------------------ #
@@ -495,8 +557,13 @@ class ProcessWorkerPool(WorkerPool):
         )
         process.start()
         child_conn.close()
+        stager = (
+            BatchStager(self.max_batch_size, self.input_shape)
+            if self.max_batch_size is not None and self.input_shape is not None
+            else None
+        )
         return _WorkerHandle(
-            index, process, parent_conn, ring, generation=self.generation
+            index, process, parent_conn, ring, generation=self.generation, stager=stager
         )
 
     @staticmethod

@@ -43,6 +43,7 @@ unlinks it on worker reap / pool stop.
 
 from __future__ import annotations
 
+import math
 import weakref
 from dataclasses import dataclass
 from multiprocessing import shared_memory
@@ -103,6 +104,10 @@ class BatchRing:
         self._response_bytes = response_bytes
         self._owner = owner
         self._released = False
+        # header views are at fixed offsets with a fixed dtype, so they are
+        # built once per (slot, region) and reused on every exchange — view
+        # construction was a measurable share of per-batch glue
+        self._headers: dict[tuple[int, bool], np.ndarray] = {}
         self._slot_bytes = (
             _HEADER_BYTES
             + _align(request_bytes)
@@ -179,13 +184,17 @@ class BatchRing:
         return base + _HEADER_BYTES, self._request_bytes
 
     def _header(self, slot: int, response: bool) -> np.ndarray:
-        payload_off, _ = self._region(slot, response)
-        return np.ndarray(
-            (_HEADER_WORDS,),
-            dtype=np.int64,
-            buffer=self._segment.buf,
-            offset=payload_off - _HEADER_BYTES,
-        )
+        header = self._headers.get((slot, response))
+        if header is None:
+            payload_off, _ = self._region(slot, response)
+            header = np.ndarray(
+                (_HEADER_WORDS,),
+                dtype=np.int64,
+                buffer=self._segment.buf,
+                offset=payload_off - _HEADER_BYTES,
+            )
+            self._headers[(slot, response)] = header
+        return header
 
     def _write_region(
         self, slot: int, response: bool, arrays
@@ -209,7 +218,7 @@ class BatchRing:
             code = _DTYPE_CODES.get(dtype)
             if code is None or len(shape) > _MAX_DIMS:
                 return None
-            nbytes = int(np.prod(shape, dtype=np.int64)) * dtype.itemsize
+            nbytes = math.prod(shape) * dtype.itemsize
             if cursor + nbytes > capacity:
                 return None
             views.append(
@@ -232,16 +241,17 @@ class BatchRing:
         array identity, so a recycled slot must never resurface as the
         same Python object.
         """
-        header = self._header(slot, response)
+        # one C-level tolist beats per-word ndarray indexing on this path
+        words = self._header(slot, response).tolist()
         payload_off, _ = self._region(slot, response)
-        narrays = int(header[0])
+        narrays = words[0]
         views: list[np.ndarray] = []
         cursor = 0
         word = 1
         for _ in range(narrays):
-            dtype = _DTYPES[int(header[word])]
-            ndim = int(header[word + 1])
-            shape = tuple(int(d) for d in header[word + 2 : word + 2 + ndim])
+            dtype = _DTYPES[words[word]]
+            ndim = words[word + 1]
+            shape = tuple(words[word + 2 : word + 2 + ndim])
             views.append(
                 np.ndarray(
                     shape,
@@ -250,7 +260,7 @@ class BatchRing:
                     offset=payload_off + cursor,
                 )
             )
-            cursor += _align(int(np.prod(shape, dtype=np.int64)) * dtype.itemsize)
+            cursor += _align(math.prod(shape) * dtype.itemsize)
             word += 2 + _MAX_DIMS
         return views
 
@@ -314,5 +324,6 @@ class BatchRing:
         if self._released:
             return
         self._released = True
+        self._headers.clear()  # drop cached views so close() can unmap
         if self._owner:
             self._finalizer()  # close + unlink, exactly once

@@ -11,8 +11,12 @@ between the GEMMs does not, which is what the process backend
 
 When the serving engine knows the batch geometry, each replica carries a
 :class:`~repro.serving.batcher.BatchStager` — a pre-pinned assembly buffer
-that replaces the per-batch ``np.stack`` allocation.  Staged and stacked
-batches have identical layout, so responses stay bit-identical either way.
+that replaces the per-batch ``np.stack`` allocation — and, for MC sampling,
+a :class:`~repro.serving.workers.base.ResponseStager` that assembles the
+uncertainty results on pre-pinned scratch instead of fresh per-batch
+temporaries.  Staged and stacked batches have identical layout, and staged
+assembly runs the identical arithmetic, so responses stay bit-identical
+either way.
 
 The fleet surface is implemented in-process: threads cannot die, so
 :meth:`~WorkerPool.ensure_healthy` stays the base no-op, but the pool
@@ -29,19 +33,32 @@ import asyncio
 
 from ...uncertainty.metrics import UncertaintyResult
 from ..batcher import BatchStager
-from .base import WorkerPool, assemble_results, compute_batch, compute_batch_array
+from .base import (
+    ResponseStager,
+    WorkerPool,
+    assemble_results,
+    compute_batch,
+    compute_batch_array,
+    engine_num_classes,
+)
 
 __all__ = ["ThreadWorkerPool"]
 
 
 class _Replica:
-    """One engine replica + its staging buffer + its drain-to-retire flag."""
+    """One engine replica + its staging buffers + its drain-to-retire flag."""
 
-    __slots__ = ("engine", "stager", "retiring")
+    __slots__ = ("engine", "stager", "response_stager", "retiring")
 
-    def __init__(self, engine, stager: BatchStager | None) -> None:
+    def __init__(
+        self,
+        engine,
+        stager: BatchStager | None,
+        response_stager: ResponseStager | None = None,
+    ) -> None:
         self.engine = engine
         self.stager = stager
+        self.response_stager = response_stager
         self.retiring = False
 
 
@@ -70,17 +87,56 @@ class ThreadWorkerPool(WorkerPool):
         # the rest share its parameters zero-copy but nothing per-call.
         # One pinned staging buffer per replica; checkout pairs them, so a
         # buffer is never written while its previous batch is in flight.
-        self._replicas = [_Replica(engine, self._make_stager())] + [
-            _Replica(engine.replicate(), self._make_stager())
-            for _ in range(workers - 1)
+        self._replicas = [self._make_replica(engine)] + [
+            self._make_replica(engine.replicate()) for _ in range(workers - 1)
         ]
         self._checkout: asyncio.Queue | None = None
         self._executor = None
+        #: cache traffic of replicas already dropped from the roster
+        #: (retired by a scale-down or an engine swap); live replicas are
+        #: summed on read, so the pool totals survive replica turnover
+        self._retired_cache_hits = 0
+        self._retired_cache_misses = 0
+
+    def _make_replica(self, engine) -> _Replica:
+        return _Replica(engine, self._make_stager(), self._make_response_stager())
 
     def _make_stager(self) -> BatchStager | None:
         if self.max_batch_size is not None and self.input_shape is not None:
             return BatchStager(self.max_batch_size, self.input_shape)
         return None
+
+    def _make_response_stager(self) -> ResponseStager | None:
+        """Pinned MC-assembly scratch, or ``None`` when geometry is unknown.
+
+        Mirrors the sample-count resolution of the process backend's ring
+        sizing: an explicit ``num_samples`` wins, else the model's default
+        (``NetworkEngine`` has no default and samples once).  Early-exit
+        pools return per-row results with no MC assembly to stage.
+        """
+        if self.early_exit_threshold is not None or self.max_batch_size is None:
+            return None
+        classes = engine_num_classes(self.engine)
+        if classes is None:
+            return None
+        if self.num_samples is not None:
+            samples = self.num_samples
+        else:
+            model = getattr(self.engine, "model", None)
+            samples = model.config.default_mc_samples if model is not None else 1
+        return ResponseStager(self.max_batch_size, max(int(samples), 1), classes)
+
+    @property
+    def cache_hits(self) -> int:  # type: ignore[override]
+        return self._retired_cache_hits + sum(
+            r.engine.cache_stats()[0] for r in self._replicas
+        )
+
+    @property
+    def cache_misses(self) -> int:  # type: ignore[override]
+        return self._retired_cache_misses + sum(
+            r.engine.cache_stats()[1] for r in self._replicas
+        )
 
     @property
     def current_workers(self) -> int:
@@ -99,13 +155,22 @@ class ThreadWorkerPool(WorkerPool):
     async def stop(self) -> None:
         self._checkout = None
         self._executor = None
+        for replica in self._replicas:
+            if replica.retiring:
+                self._bank_cache_stats(replica)
         self._replicas = [r for r in self._replicas if not r.retiring]
 
     # ------------------------------------------------------------------ #
     # fleet surface
     # ------------------------------------------------------------------ #
+    def _bank_cache_stats(self, replica: _Replica) -> None:
+        hits, misses = replica.engine.cache_stats()
+        self._retired_cache_hits += hits
+        self._retired_cache_misses += misses
+
     def _discard(self, replica: _Replica) -> None:
         if replica in self._replicas:
+            self._bank_cache_stats(replica)
             self._replicas.remove(replica)
 
     def _drain_idle_retirees(self) -> None:
@@ -135,7 +200,7 @@ class ThreadWorkerPool(WorkerPool):
             return
         if target > len(live):
             for _ in range(target - len(live)):
-                replica = _Replica(self.engine.replicate(), self._make_stager())
+                replica = self._make_replica(self.engine.replicate())
                 self._replicas.append(replica)
                 if self._checkout is not None:
                     self._checkout.put_nowait(replica)
@@ -158,8 +223,8 @@ class ThreadWorkerPool(WorkerPool):
         """
         old = [r for r in self._replicas if not r.retiring]
         self.engine = engine
-        cohort = [_Replica(engine, self._make_stager())] + [
-            _Replica(engine.replicate(), self._make_stager())
+        cohort = [self._make_replica(engine)] + [
+            self._make_replica(engine.replicate())
             for _ in range(max(len(old), 1) - 1)
         ]
         self._replicas.extend(cohort)
@@ -216,4 +281,4 @@ class ThreadWorkerPool(WorkerPool):
                 self.num_samples,
                 self.early_exit_threshold,
             )
-        return assemble_results(out)
+        return assemble_results(out, replica.response_stager)

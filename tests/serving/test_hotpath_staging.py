@@ -1,0 +1,242 @@
+"""ISSUE-9 hot-path staging: response-side staging, content-keyed cache
+stats, and the staged pipe fallback when ring slots are exhausted.
+
+Three properties are pinned here:
+
+* :class:`~repro.serving.workers.base.ResponseStager` assembles MC results
+  on pre-pinned scratch **bit-identically** to the allocating
+  :func:`~repro.uncertainty.metrics.mc_uncertainty_results` path, and
+  falls back (returns ``None``) outside its geometry.
+* The content-keyed activation cache is observable end-to-end: repeated
+  request bytes hit (``ServingStats.cache_hits``), a zero-downtime
+  ``swap_model`` invalidates (the first post-swap batch misses), and the
+  process backend reports the same counters across its pipe.
+* Exhausted ring slots fall back to the *staged* pipe — one pre-assembled
+  ``("batch", ...)`` frame, never the legacy per-row list when the batch
+  conforms — with responses bit-identical to the all-ring run.
+"""
+
+from __future__ import annotations
+
+import asyncio
+
+import numpy as np
+import pytest
+
+from repro.core import MultiExitBayesNet, MultiExitConfig
+from repro.nn.architectures import lenet5_spec
+from repro.serving import ServingConfig, ServingEngine
+from repro.serving.workers.base import ResponseStager, assemble_results, BatchOutput
+from repro.uncertainty.metrics import mc_uncertainty_results
+
+NUM_SAMPLES = 6
+
+X = np.random.default_rng(11).normal(size=(8, 1, 12, 12))
+
+
+def cfg(**kwargs):
+    return ServingConfig.from_kwargs(**kwargs)
+
+
+def _model(seed=0):
+    return MultiExitBayesNet(
+        lenet5_spec(input_shape=(1, 12, 12), num_classes=5, width_multiplier=0.5),
+        MultiExitConfig(num_exits=2, mcd_layers_per_exit=1, seed=seed),
+    )
+
+
+# --------------------------------------------------------------------------- #
+# ResponseStager: bit-exactness and geometry fallback
+# --------------------------------------------------------------------------- #
+def _random_sample_probs(rng, s, n, c):
+    raw = rng.random((s, n, c))
+    return raw / raw.sum(axis=-1, keepdims=True)
+
+
+@pytest.mark.parametrize("n", [1, 3, 8])
+def test_response_stager_bit_identical_to_allocating_path(n):
+    rng = np.random.default_rng(0)
+    sample_probs = _random_sample_probs(rng, NUM_SAMPLES, n, 5)
+    stager = ResponseStager(max_batch_size=8, num_samples=NUM_SAMPLES, num_classes=5)
+    staged = stager.assemble(sample_probs)
+    legacy = mc_uncertainty_results(sample_probs)
+    assert staged is not None and len(staged) == len(legacy) == n
+    for a, b in zip(staged, legacy):
+        np.testing.assert_array_equal(a.probs, b.probs)
+        assert a.label == b.label
+        assert a.confidence == b.confidence
+        assert a.entropy == b.entropy
+        assert a.mutual_information == b.mutual_information
+        assert a.num_samples == b.num_samples
+
+
+def test_response_stager_results_survive_the_next_batch():
+    """Delivered results must not alias scratch the next batch overwrites."""
+    rng = np.random.default_rng(1)
+    stager = ResponseStager(max_batch_size=4, num_samples=3, num_classes=5)
+    first_probs = _random_sample_probs(rng, 3, 4, 5)
+    first = stager.assemble(first_probs)
+    kept = [r.probs.copy() for r in first]
+    stager.assemble(_random_sample_probs(rng, 3, 4, 5))  # overwrite scratch
+    for res, snapshot in zip(first, kept):
+        np.testing.assert_array_equal(res.probs, snapshot)
+
+
+def test_response_stager_rejects_foreign_geometry():
+    rng = np.random.default_rng(2)
+    stager = ResponseStager(max_batch_size=4, num_samples=3, num_classes=5)
+    assert stager.assemble(_random_sample_probs(rng, 4, 2, 5)) is None  # S
+    assert stager.assemble(_random_sample_probs(rng, 3, 5, 5)) is None  # N
+    assert stager.assemble(_random_sample_probs(rng, 3, 2, 6)) is None  # C
+    assert (
+        stager.assemble(_random_sample_probs(rng, 3, 2, 5).astype(np.float32)) is None
+    )
+    # and assemble_results degrades to the allocating path, same answer
+    probs = _random_sample_probs(rng, 4, 2, 5)
+    out = BatchOutput(sample_probs=probs)
+    staged = assemble_results(out, stager)
+    legacy = mc_uncertainty_results(probs)
+    for a, b in zip(staged, legacy):
+        np.testing.assert_array_equal(a.probs, b.probs)
+        assert a.entropy == b.entropy
+
+
+@pytest.mark.timeout(120)
+def test_thread_backend_with_and_without_response_stager_bit_identical():
+    """The served responses do not change when response staging engages."""
+
+    def serve(strip_stager: bool):
+        server = ServingEngine(
+            _model(), cfg(num_samples=NUM_SAMPLES, workers=2, worker_backend="thread")
+        )
+        if strip_stager:
+            for replica in server._pool._replicas:
+                replica.response_stager = None
+
+        async def main():
+            async with server:
+                return [await server.submit(x) for x in X]
+
+        return asyncio.run(main())
+
+    staged = serve(strip_stager=False)
+    legacy = serve(strip_stager=True)
+    for a, b in zip(staged, legacy):
+        np.testing.assert_array_equal(a.probs, b.probs)
+        assert a.entropy == b.entropy
+        assert a.mutual_information == b.mutual_information
+
+
+# --------------------------------------------------------------------------- #
+# content-keyed cache: hits, misses, swap invalidation — via ServingStats
+# --------------------------------------------------------------------------- #
+@pytest.mark.timeout(120)
+def test_cache_hits_on_repeated_bytes_and_invalidates_on_swap_thread():
+    def serve(defeat_cache: bool):
+        server = ServingEngine(
+            _model(), cfg(num_samples=NUM_SAMPLES, workers=1, worker_backend="thread")
+        )
+
+        async def main():
+            async with server:
+                results, snapshots = [], []
+                # same bytes in a fresh buffer every time: only the content
+                # key can hit.  MC draws still differ per batch seq — the
+                # guarantee under test is hit == cold path *at the same seq*
+                for _ in range(3):
+                    if defeat_cache:
+                        server._pool._replicas[0].engine.invalidate_cache()
+                    results.append(await server.submit(np.array(X[0])))
+                    snapshots.append(server.stats())
+                await server.swap_model(_model(seed=1))
+                results.append(await server.submit(np.array(X[0])))
+                snapshots.append(server.stats())
+                return results, snapshots
+
+        return asyncio.run(main())
+
+    results, stats = serve(defeat_cache=False)
+    cold_results, _ = serve(defeat_cache=True)
+    s1, s2, s3, s_swap = stats
+    assert s1.cache_misses >= 1 and s1.cache_hits == 0
+    # identical bytes in different buffers: the content key hits
+    assert s2.cache_hits == s1.cache_hits + 1
+    assert s2.cache_misses == s1.cache_misses
+    assert s3.cache_hits == s1.cache_hits + 2
+    # a hit reuses the memoised backbone, whose bytes are exactly what a
+    # cold recompute would produce: responses bit-equal to the cold run
+    for hit, cold in zip(results, cold_results):
+        np.testing.assert_array_equal(hit.probs, cold.probs)
+        assert hit.entropy == cold.entropy
+        assert hit.mutual_information == cold.mutual_information
+    # swap_model invalidates: the swapped cohort starts cold and misses
+    assert s_swap.cache_misses > s3.cache_misses
+    assert s_swap.cache_hits == s3.cache_hits
+    # retired-cohort traffic was banked, not lost, across the swap
+    assert s_swap.cache_hits + s_swap.cache_misses > s3.cache_hits
+
+
+@pytest.mark.timeout(120)
+def test_cache_counters_cross_the_process_boundary():
+    server = ServingEngine(
+        _model(), cfg(num_samples=NUM_SAMPLES, workers=1, worker_backend="process")
+    )
+
+    async def main():
+        async with server:
+            await server.submit(X[0])
+            await server.submit(np.array(X[0]))
+            return server.stats()
+
+    stats = asyncio.run(main())
+    # the worker process saw one cold batch and one repeated-bytes batch;
+    # the per-reply deltas reassemble to the same totals in the parent
+    assert stats.cache_hits >= 1
+    assert stats.cache_misses >= 1
+
+
+# --------------------------------------------------------------------------- #
+# staged pipe fallback on slot exhaustion
+# --------------------------------------------------------------------------- #
+@pytest.mark.timeout(120)
+def test_exhausted_slots_ship_staged_batch_frames_bit_identically():
+    def serve(exhaust: bool):
+        server = ServingEngine(
+            _model(), cfg(num_samples=NUM_SAMPLES, workers=2, worker_backend="process")
+        )
+        kinds: list[str] = []
+
+        async def main():
+            async with server:
+                for handle in server._pool._handles:
+                    assert handle.stager is not None
+                    if exhaust:
+                        handle._free_slots.clear()  # all slots in flight, forever
+
+                    def spy(msg, _orig=handle.conn.send):
+                        if msg[0] in ("ring", "batch", "predict"):
+                            kinds.append(msg[0])
+                        return _orig(msg)
+
+                    handle.conn.send = spy
+                results = [await server.submit(x) for x in X]
+                return results, server.stats()
+
+        return asyncio.run(main()) + (kinds,)
+
+    ring_results, ring_stats, ring_kinds = serve(exhaust=False)
+    pipe_results, pipe_stats, pipe_kinds = serve(exhaust=True)
+
+    assert ring_stats.transport_ring_batches == len(X)
+    assert set(ring_kinds) <= {"ring"}
+    # every exhausted batch fell back to ONE pre-assembled "batch" frame —
+    # never the legacy per-row "predict" list, since the payloads conform
+    assert pipe_stats.transport_pipe_batches == len(X)
+    assert pipe_stats.transport_ring_batches == 0
+    assert "batch" in pipe_kinds
+    assert "predict" not in pipe_kinds
+    # and the fallback is invisible in the responses, bit for bit
+    for rr, rp in zip(ring_results, pipe_results):
+        np.testing.assert_array_equal(rr.probs, rp.probs)
+        assert rr.entropy == rp.entropy
+        assert rr.mutual_information == rp.mutual_information

@@ -104,7 +104,7 @@ def test_ring_refuses_what_does_not_fit():
 
 
 def test_ring_read_returns_fresh_view_objects():
-    """Identity-keyed activation caches must never see a recycled slot twice."""
+    """Each read maps its own view: callers may hold one across a recycle."""
     ring = BatchRing.create(slots=1, request_bytes=1024, response_bytes=1024)
     try:
         ring.stage_request(0, (4, 4))

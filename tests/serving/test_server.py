@@ -322,3 +322,57 @@ def test_loadgen_trace_replay_and_reports():
             assert len(gen.latencies) == report.ok
 
     asyncio.run(main())
+
+
+def test_loadgen_keep_alive_reuses_connections():
+    # keep-alive (the default) pays one dial per concurrency slot; the
+    # pre-reuse mode pays one per request — both serve every arrival
+    schedule = [i * 0.005 for i in range(10)]
+
+    async def drive(keep_alive):
+        async with ServingServer(ServingEngine(_model(), cfg(num_samples=1))) as srv:
+            gen = LoadGenerator(
+                srv.host,
+                srv.port,
+                process="trace",
+                schedule=schedule,
+                keep_alive=keep_alive,
+            )
+            return await gen.run()
+
+    pooled = asyncio.run(drive(True))
+    churned = asyncio.run(drive(False))
+    for report in (pooled, churned):
+        assert report.failed == 0
+        assert report.ok == report.scheduled == len(schedule)
+    assert pooled.keep_alive and not churned.keep_alive
+    # +1: the health probe that discovers input_shape dials too, and in
+    # keep-alive mode its connection is then reused for the predicts
+    assert churned.connections_opened == churned.sent + 1
+    assert pooled.connections_opened < churned.connections_opened
+    assert pooled.connections_opened <= len(schedule)
+
+
+def test_loadgen_trace_capture_replay_round_trip(tmp_path):
+    # capture a Poisson run's schedule, replay it from the file: the
+    # replayed run fires the identical offsets (bit-for-bit floats)
+    from repro.serving import load_trace
+
+    async def main():
+        async with ServingServer(ServingEngine(_model(), cfg(num_samples=1))) as srv:
+            recorded = LoadGenerator(
+                srv.host, srv.port, rate=200.0, duration=0.1, seed=3
+            )
+            report = await recorded.run()
+            trace_file = report.save_trace(tmp_path / "arrivals.json")
+            replayed = LoadGenerator(
+                srv.host, srv.port, process="trace", schedule=load_trace(trace_file)
+            )
+            replay_report = await replayed.run()
+            assert replayed.schedule == recorded.schedule
+            assert replay_report.scheduled == report.scheduled
+            assert replay_report.failed == 0
+            # the replayed report snapshots the same schedule it ran
+            assert replay_report.schedule == report.schedule
+
+    asyncio.run(main())
