@@ -2,7 +2,7 @@
 
 PYTHON ?= python
 
-.PHONY: test bench parallel chaos lint docs quickstart serve-demo serve loadgen all
+.PHONY: test bench parallel chaos lint docs quickstart serve-demo serve loadgen grid thresholds all
 
 # Tier-1: full test suite (pytest config lives in pyproject.toml)
 test:
@@ -59,5 +59,23 @@ serve:
 # Open-loop load against a running `make serve` (Poisson by default)
 loadgen:
 	PYTHONPATH=src $(PYTHON) -m repro.serving.loadgen $(ARGS)
+
+# Experiment grid quickstart: init the smoke grid into a sqlite store,
+# drain it (resumable — rerun after a crash and only pending cells run),
+# and print the per-cell + replicate-folded tables.  GRID=paper for the
+# full sweep; STORE= to relocate the sqlite file.
+GRID ?= smoke
+STORE ?= grid_results.sqlite
+grid:
+	PYTHONPATH=src $(PYTHON) -m repro.experiments init --store $(STORE) --grid $(GRID)
+	PYTHONPATH=src $(PYTHON) -m repro.experiments run --store $(STORE) --reclaim-running
+	PYTHONPATH=src $(PYTHON) -m repro.experiments report --store $(STORE) --markdown --summary
+
+# Recompute benchmarks/bench_thresholds.json from accumulated run
+# history (BENCH_serving.json artifacts and/or grid stores).  Run
+# `make bench` a few times first so the envelope reflects real spread.
+thresholds:
+	PYTHONPATH=src $(PYTHON) -m repro.experiments thresholds \
+		--bench BENCH_serving.json --margin 0.5
 
 all: test bench docs quickstart

@@ -18,11 +18,16 @@ instead of the last writer clobbering the first — the failure mode that
 previously made the bench trajectory untrackable PR-over-PR.
 
 The file maps benchmark names to flat metric dicts, plus an ``_meta``
-section (timestamp, host facts) describing the most recent contributing
-run::
+section: ``generated_at`` is the *first* flush into this file (preserved
+across merges, so an artifact's age is its true age), ``updated_at`` the
+most recent one, and ``runner_fingerprint`` identifies the hardware
+class the numbers were measured on — the key
+``python -m repro.experiments thresholds`` groups run history by when it
+derives the CI benchmark gates::
 
     {
-      "_meta": {"generated_at": "...", "cpu_count": 8, ...},
+      "_meta": {"generated_at": "...", "updated_at": "...",
+                "runner_fingerprint": "linux-x86_64-cpu8", ...},
       "serving_dynamic_batching": {"speedup_vs_sequential": 4.2, ...},
       "parallel_serving": {"speedup_k4_vs_k1": 2.6, ...},
       "procpool_serving": {"speedup_k4_procs_vs_k1": 3.1, ...}
@@ -41,6 +46,8 @@ import sys
 import tempfile
 from datetime import datetime, timezone
 from pathlib import Path
+
+from repro.experiments.thresholds import runner_fingerprint
 
 __all__ = ["record", "flush", "markdown_summary", "RESULTS_FILENAME"]
 
@@ -85,11 +92,18 @@ def flush(directory: str | os.PathLike | None = None) -> Path | None:
     with open(lock_path, "w") as lock_handle:
         _lock_exclusive(lock_handle)
         payload = _load_existing(path)
+        previous_meta = payload.get("_meta")
+        if not isinstance(previous_meta, dict):
+            previous_meta = {}
+        now = datetime.now(timezone.utc).isoformat()
         payload["_meta"] = {
-            "generated_at": datetime.now(timezone.utc).isoformat(),
+            # first-written timestamp survives merges; updated_at moves
+            "generated_at": previous_meta.get("generated_at") or now,
+            "updated_at": now,
             "python": sys.version.split()[0],
             "platform": platform.platform(),
             "cpu_count": os.cpu_count(),
+            "runner_fingerprint": runner_fingerprint(),
         }
         for name, metrics in _RESULTS.items():
             section = payload.setdefault(name, {})

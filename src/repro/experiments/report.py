@@ -1,0 +1,169 @@
+"""Pandas-free tables over a grid store: markdown and CSV exports.
+
+The store answers "what happened"; this module renders it the way
+huggingbench's ``ExperimentRunner`` renders its percentile tables — one
+row per observation with the scenario label and the headline columns
+(throughput, p50/p95/p99, shed/crash/cache counters, bit hash), plus an
+aggregate view that folds replicates of the same grid point into
+mean/min/max summaries.  Everything is plain ``str.format`` over dicts:
+the exports must work on the bare CI image, which has numpy but not
+pandas, and the numbers are small enough that a dataframe would be
+ceremony anyway.
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+from typing import Any, Mapping, Sequence
+
+from .grid import Cell
+from .store import ResultsStore
+
+__all__ = ["csv_table", "grid_rows", "markdown_table", "summary_table"]
+
+#: default columns of the per-observation tables, in display order
+COLUMNS = (
+    "scenario",
+    "status",
+    "ok",
+    "dropped",
+    "failed",
+    "throughput_rps",
+    "latency_p50_s",
+    "latency_p95_s",
+    "latency_p99_s",
+    "mean_batch_size",
+    "requests_shed",
+    "worker_crashes",
+    "cache_hits",
+    "bit_hash",
+)
+
+
+def grid_rows(store: ResultsStore) -> list[dict[str, Any]]:
+    """One flat dict per recorded execution: scenario label + metrics."""
+    rows = []
+    for result in store.results():
+        cell = Cell(
+            key=result["cell_key"],
+            seed=result["seed"],
+            params=result["params"],
+        )
+        row: dict[str, Any] = {
+            "scenario": cell.scenario,
+            "cell_key": result["cell_key"],
+            "seed": result["seed"],
+            "status": result["status"],
+            "runner_fingerprint": result["runner_fingerprint"],
+        }
+        row.update(result["metrics"])
+        rows.append(row)
+    return rows
+
+
+def _format(value: Any) -> str:
+    if isinstance(value, bool):
+        return str(value)
+    if isinstance(value, float):
+        return f"{value:.4g}"
+    if value is None:
+        return ""
+    return str(value)
+
+
+def markdown_table(
+    store: ResultsStore, columns: Sequence[str] = COLUMNS
+) -> str:
+    """GitHub-flavoured table of every recorded execution."""
+    rows = grid_rows(store)
+    lines = [
+        "### Experiment grid results",
+        "",
+        "| " + " | ".join(columns) + " |",
+        "| " + " | ".join("---" for _ in columns) + " |",
+    ]
+    for row in rows:
+        lines.append(
+            "| " + " | ".join(_format(row.get(col)) for col in columns) + " |"
+        )
+    if not rows:
+        lines.append("| _no results recorded_ " + "| " * (len(columns) - 1) + "|")
+    counts = store.counts()
+    lines += [
+        "",
+        "cells: "
+        + ", ".join(f"{counts[status]} {status}" for status in sorted(counts)),
+    ]
+    return "\n".join(lines) + "\n"
+
+
+def csv_table(store: ResultsStore, columns: Sequence[str] | None = None) -> str:
+    """CSV of every recorded execution (all columns unless restricted)."""
+    rows = grid_rows(store)
+    if columns is None:
+        seen: dict[str, None] = {}
+        for row in rows:
+            for key in row:
+                seen.setdefault(key)
+        columns = list(seen) or list(COLUMNS)
+    buffer = io.StringIO()
+    writer = csv.DictWriter(buffer, fieldnames=list(columns), extrasaction="ignore")
+    writer.writeheader()
+    for row in rows:
+        writer.writerow({col: row.get(col, "") for col in columns})
+    return buffer.getvalue()
+
+
+#: metrics summarised across replicates (mean / min / max)
+SUMMARY_METRICS = ("throughput_rps", "latency_p50_s", "latency_p99_s")
+
+
+def summary_table(store: ResultsStore) -> str:
+    """Replicate-folded markdown summary, one row per grid point.
+
+    Groups observations by scenario-minus-replicate and reports
+    mean/min/max of the headline metrics plus whether every replicate
+    produced the same ``bit_hash`` (sequential-traffic cells batch
+    deterministically, so their replicates must agree bit-for-bit).
+    """
+    groups: dict[str, list[Mapping[str, Any]]] = {}
+    for row in grid_rows(store):
+        point = row["scenario"].rsplit("-r", 1)[0]
+        groups.setdefault(point, []).append(row)
+    header = ["grid point", "n"]
+    for metric in SUMMARY_METRICS:
+        header += [f"{metric} mean", f"{metric} min..max"]
+    header.append("bit_hash")
+    lines = [
+        "### Experiment grid summary (replicates folded)",
+        "",
+        "| " + " | ".join(header) + " |",
+        "| " + " | ".join("---" for _ in header) + " |",
+    ]
+    for point in sorted(groups):
+        rows = groups[point]
+        cells = [point, str(len(rows))]
+        for metric in SUMMARY_METRICS:
+            values = [
+                float(row[metric])
+                for row in rows
+                if isinstance(row.get(metric), (int, float))
+            ]
+            if values:
+                mean = sum(values) / len(values)
+                cells += [
+                    _format(mean),
+                    f"{_format(min(values))}..{_format(max(values))}",
+                ]
+            else:
+                cells += ["", ""]
+        hashes = {row.get("bit_hash") for row in rows}
+        if len(hashes) == 1:
+            cells.append(next(iter(hashes)) or "")
+        else:
+            cells.append(f"MIXED({len(hashes)})")
+        lines.append("| " + " | ".join(cells) + " |")
+    if not groups:
+        lines.append("| _no results recorded_ " + "| " * (len(header) - 1) + "|")
+    return "\n".join(lines) + "\n"

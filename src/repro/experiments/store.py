@@ -1,0 +1,280 @@
+"""Sqlite-backed results store with transactional cell claiming.
+
+The store is the coordination point of the grid harness, in the
+PyExperimenter mould: the grid's cells live in a ``cells`` table with a
+``status`` column (``pending`` → ``running`` → ``done``/``failed``), and
+any number of runner processes — on one machine or several sharing a
+filesystem — pull work by *claiming* pending cells inside an immediate
+transaction.  A claim is a compare-and-swap (``UPDATE … WHERE status =
+'pending'``), so two concurrent runners can never execute the same cell,
+and a runner that dies mid-cell (SIGKILL included) leaves an inert
+``running`` row that :meth:`ResultsStore.reset_running` returns to the
+pool — ``done`` work is never recomputed.
+
+Metrics land in a separate append-only ``metrics`` table (one JSON row
+per completed execution, stamped with the runner fingerprint), so
+re-running a reset cell keeps the old observation for threshold
+derivation while the cell's *status* reflects only the latest attempt.
+
+Every public method opens its own short-lived connection: the store
+object itself holds no file handle, which makes it trivially safe to
+share across threads, fork boundaries and crash/restart cycles.
+"""
+
+from __future__ import annotations
+
+import json
+import sqlite3
+import time
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Any, Iterable, Mapping
+
+from .grid import Cell
+
+__all__ = ["CellRow", "ResultsStore", "STATUSES"]
+
+STATUSES = ("pending", "running", "done", "failed")
+
+_SCHEMA = """
+CREATE TABLE IF NOT EXISTS cells (
+    id          INTEGER PRIMARY KEY,
+    cell_key    TEXT NOT NULL UNIQUE,
+    seed        INTEGER NOT NULL,
+    params      TEXT NOT NULL,
+    status      TEXT NOT NULL DEFAULT 'pending'
+                CHECK (status IN ('pending', 'running', 'done', 'failed')),
+    claimed_by  TEXT,
+    claimed_at  REAL,
+    finished_at REAL,
+    error       TEXT
+);
+CREATE INDEX IF NOT EXISTS idx_cells_status ON cells (status);
+CREATE TABLE IF NOT EXISTS metrics (
+    id                 INTEGER PRIMARY KEY,
+    cell_id            INTEGER NOT NULL REFERENCES cells (id),
+    recorded_at        REAL NOT NULL,
+    runner_fingerprint TEXT NOT NULL,
+    metrics            TEXT NOT NULL
+);
+CREATE INDEX IF NOT EXISTS idx_metrics_cell ON metrics (cell_id);
+"""
+
+
+@dataclass(frozen=True)
+class CellRow:
+    """One ``cells`` row as Python values (``params`` decoded)."""
+
+    id: int
+    key: str
+    seed: int
+    params: dict[str, Any]
+    status: str
+    claimed_by: str | None = None
+    error: str | None = None
+
+
+def _row_to_cell(row: sqlite3.Row) -> CellRow:
+    return CellRow(
+        id=int(row["id"]),
+        key=row["cell_key"],
+        seed=int(row["seed"]),
+        params=json.loads(row["params"]),
+        status=row["status"],
+        claimed_by=row["claimed_by"],
+        error=row["error"],
+    )
+
+
+class ResultsStore:
+    """Persistent grid state in one sqlite file (see module docstring)."""
+
+    def __init__(self, path: str | Path, timeout: float = 30.0) -> None:
+        self.path = Path(path)
+        self.timeout = float(timeout)
+        with self._connect() as conn:
+            conn.executescript(_SCHEMA)
+
+    def _connect(self) -> sqlite3.Connection:
+        conn = sqlite3.connect(self.path, timeout=self.timeout)
+        conn.row_factory = sqlite3.Row
+        # WAL lets readers (status/report) proceed under a writer; the
+        # pragma is a no-op where unsupported (e.g. some network mounts)
+        conn.execute("PRAGMA journal_mode=WAL")
+        return conn
+
+    # ------------------------------------------------------------------ #
+    # grid initialisation
+    # ------------------------------------------------------------------ #
+    def ensure_cells(self, cells: Iterable[Cell]) -> int:
+        """Insert cells that are not in the store yet; returns how many.
+
+        Idempotent by ``cell_key``: re-initialising from the same spec
+        adds nothing, extending the grid adds only the new points, and
+        existing rows keep their status — an ``init`` over a half-done
+        store never resets work.
+        """
+        added = 0
+        with self._connect() as conn:
+            for cell in cells:
+                cursor = conn.execute(
+                    "INSERT OR IGNORE INTO cells (cell_key, seed, params) "
+                    "VALUES (?, ?, ?)",
+                    (cell.key, cell.seed, json.dumps(cell.params, sort_keys=True)),
+                )
+                added += cursor.rowcount
+        return added
+
+    # ------------------------------------------------------------------ #
+    # the claim protocol
+    # ------------------------------------------------------------------ #
+    def claim(self, runner_id: str) -> CellRow | None:
+        """Atomically claim the oldest pending cell (``None`` when drained).
+
+        ``BEGIN IMMEDIATE`` takes the write lock before the SELECT, so
+        two runners cannot pick the same row; the UPDATE re-checks
+        ``status = 'pending'`` anyway, making the claim a true
+        compare-and-swap even if the transaction mode ever changes.
+        """
+        conn = self._connect()
+        try:
+            conn.isolation_level = None
+            conn.execute("BEGIN IMMEDIATE")
+            row = conn.execute(
+                "SELECT * FROM cells WHERE status = 'pending' "
+                "ORDER BY id LIMIT 1"
+            ).fetchone()
+            if row is None:
+                conn.execute("ROLLBACK")
+                return None
+            updated = conn.execute(
+                "UPDATE cells SET status = 'running', claimed_by = ?, "
+                "claimed_at = ?, error = NULL "
+                "WHERE id = ? AND status = 'pending'",
+                (runner_id, time.time(), row["id"]),
+            ).rowcount
+            conn.execute("COMMIT")
+            if not updated:  # pragma: no cover - CAS lost under BEGIN IMMEDIATE
+                return None
+            return _row_to_cell(row)
+        finally:
+            conn.close()
+
+    def mark_done(
+        self,
+        cell_id: int,
+        metrics: Mapping[str, Any],
+        runner_fingerprint: str,
+    ) -> None:
+        """Record a metrics row and flip the cell to ``done``."""
+        with self._connect() as conn:
+            conn.execute(
+                "INSERT INTO metrics "
+                "(cell_id, recorded_at, runner_fingerprint, metrics) "
+                "VALUES (?, ?, ?, ?)",
+                (
+                    cell_id,
+                    time.time(),
+                    runner_fingerprint,
+                    json.dumps(dict(metrics), sort_keys=True),
+                ),
+            )
+            conn.execute(
+                "UPDATE cells SET status = 'done', finished_at = ?, "
+                "error = NULL WHERE id = ?",
+                (time.time(), cell_id),
+            )
+
+    def mark_failed(self, cell_id: int, error: str) -> None:
+        """Flip a cell to ``failed``, keeping the error for post-mortems."""
+        with self._connect() as conn:
+            conn.execute(
+                "UPDATE cells SET status = 'failed', finished_at = ?, "
+                "error = ? WHERE id = ?",
+                (time.time(), str(error)[:4000], cell_id),
+            )
+
+    # ------------------------------------------------------------------ #
+    # recovery
+    # ------------------------------------------------------------------ #
+    def reset_running(
+        self, older_than: float = 0.0, claimed_by: str | None = None
+    ) -> int:
+        """Return ``running`` cells to ``pending``; returns how many.
+
+        A runner that was SIGKILLed leaves its claims ``running``
+        forever; a re-invocation calls this before pulling work.
+        ``older_than`` (seconds since the claim) confines the reset to
+        stale claims so live sibling runners keep theirs;
+        ``claimed_by`` confines it to one runner id.
+        """
+        query = "UPDATE cells SET status = 'pending', claimed_by = NULL, \
+claimed_at = NULL WHERE status = 'running' AND claimed_at <= ?"
+        args: list[Any] = [time.time() - older_than]
+        if claimed_by is not None:
+            query += " AND claimed_by = ?"
+            args.append(claimed_by)
+        with self._connect() as conn:
+            return conn.execute(query, args).rowcount
+
+    def reset_failed(self) -> int:
+        """Return every ``failed`` cell to ``pending``; returns how many."""
+        with self._connect() as conn:
+            return conn.execute(
+                "UPDATE cells SET status = 'pending', claimed_by = NULL, "
+                "claimed_at = NULL, error = NULL WHERE status = 'failed'"
+            ).rowcount
+
+    # ------------------------------------------------------------------ #
+    # queries (status / reporting)
+    # ------------------------------------------------------------------ #
+    def counts(self) -> dict[str, int]:
+        """Cells per status (all four statuses always present)."""
+        with self._connect() as conn:
+            rows = conn.execute(
+                "SELECT status, COUNT(*) AS n FROM cells GROUP BY status"
+            ).fetchall()
+        out = {status: 0 for status in STATUSES}
+        out.update({row["status"]: int(row["n"]) for row in rows})
+        return out
+
+    def cells(self, status: str | None = None) -> list[CellRow]:
+        """All cells, optionally filtered by status, in id order."""
+        query = "SELECT * FROM cells"
+        args: tuple[Any, ...] = ()
+        if status is not None:
+            if status not in STATUSES:
+                raise ValueError(f"unknown status {status!r}")
+            query += " WHERE status = ?"
+            args = (status,)
+        with self._connect() as conn:
+            return [_row_to_cell(row) for row in conn.execute(query + " ORDER BY id", args)]
+
+    def results(self) -> list[dict[str, Any]]:
+        """One dict per metrics row, joined with its cell's parameters.
+
+        Every recorded execution is returned (a reset-and-rerun cell
+        contributes one row per attempt), newest last — the raw material
+        for the report tables and threshold derivation.
+        """
+        with self._connect() as conn:
+            rows = conn.execute(
+                "SELECT c.cell_key, c.seed, c.params, c.status, "
+                "m.recorded_at, m.runner_fingerprint, m.metrics "
+                "FROM metrics m JOIN cells c ON c.id = m.cell_id "
+                "ORDER BY m.id"
+            ).fetchall()
+        out = []
+        for row in rows:
+            out.append(
+                {
+                    "cell_key": row["cell_key"],
+                    "seed": int(row["seed"]),
+                    "params": json.loads(row["params"]),
+                    "status": row["status"],
+                    "recorded_at": float(row["recorded_at"]),
+                    "runner_fingerprint": row["runner_fingerprint"],
+                    "metrics": json.loads(row["metrics"]),
+                }
+            )
+        return out

@@ -1,0 +1,270 @@
+"""Data-derived CI benchmark gates, keyed on a runner fingerprint.
+
+The CI matrix benchmark job ran ``continue-on-error: true`` for five PRs
+because nobody could say what "too slow" meant on a shared runner.  This
+module derives that answer from data: accumulated ``BENCH_serving.json``
+artifacts (and grid-store metrics rows) are grouped by **runner
+fingerprint** — ``{os}-{machine}-cpu{count}``, the facts that actually
+move the numbers — and each directional metric gets a bound with slack:
+
+* *higher-is-better* metrics (throughput, speedups, achieved rates)
+  gate at ``min(observed) * (1 - margin)``;
+* *lower-is-better* metrics (latency percentiles, per-batch glue,
+  kernel timings) gate at ``max(observed) * (1 + margin)``.
+
+Counters, labels and anything without a clear direction are never
+gated.  The result is ``bench_thresholds.json``::
+
+    {
+      "_meta": {"margin": 0.25, "runs": 3, ...},
+      "linux-x86_64-cpu4": {
+        "parallel_serving": {"speedup_k4_vs_k1": {"min": 1.44}},
+        "open_loop_steady": {"latency_p99_s": {"max": 0.0185}}
+      }
+    }
+
+``benchmarks/conftest.py`` loads the checked-in file after every
+benchmark run and enforces the bounds for the *current* fingerprint as a
+hard gate — :func:`check_metrics` is the comparison.  A fingerprint with
+no recorded history (a contributor's laptop, a fork's CI) falls back to
+advisory-only: the numbers print, nothing fails.  Regenerate the file
+with ``python -m repro.experiments thresholds`` as artifacts accumulate.
+"""
+
+from __future__ import annotations
+
+import glob as _glob
+import json
+import os
+import platform
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Any, Iterable, Mapping
+
+__all__ = [
+    "Violation",
+    "check_metrics",
+    "derive_thresholds",
+    "load_bench_payloads",
+    "runner_fingerprint",
+]
+
+#: metric-name fragments gated as higher-is-better
+HIGHER_FRAGMENTS = ("throughput", "speedup", "rps", "achieved_rate")
+#: metric-name fragments gated as lower-is-better
+LOWER_FRAGMENTS = ("latency", "_p50", "_p95", "_p99", "glue", "gap")
+#: lower-is-better *suffixes* (raw timings)
+LOWER_SUFFIXES = ("_s", "_ms", "_us")
+#: fragments never gated even when a direction rule matches (constants,
+#: wall-clock bookkeeping, identifiers)
+UNGATED_FRAGMENTS = ("offered", "duration", "generated", "recorded")
+
+DEFAULT_MARGIN = 0.25
+
+
+def runner_fingerprint() -> str:
+    """``{os}-{machine}-cpu{count}`` — what a perf number was measured on."""
+    return (
+        f"{platform.system().lower()}-{platform.machine().lower()}"
+        f"-cpu{os.cpu_count()}"
+    )
+
+
+def fingerprint_from_meta(meta: Mapping[str, Any]) -> str | None:
+    """Recover a fingerprint from a ``BENCH_serving.json`` ``_meta`` section.
+
+    Newer files carry ``runner_fingerprint`` directly; older ones are
+    reconstructed best-effort from ``platform`` + ``cpu_count`` (the
+    platform string is ``platform.platform()`` output, e.g.
+    ``Linux-6.5.0-...-x86_64-with-glibc2.39``).
+    """
+    fingerprint = meta.get("runner_fingerprint")
+    if isinstance(fingerprint, str) and fingerprint:
+        return fingerprint
+    plat, cpus = meta.get("platform"), meta.get("cpu_count")
+    if not isinstance(plat, str) or not isinstance(cpus, int):
+        return None
+    system = plat.split("-", 1)[0].lower()
+    machine = "unknown"
+    for candidate in ("x86_64", "amd64", "aarch64", "arm64"):
+        if candidate in plat.lower():
+            machine = candidate
+            break
+    return f"{system}-{machine}-cpu{cpus}"
+
+
+def metric_direction(name: str) -> str | None:
+    """``"higher"`` / ``"lower"`` / ``None`` (= never gate) for one metric."""
+    key = name.lower()
+    if any(fragment in key for fragment in UNGATED_FRAGMENTS):
+        return None
+    if any(fragment in key for fragment in HIGHER_FRAGMENTS):
+        return "higher"
+    if any(fragment in key for fragment in LOWER_FRAGMENTS) or key.endswith(
+        LOWER_SUFFIXES
+    ):
+        return "lower"
+    return None
+
+
+# ---------------------------------------------------------------------- #
+# gathering run history
+# ---------------------------------------------------------------------- #
+def load_bench_payloads(patterns: Iterable[str | Path]) -> list[dict[str, Any]]:
+    """Load ``BENCH_serving.json``-shaped files from paths and/or globs.
+
+    Unreadable or non-dict files are skipped — threshold derivation is a
+    best-effort sweep over whatever artifacts survived.
+    """
+    payloads: list[dict[str, Any]] = []
+    for pattern in patterns:
+        paths = sorted(_glob.glob(str(pattern))) or [str(pattern)]
+        for path in paths:
+            try:
+                payload = json.loads(Path(path).read_text(encoding="utf-8"))
+            except (OSError, ValueError):
+                continue
+            if isinstance(payload, dict):
+                payloads.append(payload)
+    return payloads
+
+
+def store_payloads(store) -> list[dict[str, Any]]:
+    """``BENCH``-shaped payloads from a grid store's metrics rows.
+
+    Each recorded execution becomes one payload whose single section is
+    named ``grid:<scenario>``, so grid observations feed the same
+    derivation pipeline as benchmark artifacts.
+    """
+    from .grid import Cell
+
+    payloads = []
+    for row in store.results():
+        cell = Cell(key=row["cell_key"], seed=row["seed"], params=row["params"])
+        payloads.append(
+            {
+                "_meta": {"runner_fingerprint": row["runner_fingerprint"]},
+                f"grid:{cell.scenario}": row["metrics"],
+            }
+        )
+    return payloads
+
+
+# ---------------------------------------------------------------------- #
+# derivation
+# ---------------------------------------------------------------------- #
+def derive_thresholds(
+    payloads: Iterable[Mapping[str, Any]],
+    margin: float = DEFAULT_MARGIN,
+) -> dict[str, Any]:
+    """Per-fingerprint bounds from accumulated run payloads.
+
+    ``margin`` is the slack around the observed envelope: 0.25 means a
+    throughput may drop 25% below the *worst* recorded run before the
+    gate fires (and a latency may exceed the worst by 25%).  Derived
+    from min/max rather than the mean so a single lucky run can never
+    produce a bound the same machine cannot ordinarily meet.
+    """
+    if not 0.0 <= margin < 1.0:
+        raise ValueError("margin must be in [0, 1)")
+    observed: dict[tuple[str, str, str], list[float]] = {}
+    runs = 0
+    for payload in payloads:
+        meta = payload.get("_meta")
+        fingerprint = (
+            fingerprint_from_meta(meta) if isinstance(meta, Mapping) else None
+        )
+        if fingerprint is None:
+            continue
+        runs += 1
+        for section, metrics in payload.items():
+            if section == "_meta" or not isinstance(metrics, Mapping):
+                continue
+            for name, value in metrics.items():
+                if not isinstance(value, (int, float)) or isinstance(value, bool):
+                    continue
+                if not (value == value and abs(value) != float("inf")):
+                    continue  # NaN / inf never become bounds
+                if metric_direction(name) is None:
+                    continue
+                observed.setdefault((fingerprint, section, name), []).append(
+                    float(value)
+                )
+    thresholds: dict[str, Any] = {
+        "_meta": {
+            "margin": margin,
+            "runs": runs,
+            "generated_by": "python -m repro.experiments thresholds",
+        }
+    }
+    for (fingerprint, section, name), values in sorted(observed.items()):
+        bound: dict[str, float] = {"runs": len(values)}
+        if metric_direction(name) == "higher":
+            bound["min"] = min(values) * (1.0 - margin)
+        else:
+            bound["max"] = max(values) * (1.0 + margin)
+        thresholds.setdefault(fingerprint, {}).setdefault(section, {})[name] = bound
+    return thresholds
+
+
+# ---------------------------------------------------------------------- #
+# enforcement (the conftest gate)
+# ---------------------------------------------------------------------- #
+@dataclass(frozen=True)
+class Violation:
+    """One metric outside its derived bound."""
+
+    section: str
+    metric: str
+    value: float
+    bound_kind: str  #: ``"min"`` or ``"max"``
+    bound: float
+
+    def __str__(self) -> str:
+        op = "<" if self.bound_kind == "min" else ">"
+        return (
+            f"{self.section}.{self.metric} = {self.value:.6g} "
+            f"{op} {self.bound_kind} bound {self.bound:.6g}"
+        )
+
+
+def check_metrics(
+    results: Mapping[str, Mapping[str, Any]],
+    thresholds: Mapping[str, Any],
+    fingerprint: str | None = None,
+) -> tuple[list[Violation], bool]:
+    """Compare one run's recorded metrics against derived bounds.
+
+    Returns ``(violations, enforced)``.  ``enforced`` is False when the
+    fingerprint has no recorded history — the advisory-only fallback
+    that keeps forks and unusual machines green — in which case
+    ``violations`` is always empty.  Only sections present in
+    ``results`` are checked: a benchmark subset run gates only what it
+    measured.
+    """
+    fingerprint = fingerprint or runner_fingerprint()
+    bounds = thresholds.get(fingerprint)
+    if not isinstance(bounds, Mapping):
+        return [], False
+    violations: list[Violation] = []
+    for section, metrics in results.items():
+        section_bounds = bounds.get(section)
+        if not isinstance(section_bounds, Mapping) or not isinstance(
+            metrics, Mapping
+        ):
+            continue
+        for name, bound in section_bounds.items():
+            value = metrics.get(name)
+            if not isinstance(value, (int, float)) or isinstance(value, bool):
+                continue
+            if not isinstance(bound, Mapping):
+                continue
+            if "min" in bound and value < float(bound["min"]):
+                violations.append(
+                    Violation(section, name, float(value), "min", float(bound["min"]))
+                )
+            if "max" in bound and value > float(bound["max"]):
+                violations.append(
+                    Violation(section, name, float(value), "max", float(bound["max"]))
+                )
+    return violations, True

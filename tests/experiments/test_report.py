@@ -1,0 +1,63 @@
+"""Reporting layer: markdown/CSV/summary tables over a results store."""
+
+from __future__ import annotations
+
+import csv
+import io
+
+from repro.experiments.grid import GridSpec
+from repro.experiments.report import csv_table, markdown_table, summary_table
+from repro.experiments.runner import ExperimentRunner
+from repro.experiments.store import ResultsStore
+
+
+def _run_grid(tmp_path, execute, replicates=2):
+    store = ResultsStore(tmp_path / "grid.sqlite")
+    store.ensure_cells(GridSpec(num_samples=(2, 4), replicates=replicates).cells())
+    ExperimentRunner(store, runner_id="r", execute=execute).run()
+    return store
+
+
+def test_markdown_table_lists_every_cell(tmp_path):
+    store = _run_grid(tmp_path, lambda p, s: {"throughput_rps": 10.0})
+    table = markdown_table(store)
+    assert table.count("-sequential-r") == 4, "one row per cell"
+    assert "| done |" in table
+
+
+def test_summary_folds_replicates_and_flags_mixed_hashes(tmp_path):
+    store = _run_grid(
+        tmp_path,
+        lambda p, s: {
+            "throughput_rps": 100.0 + p["replicate"],
+            "bit_hash": f"h{p['num_samples']}-{p['replicate']}",
+        },
+    )
+    table = summary_table(store)
+    assert "MIXED(2)" in table, "replicates with differing hashes must be loud"
+    assert "100..101" in table
+
+
+def test_summary_without_bit_hash_renders_blank(tmp_path):
+    """Stub executions record no bit_hash; the table must not crash on it."""
+    store = _run_grid(tmp_path, lambda p, s: {"throughput_rps": 10.0})
+    table = summary_table(store)
+    assert "MIXED" not in table
+    assert "None" not in table
+
+
+def test_csv_round_trips_through_reader(tmp_path):
+    store = _run_grid(
+        tmp_path, lambda p, s: {"throughput_rps": 10.0, "bit_hash": "abc"}
+    )
+    rows = list(csv.DictReader(io.StringIO(csv_table(store))))
+    assert len(rows) == 4
+    assert all(row["status"] == "done" for row in rows)
+    assert all(row["bit_hash"] == "abc" for row in rows)
+
+
+def test_empty_store_tables_render(tmp_path):
+    store = ResultsStore(tmp_path / "grid.sqlite")
+    assert "no results" in summary_table(store)
+    assert markdown_table(store)
+    assert csv_table(store)

@@ -1,0 +1,157 @@
+"""ResultsStore: claim/resume/concurrency semantics over sqlite."""
+
+from __future__ import annotations
+
+import sqlite3
+import threading
+
+import pytest
+
+from repro.experiments.grid import GridSpec
+from repro.experiments.store import ResultsStore
+
+
+def _store(tmp_path, cells=None):
+    store = ResultsStore(tmp_path / "grid.sqlite")
+    if cells is None:
+        cells = GridSpec(num_samples=(2, 4), replicates=2).cells()
+    store.ensure_cells(cells)
+    return store, cells
+
+
+def test_ensure_cells_is_idempotent(tmp_path):
+    store, cells = _store(tmp_path)
+    assert store.ensure_cells(cells) == 0, "re-init must add nothing"
+    counts = store.counts()
+    assert counts["pending"] == len(cells)
+    # extending the grid adds only the new points
+    extra = GridSpec(num_samples=(8,)).cells()
+    assert store.ensure_cells(cells + extra) == len(extra)
+
+
+def test_ensure_cells_never_resets_progress(tmp_path):
+    store, cells = _store(tmp_path)
+    row = store.claim("runner-a")
+    store.mark_done(row.id, {"ok": 1}, "fp")
+    store.ensure_cells(cells)
+    assert store.counts()["done"] == 1, "init over a half-done store reset work"
+
+
+def test_claim_transitions_and_drains(tmp_path):
+    store, cells = _store(tmp_path)
+    seen = set()
+    for _ in cells:
+        row = store.claim("runner-a")
+        assert row.status == "pending", "claim returns the pre-claim row"
+        seen.add(row.key)
+    assert seen == {cell.key for cell in cells}, "each cell claimed exactly once"
+    assert store.claim("runner-a") is None, "drained store must return None"
+    assert store.counts()["running"] == len(cells)
+
+
+def test_done_cells_are_never_reclaimed(tmp_path):
+    store, cells = _store(tmp_path)
+    row = store.claim("runner-a")
+    store.mark_done(row.id, {"throughput_rps": 10.0}, "fp")
+    remaining = {cell.key for cell in cells} - {row.key}
+    claimed = {store.claim("runner-a").key for _ in remaining}
+    assert claimed == remaining
+    assert store.claim("runner-a") is None
+
+
+def test_mark_failed_keeps_error_and_reset_failed_retries(tmp_path):
+    store, _ = _store(tmp_path)
+    row = store.claim("runner-a")
+    store.mark_failed(row.id, "ValueError: boom")
+    failed = store.cells("failed")
+    assert [r.key for r in failed] == [row.key]
+    assert "boom" in failed[0].error
+    assert store.reset_failed() == 1
+    retry = store.claim("runner-b")
+    assert retry.key == row.key
+    assert retry.error is None
+
+
+def test_reset_running_recovers_sigkilled_claims(tmp_path):
+    """A runner that died mid-cell leaves `running` rows; reset frees them."""
+    store, cells = _store(tmp_path)
+    dead = store.claim("runner-dead")
+    survivor = store.claim("runner-live")
+    assert store.reset_running(claimed_by="runner-dead") == 1
+    assert store.counts()["running"] == 1, "the live claim must survive"
+    reclaimed = store.claim("runner-live")
+    assert reclaimed.key == dead.key
+    assert survivor.key != reclaimed.key
+
+
+def test_reset_running_older_than_spares_fresh_claims(tmp_path):
+    store, _ = _store(tmp_path)
+    store.claim("runner-a")
+    assert store.reset_running(older_than=3600.0) == 0, "fresh claim is not stale"
+    assert store.reset_running(older_than=0.0) == 1
+
+
+def test_concurrent_runners_never_double_claim(tmp_path):
+    """Many threads hammering claim() get disjoint cells (the CAS holds)."""
+    cells = GridSpec(num_samples=(2, 3, 4, 5), replicates=4).cells()
+    store, _ = _store(tmp_path, cells)
+    claimed: list[str] = []
+    lock = threading.Lock()
+
+    def worker(runner_id: str) -> None:
+        while True:
+            row = store.claim(runner_id)
+            if row is None:
+                return
+            with lock:
+                claimed.append(row.key)
+            store.mark_done(row.id, {"ok": 1}, "fp")
+
+    threads = [
+        threading.Thread(target=worker, args=(f"runner-{i}",)) for i in range(8)
+    ]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join(timeout=30)
+    assert len(claimed) == len(cells)
+    assert len(set(claimed)) == len(cells), "a cell was claimed twice"
+    assert store.counts()["done"] == len(cells)
+
+
+def test_metrics_rows_accumulate_per_attempt(tmp_path):
+    """Reset-and-rerun keeps the old observation for threshold history."""
+    store, _ = _store(tmp_path, GridSpec().cells())
+    row = store.claim("runner-a")
+    store.mark_done(row.id, {"throughput_rps": 10.0}, "fp-one")
+    # simulate a deliberate rerun of the same cell on another machine
+    with sqlite3.connect(store.path) as conn:
+        conn.execute("UPDATE cells SET status = 'pending'")
+    row = store.claim("runner-b")
+    store.mark_done(row.id, {"throughput_rps": 12.0}, "fp-two")
+    results = store.results()
+    assert [r["metrics"]["throughput_rps"] for r in results] == [10.0, 12.0]
+    assert [r["runner_fingerprint"] for r in results] == ["fp-one", "fp-two"]
+    assert results[0]["params"] == results[1]["params"]
+
+
+def test_counts_and_status_filter_validation(tmp_path):
+    store, cells = _store(tmp_path)
+    counts = store.counts()
+    assert set(counts) == {"pending", "running", "done", "failed"}
+    assert counts["pending"] == len(cells)
+    with pytest.raises(ValueError, match="unknown status"):
+        store.cells("exploded")
+
+
+def test_store_survives_reopen(tmp_path):
+    """The store object holds no connection; reopening sees all state."""
+    path = tmp_path / "grid.sqlite"
+    store = ResultsStore(path)
+    cells = GridSpec().cells()
+    store.ensure_cells(cells)
+    row = store.claim("runner-a")
+    store.mark_done(row.id, {"ok": 1.0}, "fp")
+    reopened = ResultsStore(path)
+    assert reopened.counts()["done"] == 1
+    assert reopened.results()[0]["metrics"] == {"ok": 1.0}

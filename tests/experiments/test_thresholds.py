@@ -1,0 +1,162 @@
+"""Threshold derivation and enforcement on synthetic run history."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.grid import GridSpec
+from repro.experiments.runner import ExperimentRunner
+from repro.experiments.store import ResultsStore
+from repro.experiments.thresholds import (
+    check_metrics,
+    derive_thresholds,
+    fingerprint_from_meta,
+    metric_direction,
+    runner_fingerprint,
+    store_payloads,
+)
+
+FP = "linux-x86_64-cpu4"
+
+
+def _payload(fp=FP, **sections):
+    return {"_meta": {"runner_fingerprint": fp}, **sections}
+
+
+def test_metric_direction_rules():
+    assert metric_direction("throughput_rps") == "higher"
+    assert metric_direction("speedup_k4_vs_k1") == "higher"
+    assert metric_direction("achieved_rate_rps") == "higher"
+    assert metric_direction("latency_p99_s") == "lower"
+    assert metric_direction("glue_us_per_batch") == "lower"
+    assert metric_direction("fused_ms") == "lower"
+    # constants, bookkeeping and counters are never gated
+    assert metric_direction("offered_rate_rps") is None
+    assert metric_direction("duration_s") is None
+    assert metric_direction("ok") is None
+    assert metric_direction("worker_crashes") is None
+    assert metric_direction("bit_hash") is None
+
+
+def test_bounds_use_envelope_and_margin():
+    history = [
+        _payload(serving={"throughput_rps": 100.0, "latency_p99_s": 0.010}),
+        _payload(serving={"throughput_rps": 80.0, "latency_p99_s": 0.012}),
+        _payload(serving={"throughput_rps": 120.0, "latency_p99_s": 0.008}),
+    ]
+    thresholds = derive_thresholds(history, margin=0.25)
+    bounds = thresholds[FP]["serving"]
+    # min bound from the WORST (lowest) throughput, not the mean
+    assert bounds["throughput_rps"]["min"] == pytest.approx(80.0 * 0.75)
+    # max bound from the WORST (highest) latency
+    assert bounds["latency_p99_s"]["max"] == pytest.approx(0.012 * 1.25)
+    assert bounds["throughput_rps"]["runs"] == 3
+    assert thresholds["_meta"]["runs"] == 3
+
+
+def test_fingerprints_are_kept_apart():
+    history = [
+        _payload("linux-x86_64-cpu1", s={"throughput_rps": 10.0}),
+        _payload("linux-x86_64-cpu8", s={"throughput_rps": 100.0}),
+    ]
+    thresholds = derive_thresholds(history, margin=0.0)
+    assert thresholds["linux-x86_64-cpu1"]["s"]["throughput_rps"]["min"] == 10.0
+    assert thresholds["linux-x86_64-cpu8"]["s"]["throughput_rps"]["min"] == 100.0
+
+
+def test_non_numeric_nan_and_directionless_metrics_skipped():
+    history = [
+        _payload(
+            s={
+                "throughput_rps": float("nan"),
+                "latency_p99_s": float("inf"),
+                "bit_hash": "abc123",
+                "worker_backend": "thread",
+                "bench_ok": True,
+            }
+        )
+    ]
+    thresholds = derive_thresholds(history)
+    assert FP not in thresholds, "nothing gateable must yield no fingerprint"
+
+
+def test_legacy_meta_reconstruction():
+    meta = {
+        "platform": "Linux-6.5.0-generic-x86_64-with-glibc2.39",
+        "cpu_count": 4,
+    }
+    assert fingerprint_from_meta(meta) == "linux-x86_64-cpu4"
+    assert fingerprint_from_meta({"runner_fingerprint": "explicit"}) == "explicit"
+    assert fingerprint_from_meta({}) is None
+
+
+def test_margin_validation():
+    with pytest.raises(ValueError, match="margin"):
+        derive_thresholds([], margin=1.0)
+
+
+# ---------------------------------------------------------------------- #
+# enforcement
+# ---------------------------------------------------------------------- #
+def test_check_metrics_flags_violations_both_directions():
+    thresholds = derive_thresholds(
+        [_payload(s={"throughput_rps": 100.0, "latency_p99_s": 0.010})],
+        margin=0.2,
+    )
+    ok, enforced = check_metrics(
+        {"s": {"throughput_rps": 90.0, "latency_p99_s": 0.011}}, thresholds, FP
+    )
+    assert enforced and ok == []
+    bad, enforced = check_metrics(
+        {"s": {"throughput_rps": 70.0, "latency_p99_s": 0.020}}, thresholds, FP
+    )
+    assert enforced and len(bad) == 2
+    kinds = {(v.metric, v.bound_kind) for v in bad}
+    assert kinds == {("throughput_rps", "min"), ("latency_p99_s", "max")}
+    assert "throughput_rps" in str(bad[0]) or "latency" in str(bad[0])
+
+
+def test_unknown_fingerprint_is_advisory_only():
+    thresholds = derive_thresholds([_payload(s={"throughput_rps": 100.0})])
+    violations, enforced = check_metrics(
+        {"s": {"throughput_rps": 0.001}}, thresholds, "darwin-arm64-cpu10"
+    )
+    assert not enforced, "unknown fingerprint must not hard-fail"
+    assert violations == []
+
+
+def test_only_measured_sections_are_checked():
+    thresholds = derive_thresholds(
+        [_payload(a={"throughput_rps": 100.0}, b={"throughput_rps": 50.0})]
+    )
+    violations, enforced = check_metrics(
+        {"a": {"throughput_rps": 100.0}}, thresholds, FP
+    )
+    assert enforced and violations == [], "absent section b must not fail the run"
+
+
+def test_runner_fingerprint_shape():
+    fingerprint = runner_fingerprint()
+    assert fingerprint.count("-") >= 2
+    assert fingerprint.rsplit("cpu", 1)[1].isdigit()
+
+
+# ---------------------------------------------------------------------- #
+# grid stores feed the same pipeline
+# ---------------------------------------------------------------------- #
+def test_store_payloads_round_trip(tmp_path):
+    store = ResultsStore(tmp_path / "grid.sqlite")
+    store.ensure_cells(GridSpec(num_samples=(2,)).cells())
+    ExperimentRunner(
+        store,
+        runner_id="r",
+        execute=lambda p, s: {"throughput_rps": 200.0, "latency_p99_s": 0.005},
+    ).run()
+    payloads = store_payloads(store)
+    assert len(payloads) == 1
+    [section] = [k for k in payloads[0] if k != "_meta"]
+    assert section.startswith("grid:lenet5-S2-")
+    thresholds = derive_thresholds(payloads, margin=0.5)
+    bounds = thresholds[runner_fingerprint()][section]
+    assert bounds["throughput_rps"]["min"] == pytest.approx(100.0)
+    assert bounds["latency_p99_s"]["max"] == pytest.approx(0.0075)
